@@ -1,0 +1,112 @@
+"""Figure 2 — why RSM-based replication cannot scale.
+
+Fig 2a: parallel tasks as a function of cluster size for f ∈ {0, 1, 2}
+(analytic, ⌊n/(2f+1)⌋).  Fig 2b: measured processing throughput of
+RSM-style replicated execution (our RCP baseline; f=0 is ZFT) on the
+Anomaly Detection workload — "RSM-based processing on 32 nodes with f=1
+achieves similar throughput to only 8 nodes without fault tolerance".
+"""
+
+import pytest
+
+from repro.bench import (
+    anomaly_bench,
+    print_figure,
+    print_table,
+    rsm_parallel_tasks,
+    run_rcp,
+    run_zft,
+)
+
+N_TASKS = 160
+SEED = 2
+
+
+class TestFig2aParallelTasks:
+    def test_fig2a_parallel_tasks(self, run_once):
+        def compute():
+            rows = []
+            for n in (1, 25, 50, 75, 100, 125):
+                rows.append(
+                    (n,)
+                    + tuple(rsm_parallel_tasks(n, f) for f in (0, 1, 2))
+                )
+            return rows
+
+        rows = run_once(compute)
+        print_table(
+            "Fig 2a: parallel tasks under RSM replication",
+            ["n", "f=0", "f=1", "f=2"],
+            rows,
+        )
+        by_n = {r[0]: r for r in rows}
+        # f=0 scales linearly; f=1 divides by 3; f=2 by 5
+        assert by_n[125][1] == 125
+        assert by_n[125][2] == 41
+        assert by_n[125][3] == 25
+
+    def test_fig2a_monotone_degradation(self):
+        for n in (10, 50, 100):
+            assert (
+                rsm_parallel_tasks(n, 0)
+                > rsm_parallel_tasks(n, 1)
+                > rsm_parallel_tasks(n, 2)
+            )
+
+
+class TestFig2bRcpThroughput:
+    @pytest.fixture(scope="class")
+    def sweep(self, scenario_cache):
+        def build():
+            out = {}
+            for n in (4, 8, 16, 32):
+                out[("zft", n)] = run_zft(
+                    anomaly_bench("fig5b", n_tasks=N_TASKS, seed=SEED),
+                    n=n,
+                    deadline=3000,
+                )
+                if n >= 3:
+                    out[("rcp1", n)] = run_rcp(
+                        anomaly_bench("fig5b", n_tasks=N_TASKS, seed=SEED),
+                        n=n,
+                        f=1,
+                        deadline=3000,
+                    )
+                if n >= 5:
+                    out[("rcp2", n)] = run_rcp(
+                        anomaly_bench("fig5b", n_tasks=N_TASKS, seed=SEED),
+                        n=n,
+                        f=2,
+                        deadline=3000,
+                    )
+            return out
+
+        return scenario_cache("fig2b", build)
+
+    def test_fig2b_rcp_throughput(self, run_once, sweep):
+        results = run_once(lambda: sweep)
+        print_figure(
+            "Fig 2b: RSM throughput, Anomaly Detection (f=0 is ZFT)",
+            [results[k] for k in sorted(results)],
+        )
+        # replication tax: at every n, more fault tolerance = less throughput
+        for n in (8, 16, 32):
+            assert (
+                results[("zft", n)].throughput
+                > results[("rcp1", n)].throughput
+            )
+            assert (
+                results[("rcp1", n)].throughput
+                > results[("rcp2", n)].throughput * 0.95
+            )
+
+    def test_fig2b_headline_claim(self, sweep):
+        """RSM f=1 at 32 nodes ≈ ZFT at ~8 nodes (within 2x band)."""
+        rcp32 = sweep[("rcp1", 32)].throughput
+        zft8 = sweep[("zft", 8)].throughput
+        assert 0.4 <= rcp32 / zft8 <= 2.5
+
+    def test_fig2b_rcp_scales_sublinearly(self, sweep):
+        """Going 4→32 nodes (8x) must buy RCP clearly less than 8x."""
+        gain = sweep[("rcp1", 32)].throughput / sweep[("rcp1", 4)].throughput
+        assert gain < 6.0

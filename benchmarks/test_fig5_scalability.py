@@ -1,0 +1,176 @@
+"""Figure 5 — throughput scalability of OsirisBFT vs ZFT and RCP.
+
+5a: write-only state-update throughput (OsirisBFT store measured on the
+DES; Kauri and Basil from calibrated cost models — see DESIGN.md).
+5b-d: output-record throughput for the three applications across
+cluster sizes.  The claims reproduced in *shape*:
+
+* OsirisBFT scales nearly as well as ZFT, and the ZFT gap narrows as n
+  grows (paper: 4× at n=4 → 1.4-1.6× at n=32);
+* OsirisBFT beats RCP at n=32 (paper: 1.9-2.3×).
+"""
+
+import pytest
+
+from repro.bench import (
+    anomaly_bench,
+    basil_updates_per_sec,
+    kauri_updates_per_sec,
+    planning_bench,
+    print_figure,
+    print_table,
+    run_osiris,
+    run_rcp,
+    run_zft,
+    update_only_bench,
+    video_bench,
+)
+from repro.core import OsirisConfig, build_osiris_cluster
+
+NS = (4, 8, 16, 32)
+SEED = 1
+DEADLINE = 3000.0
+
+
+def _sweep(cache, key, workload_factory, ns=NS, **osiris_kwargs):
+    def build():
+        out = {}
+        for n in ns:
+            out[("zft", n)] = run_zft(
+                workload_factory(), n=n, deadline=DEADLINE
+            )
+            out[("osiris", n)] = run_osiris(
+                workload_factory(), n=n, seed=SEED, deadline=DEADLINE,
+                **osiris_kwargs,
+            )
+            out[("rcp", n)] = run_rcp(
+                workload_factory(), n=n, deadline=DEADLINE
+            )
+        return out
+
+    return cache(key, build)
+
+
+def _assert_fig5_shape(results, rcp_factor=1.0, ns=NS):
+    """The paper's two headline shapes, with tolerant bands."""
+    hi, lo = ns[-1], ns[0]
+    gap_small = results[("zft", lo)].throughput / max(
+        results[("osiris", lo)].throughput, 1e-9
+    )
+    gap_big = results[("zft", hi)].throughput / max(
+        results[("osiris", hi)].throughput, 1e-9
+    )
+    # (i) scaling out narrows the ZFT gap
+    assert gap_big <= gap_small * 1.15, (gap_small, gap_big)
+    # (ii) OsirisBFT at n=32 beats RCP by at least rcp_factor
+    assert (
+        results[("osiris", hi)].throughput
+        >= rcp_factor * results[("rcp", hi)].throughput
+    )
+    # (iii) OsirisBFT itself scales: n=32 >> n=4
+    assert (
+        results[("osiris", hi)].throughput
+        > 1.5 * results[("osiris", ns[0])].throughput
+    )
+
+
+class TestFig5aStateUpdates:
+    N_UPDATES = 4000
+
+    def _osiris_store_rate(self, n):
+        wl = update_only_bench(self.N_UPDATES)
+        cluster = build_osiris_cluster(
+            wl.app,
+            workload=wl.stream,
+            n_workers=n,
+            seed=SEED,
+            config=OsirisConfig(cores_per_node=1),
+        )
+        cluster.start()
+        deadline = 300.0
+        while cluster.sim.now < deadline:
+            cluster.run(until=cluster.sim.now + 0.5)
+            if all(
+                w.store.applied_ts >= self.N_UPDATES
+                for w in cluster.executors + cluster.all_verifiers
+            ):
+                break
+            if cluster.sim.drained():
+                break
+        return self.N_UPDATES / max(cluster.sim.now, 1e-9)
+
+    @pytest.fixture(scope="class")
+    def rates(self, scenario_cache):
+        return scenario_cache(
+            "fig5a",
+            lambda: {n: self._osiris_store_rate(n) for n in NS},
+        )
+
+    def test_fig5a_state_updates(self, run_once, rates):
+        osiris = run_once(lambda: rates)
+        rows = [
+            (
+                n,
+                f"{osiris[n]:.0f}",
+                f"{kauri_updates_per_sec(n):.0f}",
+                f"{basil_updates_per_sec(n):.0f}",
+            )
+            for n in NS
+        ]
+        print_table(
+            "Fig 5a: state updates/sec (write-only)",
+            ["n", "OsirisBFT store", "Kauri (model)", "Basil (model)"],
+            rows,
+        )
+        # the paper's ordering: the plain replicated store wins
+        for n in NS:
+            assert osiris[n] > kauri_updates_per_sec(n)
+            assert kauri_updates_per_sec(n) > basil_updates_per_sec(n)
+
+
+class TestFig5bAnomaly:
+    @pytest.fixture(scope="class")
+    def results(self, scenario_cache):
+        return _sweep(
+            scenario_cache,
+            "fig5b",
+            lambda: anomaly_bench("fig5b", n_tasks=240, seed=SEED),
+        )
+
+    def test_fig5b_anomaly(self, run_once, results):
+        res = run_once(lambda: results)
+        print_figure(
+            "Fig 5b: Anomaly Detection (6-clique minus 2 edges)",
+            [res[k] for k in sorted(res)],
+        )
+        _assert_fig5_shape(res, rcp_factor=1.0)
+
+
+class TestFig5cPlanning:
+    @pytest.fixture(scope="class")
+    def results(self, scenario_cache):
+        return _sweep(
+            scenario_cache,
+            "fig5c",
+            lambda: planning_bench(n_tasks=214, seed=SEED),
+        )
+
+    def test_fig5c_planning(self, run_once, results):
+        res = run_once(lambda: results)
+        print_figure("Fig 5c: Motion Planning", [res[k] for k in sorted(res)])
+        _assert_fig5_shape(res, rcp_factor=1.0)
+
+
+class TestFig5dVideo:
+    @pytest.fixture(scope="class")
+    def results(self, scenario_cache):
+        return _sweep(
+            scenario_cache,
+            "fig5d",
+            lambda: video_bench(n_compute=120, seed=SEED),
+        )
+
+    def test_fig5d_video(self, run_once, results):
+        res = run_once(lambda: results)
+        print_figure("Fig 5d: Video Analysis", [res[k] for k in sorted(res)])
+        _assert_fig5_shape(res, rcp_factor=1.0)

@@ -1,0 +1,288 @@
+"""Figure 6 + Sec 7.2 — bottleneck analysis and dynamic role-switching.
+
+6a-c: scalability of the LH / HL / MM anomaly workloads; Sec 7.2's
+profiling claims (HL is CPU-bound with high executor utilization; LH/MM
+push far more bytes to OP than HL).  6d: dynamic role-switching vs
+static sub-cluster counts.  6e: throughput-latency as the task
+submission rate sweeps from light to overload.
+"""
+
+import pytest
+
+from repro.bench import (
+    anomaly_bench,
+    print_figure,
+    print_series,
+    print_table,
+    run_osiris,
+    run_zft,
+    synthetic_bench,
+)
+from repro.core import OsirisConfig
+
+NS = (4, 8, 16, 32)
+SEED = 1
+DEADLINE = 3000.0
+
+
+def _pair_sweep(cache, key, workload_factory):
+    def build():
+        out = {}
+        for n in NS:
+            out[("zft", n)] = run_zft(workload_factory(), n=n, deadline=DEADLINE)
+            out[("osiris", n)] = run_osiris(
+                workload_factory(), n=n, seed=SEED, deadline=DEADLINE
+            )
+        return out
+
+    return cache(key, build)
+
+
+def _assert_gap_narrows(res):
+    gap4 = res[("zft", 4)].throughput / max(res[("osiris", 4)].throughput, 1e-9)
+    gap32 = res[("zft", 32)].throughput / max(
+        res[("osiris", 32)].throughput, 1e-9
+    )
+    assert gap32 <= gap4 * 1.15, (gap4, gap32)
+
+
+class TestFig6aLh:
+    @pytest.fixture(scope="class")
+    def res(self, scenario_cache):
+        return _pair_sweep(
+            scenario_cache, "fig6a",
+            lambda: anomaly_bench("LH", n_tasks=240, seed=SEED),
+        )
+
+    def test_fig6a_lh(self, run_once, res):
+        results = run_once(lambda: res)
+        print_figure(
+            "Fig 6a: LH (3-hop paths — low CPU, high output)",
+            [results[k] for k in sorted(results)],
+        )
+        _assert_gap_narrows(results)
+
+
+class TestFig6bHl:
+    @pytest.fixture(scope="class")
+    def res(self, scenario_cache):
+        return _pair_sweep(
+            scenario_cache, "fig6b",
+            lambda: anomaly_bench("HL", n_tasks=240, seed=SEED),
+        )
+
+    def test_fig6b_hl(self, run_once, res):
+        results = run_once(lambda: res)
+        print_figure(
+            "Fig 6b: HL (6-cliques — high CPU, low output)",
+            [results[k] for k in sorted(results)],
+        )
+        _assert_gap_narrows(results)
+
+
+class TestFig6cMm:
+    @pytest.fixture(scope="class")
+    def res(self, scenario_cache):
+        return _pair_sweep(
+            scenario_cache, "fig6c",
+            lambda: anomaly_bench("MM", n_tasks=240, seed=SEED),
+        )
+
+    def test_fig6c_mm(self, run_once, res):
+        results = run_once(lambda: res)
+        print_figure(
+            "Fig 6c: MM (dense size-6 — medium CPU & output)",
+            [results[k] for k in sorted(results)],
+        )
+        _assert_gap_narrows(results)
+
+
+class TestSec72Profiles:
+    """Sec 7.2: per-workload CPU vs network profiles at n=32."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self, scenario_cache, request):
+        def build():
+            out = {}
+            for wl in ("LH", "HL", "MM"):
+                out[wl] = {
+                    "zft": run_zft(
+                        anomaly_bench(wl, n_tasks=240, seed=SEED),
+                        n=32,
+                        deadline=DEADLINE,
+                    ),
+                    "osiris": run_osiris(
+                        anomaly_bench(wl, n_tasks=240, seed=SEED),
+                        n=32,
+                        seed=SEED,
+                        deadline=DEADLINE,
+                    ),
+                }
+            return out
+
+        return scenario_cache("sec72", build)
+
+    def test_sec72_profiles(self, run_once, profiles):
+        prof = run_once(lambda: profiles)
+        rows = [
+            (
+                wl,
+                f"{prof[wl]['osiris'].executor_utilization * 100:.0f}%",
+                f"{prof[wl]['osiris'].op_bandwidth / 1e6:.1f} MB/s",
+                f"{prof[wl]['zft'].op_bandwidth / 1e6:.1f} MB/s",
+            )
+            for wl in ("LH", "MM", "HL")
+        ]
+        print_table(
+            "Sec 7.2 profiling at n=32",
+            ["workload", "Osiris exec CPU", "Osiris OP-link", "ZFT OP-link"],
+            rows,
+        )
+        # the bottleneck structure: high-output workloads move an order
+        # of magnitude more bytes to OP than HL, in both systems
+        for system in ("osiris", "zft"):
+            assert (
+                prof["LH"][system].op_bandwidth
+                > 5 * prof["HL"][system].op_bandwidth
+            )
+            assert (
+                prof["MM"][system].op_bandwidth
+                > 5 * prof["HL"][system].op_bandwidth
+            )
+        # HL keeps executors busier than the output-bound workloads
+        assert (
+            prof["HL"]["osiris"].executor_utilization
+            >= prof["LH"]["osiris"].executor_utilization * 0.8
+        )
+
+
+class TestFig6dRoleSwitching:
+    """Dynamic role-switching vs static sub-cluster counts (n=14).
+
+    The workload has a verification-light first phase and a
+    verification-heavy second phase, so no static k is right throughout —
+    the regime where the paper's dynamic policy earns its +11% mean /
+    +31% peak.  Our whole-cluster lending at n=14 moves capacity in 21%
+    steps, so we assert *adaptivity* (switches in both directions,
+    throughput inside the static envelope) rather than strict dominance;
+    see EXPERIMENTS.md for the measured deltas.
+    """
+
+    N = 14
+    TASKS = 400
+
+    def _workload(self):
+        from repro.apps.synthetic import SyntheticApp, make_compute_task
+        from repro.bench import BenchWorkload
+
+        app = SyntheticApp(
+            records_per_task=12,
+            compute_cost=120e-3,
+            record_bytes=2048,
+            verify_cost_ratio=0.4,
+        )
+        tasks = []
+        half = self.TASKS // 2
+        for i in range(half):  # phase A: cheap verification
+            tasks.append((i / 2000.0, make_compute_task(i, n=2)))
+        for i in range(half, self.TASKS):  # phase B: heavy verification
+            tasks.append((10.0 + (i - half) / 2000.0, make_compute_task(i, n=40)))
+        return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=self.TASKS)
+
+    def _run(self, k, dynamic):
+        config = OsirisConfig(
+            chunk_bytes=1_000_000,
+            suspect_timeout=60.0,
+            cores_per_node=1,
+            role_switching=dynamic,
+            role_switch_interval=0.5,
+            switch_patience=2,
+            switch_cooldown=3,
+        )
+        return run_osiris(
+            self._workload(), n=self.N, k=k, seed=SEED,
+            deadline=DEADLINE, config=config,
+        )
+
+    @pytest.fixture(scope="class")
+    def res(self, scenario_cache):
+        def build():
+            out = {}
+            for k in (1, 2, 3, 4):
+                out[f"static k={k}"] = self._run(k, dynamic=False)
+            out["dynamic"] = self._run(4, dynamic=True)
+            return out
+
+        return scenario_cache("fig6d", build)
+
+    def test_fig6d_role_switching(self, run_once, res):
+        results = run_once(lambda: res)
+        rows = [
+            (name, f"{r.throughput:.0f} rec/s", f"{r.peak_throughput:.0f} peak")
+            for name, r in results.items()
+        ]
+        print_table(
+            "Fig 6d: static k vs dynamic role-switching",
+            ["configuration", "mean throughput", "peak"],
+            rows,
+        )
+        cluster = results["dynamic"].extra["cluster"]
+        series = cluster.metrics.throughput_series()
+        print_series("Fig 6d: dynamic throughput trace", series, "rec/s")
+        statics = [
+            r.throughput for name, r in results.items() if name != "dynamic"
+        ]
+        dyn = results["dynamic"].throughput
+        # within the static envelope, clearly above the worst static
+        assert dyn >= 0.75 * max(statics), (dyn, max(statics))
+        assert dyn > min(statics)
+        # adaptivity: the policy lent clusters out AND recalled them
+        switches = cluster.metrics.role_switches
+        assert any(to_exec for _, _, to_exec in switches)
+        assert any(not to_exec for _, _, to_exec in switches)
+
+
+class TestFig6eThroughputLatency:
+    """Throughput-latency as offered load sweeps 3 decades (n=32)."""
+
+    RATES = (5.0, 20.0, 80.0)
+
+    @pytest.fixture(scope="class")
+    def res(self, scenario_cache):
+        def build():
+            out = {}
+            for wl in ("LH", "HL", "MM"):
+                for rate in self.RATES:
+                    # same task set at every rate: only arrival intensity
+                    # changes, like the paper's 100→100K tasks/sec sweep
+                    bench = anomaly_bench(wl, n_tasks=300, rate=rate, seed=SEED)
+                    out[(wl, rate)] = run_osiris(
+                        bench, n=32, seed=SEED, deadline=DEADLINE
+                    )
+            return out
+
+        return scenario_cache("fig6e", build)
+
+    def test_fig6e_throughput_latency(self, run_once, res):
+        results = run_once(lambda: res)
+        rows = [
+            (
+                wl,
+                f"{rate}/s",
+                f"{r.throughput:.0f} rec/s",
+                f"{r.mean_latency:.2f} s",
+            )
+            for (wl, rate), r in sorted(results.items())
+        ]
+        print_table(
+            "Fig 6e: throughput vs latency under increasing load (n=32)",
+            ["workload", "offered rate", "throughput", "mean latency"],
+            rows,
+        )
+        for wl in ("LH", "HL", "MM"):
+            lat = [results[(wl, r)].mean_latency for r in self.RATES]
+            thr = [results[(wl, r)].throughput for r in self.RATES]
+            # latency grows with load...
+            assert lat[-1] >= lat[0]
+            # ...and throughput does not collapse
+            assert thr[-1] >= thr[0] * 0.8

@@ -1,0 +1,13 @@
+"""Pytest root conftest.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (the offline environment lacks ``wheel``, so
+``pip install -e .`` requires ``--no-build-isolation``; see README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,15 @@
+"""Verifiable applications: the paper's three workloads plus a synthetic
+dial-a-workload app for protocol benchmarking.
+
+* :mod:`repro.apps.anomaly`   — Anomaly Detection (pattern matching on a
+  dynamic network graph).
+* :mod:`repro.apps.planning`  — Motion Planning (MIP solving with
+  optimality/infeasibility certificates).
+* :mod:`repro.apps.video`     — Video Analysis (k-means pixel clustering
+  with centroid-optimality verification).
+* :mod:`repro.apps.synthetic` — configurable CPU/output workload.
+"""
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
+
+__all__ = ["SyntheticApp", "make_compute_task", "make_update_task"]

@@ -1,0 +1,43 @@
+"""Anomaly Detection: streaming pattern matching on a dynamic network."""
+
+from repro.apps.anomaly.app import AnomalyApp, make_link_task
+from repro.apps.anomaly.graph import GraphView, MultiVersionGraph
+from repro.apps.anomaly.matcher import (
+    CountOutput,
+    EdgeAnchoredMatcher,
+    MatchOutput,
+)
+from repro.apps.anomaly.patterns import (
+    Pattern,
+    clique,
+    clique_minus,
+    cycle,
+    dense_six,
+    path,
+    star,
+)
+from repro.apps.anomaly.workloads import (
+    anomaly_workload,
+    link_update_stream,
+    power_law_graph,
+)
+
+__all__ = [
+    "AnomalyApp",
+    "CountOutput",
+    "EdgeAnchoredMatcher",
+    "GraphView",
+    "MatchOutput",
+    "MultiVersionGraph",
+    "Pattern",
+    "anomaly_workload",
+    "clique",
+    "clique_minus",
+    "cycle",
+    "dense_six",
+    "link_update_stream",
+    "make_link_task",
+    "path",
+    "power_law_graph",
+    "star",
+]

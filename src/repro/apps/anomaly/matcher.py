@@ -1,0 +1,265 @@
+"""Edge-anchored subgraph matching engine.
+
+Anomaly Detection computes, per link update (u, v), every instance of
+the anomaly pattern that contains the new link (Fig 1's
+``detectAnomaly``).  The matcher performs classic backtracking over a
+connectivity-respecting matching order with sorted-array candidate
+intersection (``np.intersect1d``), and emits each instance once in
+canonical form, so the record stream is sorted — giving the
+``happens_before`` prefix order for free.
+
+Costs are *measured*, not assumed: the matcher counts candidate-
+extension steps and the simulated CPU charge is ``steps × step_cost``,
+so expensive updates (dense neighborhoods) really cost more, matching
+the heterogeneity the paper's timeout calibration responds to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.apps.anomaly.graph import GraphView
+from repro.apps.anomaly.patterns import Pattern
+
+__all__ = ["EdgeAnchoredMatcher", "MatchOutput", "CountOutput"]
+
+
+@dataclass(frozen=True)
+class MatchOutput:
+    """Sorted canonical match tuples plus the work counter."""
+
+    matches: tuple[tuple[int, ...], ...]
+    steps: int
+
+
+@dataclass(frozen=True)
+class CountOutput:
+    """Exact |matches| plus the (smaller) counting work counter."""
+
+    count: int
+    steps: int
+
+
+class EdgeAnchoredMatcher:
+    """Enumerates/counts pattern instances containing a given edge.
+
+    Parameters
+    ----------
+    pattern:
+        The anomaly pattern.
+    step_cost:
+        Simulated seconds per extension step (executor side).
+    count_discount:
+        Multiplier on counting cost, modeling the paper's
+        inclusion-exclusion / subgraph-morphing counting optimizations
+        that are "orders of magnitude faster than matching each
+        individual subgraph" (Sec 4.4).  For cliques the count is
+        computed by a genuinely cheaper specialized routine as well.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        step_cost: float = 2e-7,
+        count_discount: float = 0.1,
+    ) -> None:
+        self.pattern = pattern
+        self.step_cost = step_cost
+        self.count_discount = count_discount
+        self._is_clique = pattern.edge_count == (
+            pattern.size * (pattern.size - 1) // 2
+        )
+        # anchor plans: one directed pattern edge per automorphism orbit
+        # (symmetry breaking), with the extension order for each
+        self._plans: list[tuple[int, int, list[int]]] = [
+            (a, b, self._anchored_order(a, b))
+            for a, b in pattern.directed_edge_orbits()
+        ]
+
+    def _anchored_order(self, a: int, b: int) -> list[int]:
+        order = [a, b]
+        remaining = set(range(self.pattern.size)) - {a, b}
+        degs = {v: len(self.pattern.neighbors(v)) for v in remaining}
+        while remaining:
+            connected = [
+                v
+                for v in remaining
+                if any(self.pattern.has_edge(v, u) for u in order)
+            ]
+            pool = connected or sorted(remaining)
+            nxt = max(pool, key=lambda v: (degs[v], -v))
+            order.append(nxt)
+            remaining.discard(nxt)
+        return order[2:]
+
+    # ------------------------------------------------------------ enumerate
+    def enumerate(self, view: GraphView, u: int, v: int) -> MatchOutput:
+        """All canonical instances containing edge (u, v) at ``view``."""
+        if not view.has_edge(u, v):
+            return MatchOutput(matches=(), steps=1)
+        if self._is_clique:
+            return self._enumerate_clique(view, u, v)
+        found: set[tuple[int, ...]] = set()
+        steps = 0
+        for a, b, order in self._plans:
+            mapping = {a: u, b: v}
+            steps += self._extend(view, order, 0, mapping, found)
+        matches = tuple(sorted(found))
+        return MatchOutput(matches=matches, steps=max(1, steps))
+
+    def _enumerate_clique(self, view: GraphView, u: int, v: int) -> MatchOutput:
+        """k-cliques containing (u, v): (k-2)-cliques inside N(u)∩N(v),
+        enumerated with increasing vertex ids (no symmetric duplicates)."""
+        k = self.pattern.size
+        common = np.intersect1d(
+            view.neighbors(u), view.neighbors(v), assume_unique=True
+        )
+        base = tuple(sorted((u, v)))
+        steps = 1 + len(common)
+        if k == 2:
+            return MatchOutput(matches=(base,), steps=steps)
+        adj = {
+            int(c): np.intersect1d(
+                view.neighbors(int(c)), common, assume_unique=True
+            )
+            for c in common
+        }
+        steps += len(common)
+        found: list[tuple[int, ...]] = []
+
+        def grow(prefix: list[int], cands: np.ndarray, left: int) -> None:
+            nonlocal steps
+            if left == 0:
+                found.append(tuple(sorted(base + tuple(prefix))))
+                return
+            for w in cands:
+                wi = int(w)
+                steps += 1
+                if left == 1:
+                    found.append(tuple(sorted(base + tuple(prefix) + (wi,))))
+                    continue
+                nxt = np.intersect1d(
+                    cands[cands > wi], adj[wi], assume_unique=True
+                )
+                if len(nxt) >= left - 1:
+                    grow(prefix + [wi], nxt, left - 1)
+
+        grow([], common, k - 2)
+        return MatchOutput(matches=tuple(sorted(found)), steps=max(1, steps))
+
+    def _extend(
+        self,
+        view: GraphView,
+        order: list[int],
+        depth: int,
+        mapping: dict[int, int],
+        found: set[tuple[int, ...]],
+    ) -> int:
+        if depth == len(order):
+            match = tuple(mapping[i] for i in range(self.pattern.size))
+            found.add(self.pattern.canonical_match(match))
+            return 1
+        w = order[depth]
+        constraint_sets = [
+            view.neighbors(mapping[p])
+            for p in self.pattern.neighbors(w)
+            if p in mapping
+        ]
+        if not constraint_sets:
+            return 1  # unreachable for connected patterns; defensive
+        candidates = constraint_sets[0]
+        for other in constraint_sets[1:]:
+            candidates = np.intersect1d(candidates, other, assume_unique=True)
+            if len(candidates) == 0:
+                return 1
+        used = set(mapping.values())
+        steps = 1
+        for cand in candidates:
+            c = int(cand)
+            if c in used:
+                continue
+            mapping[w] = c
+            steps += self._extend(view, order, depth + 1, mapping, found)
+            del mapping[w]
+        return steps
+
+    # ---------------------------------------------------------------- count
+    def count(self, view: GraphView, u: int, v: int) -> CountOutput:
+        """Exact count of instances containing (u, v), the cheap way."""
+        if not view.has_edge(u, v):
+            return CountOutput(count=0, steps=1)
+        if self._is_clique:
+            out = self._count_clique(view, u, v)
+            raw_steps = out.steps
+            count = out.count
+        else:
+            enum = self.enumerate(view, u, v)
+            raw_steps = enum.steps
+            count = len(enum.matches)
+        # the count is exact; the cost model applies the discount to model
+        # the paper's counting optimizations (inclusion-exclusion [68],
+        # subgraph morphing [45]) being "orders of magnitude faster than
+        # matching each individual subgraph" (Sec 4.4)
+        return CountOutput(
+            count=count,
+            steps=max(1, int(raw_steps * self.count_discount)),
+        )
+
+    def _count_clique(self, view: GraphView, u: int, v: int) -> CountOutput:
+        """k-cliques containing (u,v) = (k-2)-cliques inside N(u)∩N(v) —
+        the standard counting specialization, genuinely cheaper."""
+        k = self.pattern.size
+        common = np.intersect1d(
+            view.neighbors(u), view.neighbors(v), assume_unique=True
+        )
+        need = k - 2
+        steps = 1 + len(common)
+        if need == 0:
+            return CountOutput(count=1, steps=steps)
+        adj = {
+            int(c): np.intersect1d(
+                view.neighbors(int(c)), common, assume_unique=True
+            )
+            for c in common
+        }
+        steps += len(common)
+
+        def count_cliques(cands: np.ndarray, left: int) -> int:
+            """(left)-cliques in ``cands`` with increasing vertex ids —
+            each counted exactly once."""
+            nonlocal steps
+            if left == 1:
+                return len(cands)
+            total = 0
+            for w in cands:
+                wi = int(w)
+                steps += 1
+                nxt = np.intersect1d(
+                    cands[cands > wi], adj[wi], assume_unique=True
+                )
+                if len(nxt) >= left - 1:
+                    total += count_cliques(nxt, left - 1)
+            return total
+
+        return CountOutput(count=count_cliques(common, need), steps=steps)
+
+    # ------------------------------------------------------------ validity
+    def is_instance(self, view: GraphView, match: tuple[int, ...]) -> bool:
+        """isSubgraph ∧ isMatch: distinct vertices, canonical form, every
+        pattern edge present in the graph at this version."""
+        if len(match) != self.pattern.size or len(set(match)) != len(match):
+            return False
+        if not self.pattern.is_canonical(match):
+            return False
+        return all(
+            view.has_edge(match[a], match[b]) for a, b in self.pattern.edges
+        )
+
+    def contains_link(self, match: tuple[int, ...], u: int, v: int) -> bool:
+        """r.links().contains(link(t)): some pattern edge maps onto (u,v)."""
+        return any(
+            {match[a], match[b]} == {u, v} for a, b in self.pattern.edges
+        )

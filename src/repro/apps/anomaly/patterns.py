@@ -1,0 +1,200 @@
+"""Pattern descriptions for subgraph matching.
+
+A :class:`Pattern` is a small connected graph on vertices ``0..k-1``.
+Matches are emitted in a *canonical form* — the lexicographically
+smallest vertex tuple among all automorphic images — so each subgraph
+instance appears exactly once and the output stream is totally ordered
+(the Task-Ordered property; "prefix-ordering is guaranteed by most
+pattern matching systems", Algorithm 2).  Automorphisms are precomputed
+by brute force, fine for the ≤6-vertex patterns the paper evaluates.
+
+Factories cover the paper's queries: ``clique(6)`` (HL), a dense size-6
+pattern (MM), 6-cliques missing 2 edges (Fig 5b), and 3-hop paths (LH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, permutations
+from typing import FrozenSet
+
+from repro.errors import ApplicationError
+
+__all__ = ["Pattern", "clique", "clique_minus", "cycle", "dense_six", "path", "star"]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A connected pattern graph on vertices 0..size-1."""
+
+    size: int
+    edges: FrozenSet[tuple[int, int]]
+    name: str = "pattern"
+
+    @staticmethod
+    def from_edges(size: int, edges, name: str = "pattern") -> "Pattern":
+        norm = frozenset(
+            (min(u, v), max(u, v)) for u, v in edges if u != v
+        )
+        for u, v in norm:
+            if not (0 <= u < size and 0 <= v < size):
+                raise ApplicationError(f"edge ({u},{v}) outside 0..{size - 1}")
+        pat = Pattern(size=size, edges=norm, name=name)
+        if size > 1 and not pat._connected():
+            raise ApplicationError("pattern must be connected")
+        return pat
+
+    def _connected(self) -> bool:
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for a, b in self.edges:
+                for x, y in ((a, b), (b, a)):
+                    if x == u and y not in seen:
+                        seen.add(y)
+                        frontier.append(y)
+        return len(seen) == self.size
+
+    # ------------------------------------------------------------- queries
+    def has_edge(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) in self.edges
+
+    def neighbors(self, a: int) -> tuple[int, ...]:
+        return tuple(
+            sorted(
+                y
+                for u, v in self.edges
+                for x, y in ((u, v), (v, u))
+                if x == a
+            )
+        )
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    # -------------------------------------------------------- automorphisms
+    def automorphisms(self) -> list[tuple[int, ...]]:
+        """All vertex permutations preserving the edge set (cached)."""
+        cached = getattr(self, "_autos", None)
+        if cached is not None:
+            return cached
+        autos = []
+        for perm in permutations(range(self.size)):
+            if all(
+                ((min(perm[u], perm[v]), max(perm[u], perm[v])) in self.edges)
+                for u, v in self.edges
+            ):
+                autos.append(perm)
+        object.__setattr__(self, "_autos", autos)
+        return autos
+
+    def canonical_match(self, match: tuple[int, ...]) -> tuple[int, ...]:
+        """Lexicographically smallest automorphic image of a match tuple."""
+        return min(
+            tuple(match[i] for i in perm) for perm in self.automorphisms()
+        )
+
+    def is_canonical(self, match: tuple[int, ...]) -> bool:
+        return match == self.canonical_match(match)
+
+    def directed_edge_orbits(self) -> list[tuple[int, int]]:
+        """One representative per orbit of the automorphism group acting
+        on directed edges.
+
+        Anchoring the matcher on one directed edge per orbit (instead of
+        every directed edge) finds every instance while skipping
+        symmetric duplicates — for a k-clique all k(k-1) directed edges
+        collapse to a single anchor.  This is the symmetry-breaking idea
+        of pattern-aware matchers like Peregrine [44] / GraphPi [68].
+        """
+        directed = [
+            d
+            for u, v in sorted(self.edges)
+            for d in ((u, v), (v, u))
+        ]
+        seen: set[tuple[int, int]] = set()
+        reps: list[tuple[int, int]] = []
+        for d in directed:
+            if d in seen:
+                continue
+            reps.append(d)
+            for perm in self.automorphisms():
+                seen.add((perm[d[0]], perm[d[1]]))
+        return reps
+
+    # ------------------------------------------------------ matching order
+    def matching_order(self) -> list[int]:
+        """Vertex elimination order: degree-descending, connectivity-first
+        (every vertex after the first is adjacent to an earlier one)."""
+        degs = {v: len(self.neighbors(v)) for v in range(self.size)}
+        order = [max(degs, key=lambda v: (degs[v], -v))]
+        remaining = set(range(self.size)) - set(order)
+        while remaining:
+            connected = [
+                v
+                for v in remaining
+                if any(self.has_edge(v, u) for u in order)
+            ]
+            pool = connected or sorted(remaining)
+            nxt = max(pool, key=lambda v: (degs[v], -v))
+            order.append(nxt)
+            remaining.discard(nxt)
+        return order
+
+
+def clique(k: int, name: str | None = None) -> Pattern:
+    """K_k — the paper's HL query is ``clique(6)`` on Orkut."""
+    return Pattern.from_edges(
+        k, combinations(range(k), 2), name=name or f"{k}-clique"
+    )
+
+
+def clique_minus(k: int, missing: int, name: str | None = None) -> Pattern:
+    """K_k with ``missing`` edges removed (Fig 5b uses k=6, missing=2).
+
+    Edges are removed deterministically: the last ``missing`` pairs in
+    lexicographic order, keeping the pattern connected.
+    """
+    all_edges = list(combinations(range(k), 2))
+    kept = all_edges[: len(all_edges) - missing]
+    return Pattern.from_edges(
+        k, kept, name=name or f"{k}-clique-minus-{missing}"
+    )
+
+
+def path(hops: int, name: str | None = None) -> Pattern:
+    """A simple path with ``hops`` edges (LH: 3-hop paths)."""
+    return Pattern.from_edges(
+        hops + 1,
+        [(i, i + 1) for i in range(hops)],
+        name=name or f"{hops}-hop-path",
+    )
+
+
+def star(leaves: int, name: str | None = None) -> Pattern:
+    """A star: vertex 0 joined to ``leaves`` leaves (hub-and-spoke
+    anomalies, e.g. scanning hosts in network telemetry)."""
+    return Pattern.from_edges(
+        leaves + 1,
+        [(0, i) for i in range(1, leaves + 1)],
+        name=name or f"{leaves}-star",
+    )
+
+
+def cycle(k: int, name: str | None = None) -> Pattern:
+    """A simple k-cycle (routing-loop / money-cycle anomalies)."""
+    return Pattern.from_edges(
+        k,
+        [(i, (i + 1) % k) for i in range(k)],
+        name=name or f"{k}-cycle",
+    )
+
+
+def dense_six(name: str = "dense-size-6") -> Pattern:
+    """The MM query: a dense 6-vertex pattern — K6 minus a perfect
+    matching pair (two *independent* missing edges), distinct from
+    ``clique_minus(6, 2)`` whose missing edges share a vertex."""
+    edges = set(combinations(range(6), 2)) - {(0, 1), (2, 3)}
+    return Pattern.from_edges(6, edges, name=name)

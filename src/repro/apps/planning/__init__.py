@@ -1,0 +1,22 @@
+"""Motion Planning: MIP solving with verifiable optimality proofs."""
+
+from repro.apps.planning.app import PlanningApp, make_planning_task
+from repro.apps.planning.branch_bound import (
+    BranchAndBoundSolver,
+    CertNode,
+    SolveResult,
+)
+from repro.apps.planning.certificates import CertificateVerifier, VerifyOutcome
+from repro.apps.planning.mip import MipInstance, instance_suite
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "CertNode",
+    "CertificateVerifier",
+    "MipInstance",
+    "PlanningApp",
+    "SolveResult",
+    "VerifyOutcome",
+    "instance_suite",
+    "make_planning_task",
+]

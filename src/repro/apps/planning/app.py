@@ -1,0 +1,138 @@
+"""Motion Planning as a verifiable application.
+
+A batch workload (tasks never define U, Sec 4.1 case iii): each task
+names one MIP instance from the suite; the executor solves it with
+branch and bound and emits a single record carrying the solution *and*
+its optimality/infeasibility certificate.  Verifiers validate the
+certificate — never re-running the search — mirroring the paper's SCIP
+proof-log configuration where "output failures can lead to human harm".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.apps.planning.branch_bound import BranchAndBoundSolver, CertNode
+from repro.apps.planning.certificates import CertificateVerifier
+from repro.apps.planning.mip import MipInstance, instance_suite
+from repro.core.api import ComputeResult, CountResult, VerifiableApplication
+from repro.core.tasks import Opcode, Record, Task
+from repro.store.state_machine import KVState
+
+__all__ = ["PlanningApp", "make_planning_task"]
+
+
+def make_planning_task(i: int, instance_index: int) -> Task:
+    """A batch task: solve instance ``instance_index`` of the suite."""
+    return Task(
+        task_id=f"mip{i}",
+        opcode=Opcode.COMPUTE,
+        compute_payload={"instance": instance_index},
+        size_bytes=48,
+    )
+
+
+class PlanningApp(VerifiableApplication):
+    """MIP solving with certificate-based verification.
+
+    Parameters
+    ----------
+    instances:
+        The instance suite (defaults to the 107-instance generator).
+    node_cost:
+        Simulated seconds per branch-and-bound node explored (executor).
+    verify_leaf_cost / verify_lp_cost:
+        Simulated seconds per certificate leaf checked (dense algebra)
+        and per LP re-solve (infeasible/resolve leaves).
+    """
+
+    name = "motion-planning"
+
+    def __init__(
+        self,
+        instances: Optional[list[MipInstance]] = None,
+        node_cost: float = 2e-3,
+        verify_leaf_cost: float = 2e-5,
+        verify_lp_cost: float = 5e-4,
+        record_bytes: int = 4096,
+    ) -> None:
+        self.instances = instances if instances is not None else instance_suite()
+        self.solver = BranchAndBoundSolver()
+        self.checker = CertificateVerifier()
+        self.node_cost = node_cost
+        self.verify_leaf_cost = verify_leaf_cost
+        self.verify_lp_cost = verify_lp_cost
+        self.record_bytes = record_bytes
+        self._solve_cache: dict[int, Any] = {}
+
+    # ----------------------------------------------------------------- state
+    def initial_state(self) -> KVState:
+        return KVState()  # batch workload: state never changes
+
+    # ------------------------------------------------------------------- T
+    def valid_task(self, task: Task) -> bool:
+        if task.opcode.has_update:
+            return False
+        payload = task.compute_payload
+        return (
+            isinstance(payload, dict)
+            and isinstance(payload.get("instance"), int)
+            and 0 <= payload["instance"] < len(self.instances)
+        )
+
+    # ------------------------------------------------------------------- A
+    def compute(self, view: Any, task: Task) -> ComputeResult:
+        idx = task.compute_payload["instance"]
+        result = self._solve(idx)
+        data = {
+            "status": result.status,
+            "objective": result.objective,
+            "x": None if result.x is None else result.x,
+            "certificate": result.certificate,
+        }
+        record = Record(key=(0,), data=data, size_bytes=self.record_bytes)
+        return ComputeResult(
+            records=(record,), cost=result.nodes_explored * self.node_cost
+        )
+
+    def _solve(self, idx: int):
+        """Deterministic per-instance solve, cached: many simulated
+        processes share one Python heap, so re-solves of the same
+        instance (replication, verification fallback) cost no wall time."""
+        if idx not in self._solve_cache:
+            self._solve_cache[idx] = self.solver.solve(self.instances[idx])
+        return self._solve_cache[idx]
+
+    # ------------------------------------------------- verification operators
+    def is_valid(self, view: Any, record: Record, task: Task) -> bool:
+        if record.key != (0,) or not isinstance(record.data, dict):
+            return False
+        data = record.data
+        idx = task.compute_payload["instance"]
+        inst = self.instances[idx]
+        cert = data.get("certificate")
+        if not isinstance(cert, CertNode):
+            return False
+        if data.get("status") == "optimal":
+            if data.get("x") is None or data.get("objective") is None:
+                return False
+            out = self.checker.verify_optimal(
+                inst, data["x"], data["objective"], cert
+            )
+        elif data.get("status") == "infeasible":
+            out = self.checker.verify_infeasible(inst, cert)
+        else:
+            return False
+        return out.ok
+
+    def output_size(self, view: Any, task: Task) -> CountResult:
+        # Task-Bounded trivially: every planning task emits one record
+        return CountResult(count=1, cost=1e-6)
+
+    def verify_record_cost(self, record: Record) -> float:
+        data = record.data if isinstance(record.data, dict) else {}
+        cert = data.get("certificate")
+        leaves = cert.leaf_count() if isinstance(cert, CertNode) else 1
+        return leaves * self.verify_leaf_cost + self.verify_lp_cost

@@ -1,0 +1,135 @@
+"""Synthetic verifiable application with dial-a-workload knobs.
+
+Used by protocol tests and by the bottleneck benches to place workloads
+anywhere on the CPU-cost × output-size plane (the paper's LH/HL/MM axes)
+without the noise of a real algorithm.  The "computation" derives a
+deterministic pseudo-random record stream from the task id; the state is
+a KV map so update/compute/both opcodes all exercise real store paths.
+
+Despite being synthetic it is a *bona fide* verifiable application:
+``is_valid`` recomputes what the record at that position must be, and
+``output_size`` knows the exact count, so every output failure class is
+detectable exactly as in a real app.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from repro.core.api import ComputeResult, CountResult, VerifiableApplication
+from repro.core.tasks import Record, Task
+from repro.store.state_machine import KVState
+
+__all__ = ["SyntheticApp", "make_compute_task", "make_update_task"]
+
+
+def _h(task_id: str, i: int) -> int:
+    raw = hashlib.sha256(f"{task_id}:{i}".encode()).digest()
+    return int.from_bytes(raw[:8], "big")
+
+
+class SyntheticApp(VerifiableApplication):
+    """Deterministic workload generator posing as an application.
+
+    Parameters
+    ----------
+    records_per_task:
+        |A(s, t)| for every compute task (overridable per task via the
+        ``n`` field of the compute payload).
+    compute_cost:
+        Simulated seconds of executor CPU per task.
+    count_cost_ratio / verify_cost_ratio:
+        outputSize cost and total per-task verification cost as fractions
+        of ``compute_cost`` — the paper's premise is that both are ≪ 1.
+    record_bytes:
+        Wire size per record (drives the output-volume axis).
+    """
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        records_per_task: int = 10,
+        compute_cost: float = 10e-3,
+        count_cost_ratio: float = 0.05,
+        verify_cost_ratio: float = 0.1,
+        record_bytes: int = 64,
+    ) -> None:
+        self.records_per_task = records_per_task
+        self.compute_cost = compute_cost
+        self.count_cost_ratio = count_cost_ratio
+        self.verify_cost_ratio = verify_cost_ratio
+        self.record_bytes = record_bytes
+
+    # ----------------------------------------------------------------- state
+    def initial_state(self) -> KVState:
+        return KVState()
+
+    # ------------------------------------------------------------------ U/A
+    def valid_task(self, task: Task) -> bool:
+        if task.opcode.has_compute:
+            payload = task.compute_payload
+            if not isinstance(payload, dict) or payload.get("n", 0) < 0:
+                return False
+        if task.opcode.has_update:
+            if task.update_payload is None:
+                return False
+        return True
+
+    def _count(self, task: Task) -> int:
+        payload = task.compute_payload or {}
+        return int(payload.get("n", self.records_per_task))
+
+    def _expected_record(self, task: Task, i: int) -> Record:
+        return Record(
+            key=(i,),
+            data=_h(task.task_id, i),
+            size_bytes=self.record_bytes,
+        )
+
+    def compute(self, view: Any, task: Task) -> ComputeResult:
+        n = self._count(task)
+        records = tuple(self._expected_record(task, i) for i in range(n))
+        return ComputeResult(records=records, cost=self.compute_cost)
+
+    # ------------------------------------------------- verification operators
+    def is_valid(self, view: Any, record: Record, task: Task) -> bool:
+        if len(record.key) != 1 or not isinstance(record.key[0], int):
+            return False
+        i = record.key[0]
+        if not 0 <= i < self._count(task):
+            return False
+        return record.data == _h(task.task_id, i)
+
+    def output_size(self, view: Any, task: Task) -> CountResult:
+        return CountResult(
+            count=self._count(task),
+            cost=self.compute_cost * self.count_cost_ratio,
+        )
+
+    def verify_record_cost(self, record: Record) -> float:
+        n = max(1, self.records_per_task)
+        return self.compute_cost * self.verify_cost_ratio / n
+
+
+def make_update_task(i: int, key: str = "k", value: Any = None) -> Task:
+    """A pure state-update task for the synthetic app."""
+    from repro.core.tasks import Opcode
+
+    return Task(
+        task_id=f"u{i}",
+        opcode=Opcode.UPDATE,
+        update_payload=("put", key, value if value is not None else i),
+    )
+
+
+def make_compute_task(i: int, n: Optional[int] = None) -> Task:
+    """A pure computation task for the synthetic app."""
+    from repro.core.tasks import Opcode
+
+    return Task(
+        task_id=f"c{i}",
+        opcode=Opcode.COMPUTE,
+        compute_payload={} if n is None else {"n": n},
+    )

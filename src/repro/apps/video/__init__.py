@@ -1,0 +1,18 @@
+"""Video Analysis: streaming pixel clustering with verifiable centroids."""
+
+from repro.apps.video.app import VideoApp, make_cluster_task, make_frame_task
+from repro.apps.video.frames import VideoState, VideoView, frame_stream
+from repro.apps.video.kmeans import KMeansResult, assign, check_stability, lloyd
+
+__all__ = [
+    "KMeansResult",
+    "VideoApp",
+    "VideoState",
+    "VideoView",
+    "assign",
+    "check_stability",
+    "frame_stream",
+    "lloyd",
+    "make_cluster_task",
+    "make_frame_task",
+]

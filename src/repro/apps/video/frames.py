@@ -1,0 +1,105 @@
+"""Synthetic video feed and the multiversioned frame-window state.
+
+The paper's Video Analysis application "operates on frequently updating
+video feed and periodically computes pixel clusters" for segmentation /
+motion detection.  We stand in for camera frames with moving-Gaussian-
+blob point clouds (x, y, intensity): blobs drift between frames, so
+clusters move over time, exactly what a k-means segmentation tracks.
+
+State updates append frames; computation tasks cluster the points of
+the most recent ``window`` frames at their snapshot version —
+multiversioning keeps old frames alive for in-flight tasks while new
+frames stream in.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.state_machine import VersionedState
+
+__all__ = ["VideoState", "VideoView", "frame_stream"]
+
+
+class VideoState(VersionedState):
+    """Append-only multiversioned store of frames (point clouds)."""
+
+    def __init__(self, apply_cost_per_point: float = 1e-8) -> None:
+        self._ts: list[int] = []
+        self._frames: list[np.ndarray] = []
+        self.apply_cost_per_point = apply_cost_per_point
+
+    def apply(self, ts: int, payload) -> float:
+        if self._ts and ts <= self._ts[-1]:
+            raise StoreError(f"non-monotonic frame ts={ts}")
+        frame = np.asarray(payload, dtype=np.float64)
+        if frame.ndim != 2 or frame.shape[1] < 2:
+            raise StoreError("frame must be an (n_points, dims>=2) array")
+        self._ts.append(ts)
+        self._frames.append(frame)
+        return self.apply_cost_per_point * len(frame)
+
+    def snapshot(self, ts: int) -> "VideoView":
+        return VideoView(self, ts)
+
+    def frames_at(self, ts: int, window: int) -> list[np.ndarray]:
+        hi = bisect_right(self._ts, ts)
+        lo = max(0, hi - window)
+        return self._frames[lo:hi]
+
+
+class VideoView:
+    """Read view over the last ``window`` frames as of a version."""
+
+    __slots__ = ("_state", "ts")
+
+    def __init__(self, state: VideoState, ts: int) -> None:
+        self._state = state
+        self.ts = ts
+
+    def points(self, window: int) -> np.ndarray:
+        """Concatenated points of the window (empty (0,3) if no frames)."""
+        frames = self._state.frames_at(self.ts, window)
+        if not frames:
+            return np.empty((0, 3))
+        return np.concatenate(frames, axis=0)
+
+    def frame_count(self) -> int:
+        return len(self._state.frames_at(self.ts, 10**9))
+
+
+def frame_stream(
+    n_frames: int,
+    points_per_frame: int = 400,
+    n_blobs: int = 6,
+    seed: int = 0,
+    arena: float = 100.0,
+) -> Iterator[np.ndarray]:
+    """Deterministic moving-blob frames: (points, 3) float arrays."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.1 * arena, 0.9 * arena, size=(n_blobs, 2))
+    velocity = rng.uniform(-1.5, 1.5, size=(n_blobs, 2))
+    intensity = rng.uniform(30, 220, size=n_blobs)
+    for _ in range(n_frames):
+        per_blob = points_per_frame // n_blobs
+        parts = []
+        for b in range(n_blobs):
+            xy = rng.normal(centers[b], 2.5, size=(per_blob, 2))
+            lum = rng.normal(intensity[b], 6.0, size=(per_blob, 1))
+            parts.append(np.hstack([xy, lum]))
+        rest = points_per_frame - per_blob * n_blobs
+        if rest:
+            noise = np.hstack(
+                [
+                    rng.uniform(0, arena, size=(rest, 2)),
+                    rng.uniform(0, 255, size=(rest, 1)),
+                ]
+            )
+            parts.append(noise)
+        centers = centers + velocity
+        centers = np.clip(centers, 0, arena)
+        yield np.concatenate(parts, axis=0)

@@ -1,0 +1,247 @@
+"""ZFT — the zero-fault-tolerance baseline (Sec 7, "Baselines").
+
+"IP sends tasks to a coordinator worker in WP, which distributes the
+tasks to other workers who execute A and simply forward the results."
+No signatures, no replication, no verification: the performance ceiling
+every BFT system is measured against.  The coordinator participates in
+execution too, so computation scalability is |WP| (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.api import VerifiableApplication
+from repro.core.metrics import MetricsHub
+from repro.core.tasks import Chunk, Task, chunk_records
+from repro.errors import ProtocolError
+from repro.net.links import DEFAULT_BANDWIDTH, Network
+from repro.net.message import Message
+from repro.net.partial_synchrony import SynchronyModel
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+from repro.store.mvstore import MultiVersionStore
+
+__all__ = ["ZftCluster", "build_zft_cluster"]
+
+
+@dataclass
+class ZftSubmit(Message):
+    task: Optional[Task] = None
+
+    def payload_bytes(self) -> int:
+        return self.task.size_bytes
+
+
+@dataclass
+class ZftUpdate(Message):
+    task: Optional[Task] = None
+
+    def payload_bytes(self) -> int:
+        return self.task.size_bytes
+
+
+@dataclass
+class ZftAssign(Message):
+    task: Optional[Task] = None
+
+    def payload_bytes(self) -> int:
+        return self.task.size_bytes
+
+
+@dataclass
+class ZftRecords(Message):
+    chunk: Optional[Chunk] = None
+
+    def payload_bytes(self) -> int:
+        return self.chunk.payload_bytes()
+
+
+class ZftWorker(SimProcess):
+    """Executes tasks on its state replica and forwards records to OP."""
+
+    def __init__(self, sim, pid, net, app, metrics, output_pids, chunk_bytes, cores):
+        super().__init__(sim, pid, cores=cores)
+        self.net = net
+        self.app = app
+        self.metrics = metrics
+        self.output_pids = output_pids
+        self.chunk_bytes = chunk_bytes
+        self.store = MultiVersionStore(app.initial_state())
+        self.tasks_executed = 0
+
+    def on_ZftUpdate(self, msg: ZftUpdate) -> None:
+        cost = self.store.submit(msg.task.timestamp, msg.task.update_payload)
+        if cost > 0:
+            self.run_job(cost, lambda: None)
+
+    def on_ZftAssign(self, msg: ZftAssign) -> None:
+        task = msg.task
+        self.store.when_ready(task.timestamp, lambda: self._execute(task))
+
+    def _execute(self, task: Task) -> None:
+        if self.crashed:
+            return
+        view = self.store.view(task.timestamp)
+        result = self.app.compute(view, task)
+        self.tasks_executed += 1
+        chunks = chunk_records(
+            task.task_id, list(result.records), self.chunk_bytes
+        )
+        handle = self.cpu.submit(result.cost, lambda: None)
+        start = handle.time - result.cost
+        for i, chunk in enumerate(chunks):
+            emit_at = start + result.cost * (i + 1) / len(chunks)
+            self.sim.schedule_at(emit_at, self._emit, chunk)
+
+    def _emit(self, chunk: Chunk) -> None:
+        if self.crashed:
+            return
+        for op in self.output_pids:
+            self.net.send(self.pid, op, ZftRecords(chunk=chunk))
+
+
+class ZftCoordinator(ZftWorker):
+    """Linearizes tasks and distributes them round-robin (itself included)."""
+
+    def __init__(self, *args, worker_pids=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.worker_pids = list(worker_pids)
+        self._ts = 0
+        self._rr = 0
+
+    def on_ZftSubmit(self, msg: ZftSubmit) -> None:
+        task = msg.task
+        if not self.app.valid_task(task):
+            return
+        if task.opcode.has_update:
+            self._ts += 1
+        stamped = task.with_timestamp(self._ts)
+        if task.opcode.has_update:
+            for pid in self.worker_pids:
+                if pid == self.pid:
+                    self.on_ZftUpdate(ZftUpdate(task=stamped))
+                else:
+                    self.net.send(self.pid, pid, ZftUpdate(task=stamped))
+        if task.opcode.has_compute:
+            target = self.worker_pids[self._rr % len(self.worker_pids)]
+            self._rr += 1
+            if target == self.pid:
+                self.on_ZftAssign(ZftAssign(task=stamped))
+            else:
+                self.net.send(self.pid, target, ZftAssign(task=stamped))
+
+
+class ZftInput(SimProcess):
+    def __init__(self, sim, pid, net, metrics, coordinator_pid, workload):
+        super().__init__(sim, pid, cores=2)
+        self.net = net
+        self.metrics = metrics
+        self.coordinator_pid = coordinator_pid
+        self._workload = iter(workload)
+
+    def start(self) -> None:
+        self._next()
+
+    def _next(self) -> None:
+        try:
+            at, task = next(self._workload)
+        except StopIteration:
+            return
+        self.sim.schedule(max(0.0, at - self.sim.now), self._fire, task)
+
+    def _fire(self, task: Task) -> None:
+        if not self.crashed:
+            self.metrics.on_task_submitted(task.task_id, self.sim.now)
+            self.net.send(self.pid, self.coordinator_pid, ZftSubmit(task=task))
+        self._next()
+
+
+class ZftOutput(SimProcess):
+    def __init__(self, sim, pid, metrics):
+        super().__init__(sim, pid, cores=2)
+        self.metrics = metrics
+        self.records_accepted = 0
+
+    def on_ZftRecords(self, msg: ZftRecords) -> None:
+        chunk = msg.chunk
+        self.records_accepted += len(chunk.records)
+        self.metrics.on_records_accepted(len(chunk.records), self.sim.now)
+        if chunk.final:
+            self.metrics.on_task_output_complete(chunk.task_id, self.sim.now)
+
+
+@dataclass
+class ZftCluster:
+    """Handles to a ZFT deployment."""
+
+    sim: Simulator
+    net: Network
+    metrics: MetricsHub
+    coordinator: ZftCoordinator
+    workers: list[ZftWorker]
+    inputs: list[ZftInput]
+    outputs: list[ZftOutput]
+
+    def start(self) -> None:
+        for ip in self.inputs:
+            ip.start()
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+def build_zft_cluster(
+    app: VerifiableApplication,
+    workload: Optional[Iterator[tuple[float, Task]]] = None,
+    n_workers: int = 8,
+    seed: int = 0,
+    synchrony: Optional[SynchronyModel] = None,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    chunk_bytes: int = 1_000_000,
+    cores_per_node: int = 7,
+) -> ZftCluster:
+    """Wire a ZFT deployment: 1 coordinator + (n-1) plain workers, all
+    executing."""
+    if n_workers < 1:
+        raise ProtocolError("ZFT needs at least one worker")
+    sim = Simulator(seed=seed)
+    net = Network(sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth)
+    metrics = MetricsHub()
+    worker_pids = [f"w{i}" for i in range(n_workers)]
+    coordinator = ZftCoordinator(
+        sim,
+        "w0",
+        net,
+        app,
+        metrics,
+        ("op0",),
+        chunk_bytes,
+        cores_per_node,
+        worker_pids=worker_pids,
+    )
+    net.register(coordinator)
+    workers: list[ZftWorker] = [coordinator]
+    for pid in worker_pids[1:]:
+        w = ZftWorker(
+            sim, pid, net, app, metrics, ("op0",), chunk_bytes, cores_per_node
+        )
+        net.register(w)
+        workers.append(w)
+    ip = ZftInput(
+        sim, "ip0", net, metrics, "w0",
+        workload if workload is not None else iter(()),
+    )
+    net.register(ip)
+    op = ZftOutput(sim, "op0", metrics)
+    net.register(op)
+    return ZftCluster(
+        sim=sim,
+        net=net,
+        metrics=metrics,
+        coordinator=coordinator,
+        workers=workers,
+        inputs=[ip],
+        outputs=[op],
+    )

@@ -1,0 +1,58 @@
+"""Benchmark harness: workload factories, scenario runners, analytics.
+
+One bench target per paper table/figure lives in ``benchmarks/``; this
+package provides the machinery they share.
+"""
+
+from repro.baselines.store_models import (
+    basil_updates_per_sec,
+    kauri_updates_per_sec,
+)
+from repro.bench.analytic import (
+    Table1Row,
+    osiris_parallel_tasks,
+    rsm_parallel_tasks,
+    table1,
+)
+from repro.bench.reporting import print_figure, print_series, print_table, ratio
+from repro.bench.scenarios import (
+    BENCH_BANDWIDTH,
+    ScenarioResult,
+    run_osiris,
+    run_rcp,
+    run_zft,
+)
+from repro.bench.workloads import (
+    ANOMALY_PROFILES,
+    BenchWorkload,
+    anomaly_bench,
+    planning_bench,
+    synthetic_bench,
+    update_only_bench,
+    video_bench,
+)
+
+__all__ = [
+    "ANOMALY_PROFILES",
+    "BENCH_BANDWIDTH",
+    "BenchWorkload",
+    "ScenarioResult",
+    "Table1Row",
+    "anomaly_bench",
+    "basil_updates_per_sec",
+    "kauri_updates_per_sec",
+    "osiris_parallel_tasks",
+    "planning_bench",
+    "print_figure",
+    "print_series",
+    "print_table",
+    "ratio",
+    "rsm_parallel_tasks",
+    "run_osiris",
+    "run_rcp",
+    "run_zft",
+    "synthetic_bench",
+    "table1",
+    "update_only_bench",
+    "video_bench",
+]

@@ -1,0 +1,71 @@
+"""Analytic models from the paper: Fig 2a and Table 1.
+
+These are closed-form, directly from Sec 1-2: an RSM-based design can
+run at most ⌊n/(2f+1)⌋ tasks in parallel (⌊n/(3f+1)⌋ without
+non-equivocation), while OsirisBFT runs |WP| − O(f) and tolerates
+failure of every executor on top of f per verifier sub-cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+__all__ = ["rsm_parallel_tasks", "osiris_parallel_tasks", "Table1Row", "table1"]
+
+
+def rsm_parallel_tasks(n: int, f: int, non_equivocation: bool = True) -> int:
+    """Fig 2a: parallel tasks achievable by RSM-style replication."""
+    if n < 0 or f < 0:
+        raise BenchmarkError("n and f must be non-negative")
+    if f == 0:
+        return n
+    group = (2 if non_equivocation else 3) * f + 1
+    return n // group
+
+
+def osiris_parallel_tasks(n: int, f: int, k: int = 1, non_equivocation: bool = True) -> int:
+    """OsirisBFT parallel executors: n minus k verifier sub-clusters."""
+    if f == 0:
+        return n
+    group = (2 if non_equivocation else 3) * f + 1
+    return max(0, n - k * group)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    system: str
+    computation_replication: str
+    computation_scalability: str
+    communication_replication: str
+    faults_tolerated: str
+
+
+def table1(f: int = 1) -> list[Table1Row]:
+    """Table 1, with the symbolic entries instantiated for a given f."""
+    return [
+        Table1Row(
+            system="ZFT",
+            computation_replication="1",
+            computation_scalability="|WP|",
+            communication_replication="1",
+            faults_tolerated="0",
+        ),
+        Table1Row(
+            system="RCP",
+            computation_replication=f"2f+1 = {2 * f + 1}",
+            computation_scalability=f"|WP|/O(f) = |WP|/{2 * f + 1}",
+            communication_replication="1",
+            faults_tolerated="Σ_WPi f  (f per sub-cluster)",
+        ),
+        Table1Row(
+            system="OsirisBFT",
+            computation_replication="1",
+            computation_scalability=f"|WP| − O(f) = |WP| − k·{2 * f + 1}",
+            communication_replication=f"2f+1 = {2 * f + 1}",
+            faults_tolerated="|EP| + Σ_VPi f  (all executors + f per sub-cluster)",
+        ),
+    ]

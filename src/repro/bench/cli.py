@@ -1,0 +1,172 @@
+"""Command-line figure runner: ``python -m repro.bench <figure> [...]``.
+
+A thin convenience layer over the scenario harness for regenerating a
+single paper figure without pytest, e.g.::
+
+    python -m repro.bench fig5b --sizes 4 8 16 --tasks 120
+    python -m repro.bench fig2a
+    python -m repro.bench table1
+
+Benchmarks under ``benchmarks/`` remain the canonical reproduction (they
+also assert the shapes); this runner trades assertions for speed and is
+sized for interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.bench.analytic import rsm_parallel_tasks, table1
+from repro.bench.reporting import print_figure, print_table
+from repro.bench.scenarios import run_osiris, run_rcp, run_zft
+from repro.bench.workloads import (
+    anomaly_bench,
+    planning_bench,
+    synthetic_bench,
+    video_bench,
+)
+from repro.baselines.store_models import (
+    basil_updates_per_sec,
+    kauri_updates_per_sec,
+)
+
+__all__ = ["main"]
+
+
+def _sweep(factory: Callable, sizes, n_tasks, seed, systems=("zft", "osiris", "rcp")):
+    results = []
+    for n in sizes:
+        if "zft" in systems:
+            results.append(run_zft(factory(n_tasks, seed), n=n, deadline=3000))
+        if "osiris" in systems:
+            results.append(
+                run_osiris(factory(n_tasks, seed), n=n, seed=seed, deadline=3000)
+            )
+        if "rcp" in systems and n >= 3:
+            results.append(run_rcp(factory(n_tasks, seed), n=n, deadline=3000))
+    return results
+
+
+def _fig2a(args) -> None:
+    rows = [
+        (n,) + tuple(rsm_parallel_tasks(n, f) for f in (0, 1, 2))
+        for n in (1, 25, 50, 75, 100, 125)
+    ]
+    print_table("Fig 2a: parallel tasks under RSM", ["n", "f=0", "f=1", "f=2"], rows)
+
+
+def _table1(args) -> None:
+    rows = [
+        (
+            r.system,
+            r.computation_replication,
+            r.computation_scalability,
+            r.communication_replication,
+            r.faults_tolerated,
+        )
+        for r in table1(f=args.f)
+    ]
+    print_table(
+        f"Table 1 (f={args.f})",
+        ["system", "comp repl", "scalability", "comm repl", "faults"],
+        rows,
+    )
+
+
+def _fig5a(args) -> None:
+    rows = [
+        (
+            n,
+            f"{kauri_updates_per_sec(n):.0f}",
+            f"{basil_updates_per_sec(n):.0f}",
+        )
+        for n in args.sizes
+    ]
+    print_table(
+        "Fig 5a comparators (models); run the pytest bench for the "
+        "measured OsirisBFT store",
+        ["n", "Kauri", "Basil"],
+        rows,
+    )
+
+
+def _anomaly(profile: str, title: str):
+    def run(args) -> None:
+        factory = lambda n_tasks, seed: anomaly_bench(
+            profile, n_tasks=n_tasks, seed=seed
+        )
+        print_figure(title, _sweep(factory, args.sizes, args.tasks, args.seed))
+
+    return run
+
+
+def _fig5c(args) -> None:
+    factory = lambda n_tasks, seed: planning_bench(n_tasks=n_tasks, seed=seed)
+    print_figure(
+        "Fig 5c: Motion Planning", _sweep(factory, args.sizes, args.tasks, args.seed)
+    )
+
+
+def _fig5d(args) -> None:
+    factory = lambda n_tasks, seed: video_bench(n_compute=n_tasks, seed=seed)
+    print_figure(
+        "Fig 5d: Video Analysis", _sweep(factory, args.sizes, args.tasks, args.seed)
+    )
+
+
+def _fig7b(args) -> None:
+    results = []
+    for f in (1, 2, 3, 4):
+        wl = synthetic_bench(
+            args.tasks,
+            records_per_task=10,
+            compute_cost=300e-3,
+            record_bytes=4096,
+            verify_cost_ratio=0.05,
+        )
+        results.append(run_osiris(wl, n=32, f=f, seed=args.seed, deadline=3000))
+    for f in (1, 2):
+        wl = synthetic_bench(
+            args.tasks,
+            records_per_task=10,
+            compute_cost=300e-3,
+            record_bytes=4096,
+            verify_cost_ratio=0.05,
+        )
+        results.append(run_rcp(wl, n=32, f=f, deadline=3000))
+    print_figure("Fig 7b: throughput vs fault level f (n=32)", results)
+
+
+FIGURES: dict[str, Callable] = {
+    "fig2a": _fig2a,
+    "table1": _table1,
+    "fig5a": _fig5a,
+    "fig5b": _anomaly("fig5b", "Fig 5b: Anomaly Detection"),
+    "fig6a": _anomaly("LH", "Fig 6a: LH (low CPU, high output)"),
+    "fig6b": _anomaly("HL", "Fig 6b: HL (high CPU, low output)"),
+    "fig6c": _anomaly("MM", "Fig 6c: MM (medium CPU & output)"),
+    "fig5c": _fig5c,
+    "fig5d": _fig5d,
+    "fig7b": _fig7b,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate a paper figure interactively.",
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES))
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[4, 8, 16],
+        help="cluster sizes to sweep (default: 4 8 16)",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=120, help="tasks per scenario"
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--f", type=int, default=1, help="fault level (table1)")
+    args = parser.parse_args(argv)
+    FIGURES[args.figure](args)
+    return 0

@@ -1,0 +1,61 @@
+"""Benchmark output formatting: paper-style tables and series."""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, Sequence
+
+from repro.bench.scenarios import ScenarioResult
+
+__all__ = ["print_figure", "print_series", "print_table", "ratio"]
+
+
+#: Accumulated figure output for the session; the benchmarks' conftest
+#: replays it in pytest's terminal summary (after capture has ended) so
+#: ``pytest benchmarks/ --benchmark-only | tee`` logs contain every
+#: reproduced table and series.
+_BUFFER: list[str] = []
+
+
+def get_buffer() -> list[str]:
+    """All figure lines emitted so far in this process."""
+    return _BUFFER
+
+
+def _emit(line: str) -> None:
+    """Print a figure line and remember it for the terminal summary."""
+    _BUFFER.append(line)
+    print(line)
+
+
+def print_figure(title: str, results: Iterable[ScenarioResult]) -> None:
+    """Print one figure's measurements as aligned rows."""
+    _emit(f"\n=== {title} ===")
+    for res in results:
+        _emit("  " + res.row())
+
+
+def print_series(
+    title: str,
+    series: Sequence[tuple[float, float]],
+    unit: str = "",
+    max_rows: int = 40,
+) -> None:
+    """Print a (time, value) trace, downsampled to ``max_rows``."""
+    _emit(f"\n=== {title} ===")
+    stride = max(1, len(series) // max_rows)
+    for t, value in series[::stride]:
+        _emit(f"  t={t:>8.2f}  {value:>14.1f} {unit}")
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a generic table with a header."""
+    _emit(f"\n=== {title} ===")
+    _emit("  " + " | ".join(str(h) for h in header))
+    for row in rows:
+        _emit("  " + " | ".join(str(c) for c in row))
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio a/b (inf when b == 0)."""
+    return a / b if b else float("inf")

@@ -1,0 +1,199 @@
+"""Calibrated workload factories for the paper's experiments.
+
+Each factory returns ``(app, workload_iterator, n_tasks)`` positioned on
+the CPU-cost × output-volume plane of Sec 7.2.  Graph sizes are
+simulation-scale substitutes for Orkut / Amazon-Products; the simulated
+per-step costs are calibrated so the three anomaly workloads land in the
+paper's regimes at n=32 with the harness's scaled-down OP link:
+
+* **HL** — 6-cliques: executor CPU ≈ 95%, OP link far from saturated;
+* **MM** — dense size-6: CPU ≈ 80%, OP link near saturation;
+* **LH** — 3-hop paths: cheap CPU, OP link saturated.
+
+Workloads are *bursts* by default (tasks submitted far faster than they
+complete) so throughput measures capacity — the quantity whose scaling
+the paper's figures plot — without per-run rate calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.apps.anomaly import AnomalyApp, anomaly_workload, link_update_stream
+from repro.apps.planning import PlanningApp, instance_suite, make_planning_task
+from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
+from repro.apps.video import VideoApp, frame_stream, make_cluster_task, make_frame_task
+from repro.core.api import VerifiableApplication
+from repro.core.tasks import Task
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "BenchWorkload",
+    "anomaly_bench",
+    "planning_bench",
+    "video_bench",
+    "synthetic_bench",
+    "update_only_bench",
+    "ANOMALY_PROFILES",
+]
+
+
+@dataclass
+class BenchWorkload:
+    """An app plus its task stream, ready to hand to a scenario runner."""
+
+    app: VerifiableApplication
+    tasks: list[tuple[float, Task]]
+    n_compute_tasks: int
+    chunk_bytes: int = 1_000_000
+
+    @property
+    def stream(self) -> Iterator[tuple[float, Task]]:
+        return iter(self.tasks)
+
+
+#: Per-workload calibration: graph size, attachment, stream bias,
+#: simulated step/verify costs, record size.  Calibrated so that with
+#: one aggregate app core per node and the harness's 60 MB/s app-level
+#: OP link, tasks cost ~0.15-1.0 simulated seconds and LH/MM saturate
+#: the OP link at n=32 while HL stays CPU-bound (Sec 7.2's regimes).
+ANOMALY_PROFILES = {
+    "MM": dict(
+        n_vertices=150, attach=6, dense_bias=0.95,
+        step_cost=6e-3, record_bytes=262144, count_discount=0.05,
+        verify_step_cost=1e-3, max_degree=40,
+    ),
+    "LH": dict(
+        n_vertices=150, attach=3, dense_bias=0.7,
+        step_cost=4.3e-4, record_bytes=2048, count_discount=0.05,
+        verify_step_cost=3e-5, max_degree=None,
+    ),
+    "HL": dict(
+        n_vertices=100, attach=12, dense_bias=0.95,
+        step_cost=3.5e-2, record_bytes=600, count_discount=0.05,
+        verify_step_cost=1e-3, max_degree=35,
+    ),
+    "fig5b": dict(
+        n_vertices=150, attach=6, dense_bias=0.95,
+        step_cost=6e-3, record_bytes=8192, count_discount=0.05,
+        verify_step_cost=1e-3, max_degree=40,
+    ),
+}
+
+
+def anomaly_bench(
+    workload: str,
+    n_tasks: int,
+    rate: float = 2000.0,
+    seed: int = 0,
+) -> BenchWorkload:
+    """Anomaly Detection bench workload (MM / LH / HL / fig5b)."""
+    if workload not in ANOMALY_PROFILES:
+        raise BenchmarkError(f"unknown anomaly workload {workload!r}")
+    profile = ANOMALY_PROFILES[workload]
+    base, pattern = anomaly_workload(
+        workload,
+        n_vertices=profile["n_vertices"],
+        attach=profile["attach"],
+        seed=seed,
+    )
+    app = AnomalyApp(
+        base,
+        pattern,
+        step_cost=profile["step_cost"],
+        count_discount=profile["count_discount"],
+        record_bytes=profile["record_bytes"],
+        verify_step_cost=profile["verify_step_cost"],
+    )
+    tasks = list(
+        link_update_stream(
+            base,
+            n_tasks=n_tasks,
+            rate=rate,
+            seed=seed + 1,
+            dense_bias=profile["dense_bias"],
+            max_degree=profile["max_degree"],
+        )
+    )
+    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
+
+
+def planning_bench(
+    n_tasks: int,
+    rate: float = 2000.0,
+    seed: int = 0,
+    node_cost: float = 2e-2,
+) -> BenchWorkload:
+    """Motion Planning bench: tasks cycle through the 107-instance suite."""
+    suite = instance_suite(count=107, seed=seed)
+    app = PlanningApp(instances=suite, node_cost=node_cost)
+    tasks = [
+        (i / rate, make_planning_task(i, i % len(suite)))
+        for i in range(n_tasks)
+    ]
+    return BenchWorkload(
+        app=app, tasks=tasks, n_compute_tasks=n_tasks, chunk_bytes=65536
+    )
+
+
+def video_bench(
+    n_compute: int,
+    frames_per_compute: int = 4,
+    rate: float = 500.0,
+    seed: int = 0,
+    k: int = 8,
+    window: int = 4,
+    points_per_frame: int = 400,
+    eval_cost: float = 2.6e-6,
+) -> BenchWorkload:
+    """Video Analysis bench: frame updates interleaved with clustering
+    tasks at the paper's update:compute ratio shape."""
+    app = VideoApp(eval_cost=eval_cost)
+    frames = frame_stream(
+        n_compute * frames_per_compute + window,
+        points_per_frame=points_per_frame,
+        seed=seed,
+    )
+    tasks: list[tuple[float, Task]] = []
+    t = 0.0
+    made = 0
+    for i, frame in enumerate(frames):
+        tasks.append((t, make_frame_task(i, frame)))
+        t += 1.0 / rate
+        if i >= window and (i - window) % frames_per_compute == 0 and made < n_compute:
+            tasks.append((t, make_cluster_task(made, k=k, window=window)))
+            t += 1.0 / rate
+            made += 1
+    return BenchWorkload(
+        app=app, tasks=tasks, n_compute_tasks=made, chunk_bytes=16384
+    )
+
+
+def synthetic_bench(
+    n_tasks: int,
+    records_per_task: int = 10,
+    compute_cost: float = 50e-3,
+    record_bytes: int = 1024,
+    rate: float = 2000.0,
+    verify_cost_ratio: float = 0.1,
+) -> BenchWorkload:
+    """Protocol-level bench with exact knobs (used by ablations)."""
+    app = SyntheticApp(
+        records_per_task=records_per_task,
+        compute_cost=compute_cost,
+        record_bytes=record_bytes,
+        verify_cost_ratio=verify_cost_ratio,
+    )
+    tasks = [(i / rate, make_compute_task(i)) for i in range(n_tasks)]
+    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
+
+
+def update_only_bench(n_updates: int, rate: float = 20_000.0) -> BenchWorkload:
+    """Write-only workload for the Fig 5a state-update comparison."""
+    app = SyntheticApp()
+    tasks = [
+        (i / rate, make_update_task(i, key=f"k{i % 64}", value=i))
+        for i in range(n_updates)
+    ]
+    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=0)

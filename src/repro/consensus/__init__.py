@@ -1,0 +1,20 @@
+"""BFT consensus for task linearization.
+
+:class:`ConsensusMember` implements the 2f+1 Fast&Robust-style protocol
+over non-equivocating multicast used by VP_CO (and by the RCP baseline's
+coordinator).  Clients use :class:`ConsensusClient`.
+"""
+
+from repro.consensus.fast_robust import ConsensusClient, ConsensusMember
+from repro.consensus.messages import CsAck, CsPropose, CsRequest, CsViewChange
+from repro.consensus.pbft import PbftMember
+
+__all__ = [
+    "ConsensusClient",
+    "ConsensusMember",
+    "CsAck",
+    "CsPropose",
+    "CsRequest",
+    "CsViewChange",
+    "PbftMember",
+]

@@ -1,0 +1,84 @@
+"""Wire messages for the consensus module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.signatures import Signature
+from repro.net.message import Message
+
+__all__ = ["CsRequest", "CsPropose", "CsAck", "CsViewChange"]
+
+
+@dataclass
+class CsRequest(Message):
+    """Client → members: submit a payload for linearization."""
+
+    request_id: str = ""
+    payload: Any = None
+    payload_size: int = 0
+
+    def payload_bytes(self) -> int:
+        return self.payload_size + 64
+
+
+@dataclass
+class CsPropose(Message):
+    """Leader → members (via non-equivocating multicast): ordered batch."""
+
+    view: int = 0
+    seq: int = 0
+    batch: tuple = ()  # tuple of (request_id, payload, payload_size)
+    sig: Optional[Signature] = None
+
+    def payload_bytes(self) -> int:
+        return sum(size for _, _, size in self.batch) + 96
+
+    @staticmethod
+    def signed_payload(view: int, seq: int, batch_digest: bytes) -> list:
+        return ["cs-propose", view, seq, batch_digest]
+
+
+@dataclass
+class CsAck(Message):
+    """Member → members: endorse a proposal."""
+
+    view: int = 0
+    seq: int = 0
+    batch_digest: bytes = b""
+    sig: Optional[Signature] = None
+
+    def payload_bytes(self) -> int:
+        return 96
+
+    @staticmethod
+    def signed_payload(view: int, seq: int, batch_digest: bytes) -> list:
+        return ["cs-ack", view, seq, batch_digest]
+
+
+@dataclass
+class CsViewChange(Message):
+    """Member → members: vote to depose the current leader.
+
+    Carries the voter's uncommitted slots (state transfer): any slot
+    that could have committed is reported by at least one correct voter,
+    so the new leader re-proposes it at the same sequence number instead
+    of clobbering it with fresh requests.
+    """
+
+    new_view: int = 0
+    committed_seq: int = 0
+    #: tuple of (seq, view, batch, batch_digest) for uncommitted slots
+    slots: tuple = ()
+    sig: Optional[Signature] = None
+
+    def payload_bytes(self) -> int:
+        return 80 + sum(
+            sum(size for _, _, size in batch) + 64
+            for _, _, batch, _ in self.slots
+        )
+
+    @staticmethod
+    def signed_payload(new_view: int, committed_seq: int) -> list:
+        return ["cs-viewchange", new_view, committed_seq]

@@ -1,0 +1,48 @@
+"""The OsirisBFT architecture: verification-based BFT processing.
+
+Public surface:
+
+* :func:`build_osiris_cluster` — wire a deployment on the simulator.
+* :class:`VerifiableApplication` — the ⟨U, A⟩ + verification-operator
+  API applications implement (Algorithm 1).
+* :class:`OsirisConfig` — deployment tunables.
+* :class:`Task` / :class:`Record` / :class:`Opcode` — the data plane.
+* :mod:`repro.core.faults` — Byzantine fault injection strategies.
+"""
+
+from repro.core.api import ComputeResult, CountResult, VerifiableApplication
+from repro.core.cluster import OsirisCluster, build_osiris_cluster, default_cluster_count
+from repro.core.config import OsirisConfig
+from repro.core.coordinator import Coordinator
+from repro.core.executor import ExecutionEngine, Executor
+from repro.core.failure_model import OutputFailure, classify_output, operators_accept
+from repro.core.input_output import InputProcess, OutputProcess
+from repro.core.metrics import MetricsHub
+from repro.core.tasks import Assignment, Chunk, Opcode, Record, Task, chunk_records
+from repro.core.verifier import Verifier
+
+__all__ = [
+    "Assignment",
+    "Chunk",
+    "ComputeResult",
+    "Coordinator",
+    "CountResult",
+    "ExecutionEngine",
+    "Executor",
+    "InputProcess",
+    "MetricsHub",
+    "Opcode",
+    "OsirisCluster",
+    "OutputFailure",
+    "classify_output",
+    "operators_accept",
+    "OsirisConfig",
+    "OutputProcess",
+    "Record",
+    "Task",
+    "VerifiableApplication",
+    "Verifier",
+    "build_osiris_cluster",
+    "chunk_records",
+    "default_cluster_count",
+]

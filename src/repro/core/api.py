@@ -1,0 +1,115 @@
+"""The verifiable-application API: ⟨U, A⟩ plus the verification operators.
+
+This is the paper's Algorithm 1 surface.  An application is *verifiable*
+when it satisfies Task-Validity, Task-Scope, Task-Ordered and
+Task-Bounded (Sec 4.3); implementing this interface is how an
+application proves it:
+
+* ``valid_task``       — Task-Validity (membership of T is decidable);
+* ``is_valid``         — Task-Scope (membership of R / A(s,t) is
+  decidable per record);
+* ``happens_before``   — Task-Ordered (A(s,t) is totally ordered);
+* ``output_size``      — Task-Bounded (|A(s,t)| is finite and computable
+  without materializing every record).
+
+Computation functions return explicit simulated CPU costs: the paper's
+central premise is that computing A is orders of magnitude more
+expensive than verifying its output, and the cost model is where that
+asymmetry lives.  Application algorithms in :mod:`repro.apps` run for
+real and derive costs from actual work counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.tasks import Record, Task
+from repro.store.state_machine import VersionedState
+
+__all__ = ["ComputeResult", "CountResult", "VerifiableApplication"]
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """Output of A(s, t): the record sequence and its CPU cost (seconds)."""
+
+    records: tuple[Record, ...]
+    cost: float
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """Output of ``output_size``: |A(s, t)| and its CPU cost (seconds)."""
+
+    count: int
+    cost: float
+
+
+class VerifiableApplication(ABC):
+    """A task-parallel application with verification operators.
+
+    Implementations must be **deterministic**: every correct process
+    evaluating these functions on the same snapshot and task must get the
+    same answer — that is what lets verifiers check executors without
+    re-running A.
+    """
+
+    #: Human-readable application name (used in benchmark reports).
+    name: str = "application"
+
+    # --------------------------------------------------------------- state
+    @abstractmethod
+    def initial_state(self) -> VersionedState:
+        """Fresh application state replica (one per worker process)."""
+
+    # ------------------------------------------------------------ the pair
+    @abstractmethod
+    def valid_task(self, task: Task) -> bool:
+        """Task-Validity: whether ``task`` ∈ T (checked by VP_CO at [P1])."""
+
+    @abstractmethod
+    def compute(self, view: Any, task: Task) -> ComputeResult:
+        """A(s, t): run the computation on snapshot ``view``.
+
+        Records must come back sorted by ``Record.key`` with no duplicate
+        keys (the Task-Ordered contract).  U is *not* invoked here — state
+        updates flow through ``VersionedState.apply``.
+        """
+
+    # ------------------------------------------- verification operators
+    @abstractmethod
+    def is_valid(self, view: Any, record: Record, task: Task) -> bool:
+        """Algorithm 1 ``isValid``: r ∈ R and r ∈ A(s, t)."""
+
+    def happens_before(self, a: Record, b: Record) -> bool:
+        """Algorithm 1 ``happensBefore``: process-local program order.
+
+        Default: lexicographic comparison of record keys, the
+        prefix-ordering produced by pattern-matching systems (Algorithm 2)
+        and by all apps in this repo.  Override for exotic orders.
+        """
+        return a.key < b.key
+
+    @abstractmethod
+    def output_size(self, view: Any, task: Task) -> CountResult:
+        """Algorithm 1 ``outputSize``: exact |A(s, t)| without listing.
+
+        Must be much cheaper than ``compute`` (e.g. inclusion-exclusion
+        counting for pattern matching); the returned cost should reflect
+        that.
+        """
+
+    # ------------------------------------------------------------ cost model
+    def verify_record_cost(self, record: Record) -> float:
+        """Simulated CPU cost for one ``is_valid`` + ordering check.
+
+        Default assumes verification is cheap and roughly proportional to
+        record size; applications override with measured ratios.
+        """
+        return 0.5e-6
+
+    def update_size_bytes(self, task: Task) -> int:
+        """Wire size of a state-update broadcast for ``task``."""
+        return task.size_bytes

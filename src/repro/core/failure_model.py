@@ -1,0 +1,89 @@
+"""The output failure model (Sec 4.2) as executable artifacts.
+
+The paper groups every way a Byzantine worker can corrupt application
+output into three classes — **mismatch**, **duplication**, **omission** —
+and proves the taxonomy complete (Lemma 4.1: every invalid output
+corresponds to at least one class).  :func:`classify_output` implements
+the classification for an observed record sequence against the expected
+``A(s, t)``; the property-based tests in
+``tests/core/test_failure_model.py`` machine-check the completeness and
+soundness statements:
+
+* *completeness* — any observed sequence ≠ expected has ≥1 class;
+* *soundness* — the expected sequence itself has none (Lemma 4.2's
+  output-side half);
+* *detectability* — the verification operators (validity, order, count)
+  flag a sequence **iff** the classifier does.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+from repro.core.tasks import Record
+
+__all__ = ["OutputFailure", "classify_output", "operators_accept"]
+
+
+class OutputFailure(enum.Flag):
+    """The three output-failure classes of Sec 4.2."""
+
+    NONE = 0
+    MISMATCH = enum.auto()
+    DUPLICATION = enum.auto()
+    OMISSION = enum.auto()
+
+
+def classify_output(
+    observed: Sequence[Record],
+    expected: Sequence[Record],
+) -> OutputFailure:
+    """Classify how ``observed`` deviates from the expected ``A(s, t)``.
+
+    ``expected`` must be the totally-ordered record sequence of a correct
+    execution (distinct keys, sorted).  Classes may combine: an output
+    can simultaneously omit one record and duplicate another.
+    """
+    expected_keys = [r.key for r in expected]
+    expected_set = set(expected_keys)
+    expected_by_key = {r.key: r for r in expected}
+
+    failures = OutputFailure.NONE
+    seen: dict = {}
+    for record in observed:
+        match = expected_by_key.get(record.key)
+        if match is None or match.data != record.data:
+            # r ∉ A(s, t): wrong task output, fabricated or corrupted
+            failures |= OutputFailure.MISMATCH
+        else:
+            seen[record.key] = seen.get(record.key, 0) + 1
+    if any(count > 1 for count in seen.values()):
+        failures |= OutputFailure.DUPLICATION
+    if any(key not in seen for key in expected_set):
+        failures |= OutputFailure.OMISSION
+    return failures
+
+
+def operators_accept(
+    observed: Sequence[Record],
+    expected: Sequence[Record],
+    is_valid: Callable[[Record], bool],
+) -> bool:
+    """Evaluate the three verification operators the way a verifier does
+    (Lemma 6.2's conditions): per-record validity, strict happens-before
+    ordering, and the outputSize count.
+
+    Returns True iff all three pass — which, per the safety proof, holds
+    iff ``observed == expected``.
+    """
+    if len(observed) != len(expected):  # outputSize
+        return False
+    for i, record in enumerate(observed):
+        if not is_valid(record):  # isValid
+            return False
+        if i + 1 < len(observed) and not (
+            record.key < observed[i + 1].key
+        ):  # happensBefore
+            return False
+    return True

@@ -1,0 +1,262 @@
+"""Input and output processes (the pipeline's endpoints).
+
+IP submits task batches to VP_CO through the consensus client ([P1]);
+OP accepts a record chunk only after f+1 matching digests from one
+verifier sub-cluster ([P4]) and runs the negligent-leader /
+equivocation-report machinery of Sec 5.2.2.  The paper makes *no*
+assumption about failures in IP or OP — Byzantine variants are expressed
+through :class:`~repro.core.faults.OutputFault` and by submitting
+invalid tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.consensus.fast_robust import ConsensusClient
+from repro.core.config import OsirisConfig
+from repro.core.faults import OutputFault
+from repro.core.messages import (
+    EquivocationReport,
+    NegligentLeaderReport,
+    VerifiedChunkMsg,
+    VerifiedDigestMsg,
+)
+from repro.core.metrics import MetricsHub
+from repro.core.tasks import Chunk, Task
+from repro.crypto.digest import digest
+from repro.net.links import Network
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+
+__all__ = ["InputProcess", "OutputProcess"]
+
+
+class InputProcess(SimProcess):
+    """Streams a task workload into the coordinator.
+
+    ``workload`` is a lazy iterator of ``(submit_time, Task)`` pairs in
+    non-decreasing time order; tasks are scheduled one ahead so huge
+    workloads never materialize in memory.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: str,
+        net: Network,
+        topo: Topology,
+        metrics: MetricsHub,
+        workload: Iterator[tuple[float, Task]],
+    ) -> None:
+        super().__init__(sim, pid, cores=2)
+        self.net = net
+        self.topo = topo
+        self.metrics = metrics
+        self._workload = iter(workload)
+        self.client = ConsensusClient(self, net, topo.coordinator)
+        self.tasks_submitted = 0
+
+    def start(self) -> None:
+        """Begin streaming tasks (call once after deployment wiring)."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        try:
+            at, task = next(self._workload)
+        except StopIteration:
+            return
+        delay = max(0.0, at - self.sim.now)
+        self.sim.schedule(delay, self._submit, task)
+
+    def _submit(self, task: Task) -> None:
+        if not self.crashed:
+            stamped = Task(
+                task_id=task.task_id,
+                opcode=task.opcode,
+                update_payload=task.update_payload,
+                compute_payload=task.compute_payload,
+                timestamp=task.timestamp,
+                submitted_at=self.sim.now,
+                size_bytes=task.size_bytes,
+            )
+            self.metrics.on_task_submitted(task.task_id, self.sim.now)
+            self.client.submit(stamped, size=task.size_bytes)
+            self.tasks_submitted += 1
+        self._schedule_next()
+
+
+@dataclass
+class _ChunkSlot:
+    endorsements: dict[bytes, set[str]] = field(default_factory=dict)
+    data: dict[bytes, Chunk] = field(default_factory=dict)
+    accepted: bool = False
+    reports: int = 0
+
+
+@dataclass
+class _OutTask:
+    slots: dict[int, _ChunkSlot] = field(default_factory=dict)
+    final_index: Optional[int] = None
+    accepted: set[int] = field(default_factory=set)
+    vp_index: int = -1
+    completed: bool = False
+    neg_terms: int = 0
+
+
+class OutputProcess(SimProcess):
+    """Receives verified chunks; the downstream consumer of Fig 3."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: str,
+        net: Network,
+        topo: Topology,
+        config: OsirisConfig,
+        metrics: MetricsHub,
+        fault: Optional[OutputFault] = None,
+    ) -> None:
+        super().__init__(sim, pid, cores=2)
+        self.net = net
+        self.topo = topo
+        self.config = config
+        self.metrics = metrics
+        self.fault = fault
+        self._tasks: dict[str, _OutTask] = {}
+        self.chunks_accepted = 0
+        self.records_accepted = 0
+
+    # ------------------------------------------------------------- receive
+    def _slot(self, msg) -> Optional[tuple[_OutTask, _ChunkSlot]]:
+        cluster = self.topo.cluster_of(msg.sender)
+        if cluster is None or cluster.index != msg.vp_index:
+            return None
+        ot = self._tasks.setdefault(msg.task_id, _OutTask())
+        if ot.completed:
+            return None
+        if ot.vp_index < 0:
+            ot.vp_index = msg.vp_index
+        elif ot.vp_index != msg.vp_index:
+            return None  # a task's output comes from one sub-cluster
+        if msg.final:
+            ot.final_index = msg.index
+        return ot, ot.slots.setdefault(msg.index, _ChunkSlot())
+
+    def on_VerifiedChunkMsg(self, msg: VerifiedChunkMsg) -> None:
+        got = self._slot(msg)
+        if got is None or msg.chunk is None:
+            return
+        ot, slot = got
+        actual = digest(msg.chunk)
+        slot.data[actual] = msg.chunk
+        slot.endorsements.setdefault(msg.digest, set()).add(msg.sender)
+        self._try_accept(msg.task_id, ot, msg.index, slot)
+
+    def on_VerifiedDigestMsg(self, msg: VerifiedDigestMsg) -> None:
+        got = self._slot(msg)
+        if got is None:
+            return
+        ot, slot = got
+        slot.endorsements.setdefault(msg.digest, set()).add(msg.sender)
+        self._try_accept(msg.task_id, ot, msg.index, slot)
+
+    # -------------------------------------------------------------- accept
+    def _try_accept(
+        self, task_id: str, ot: _OutTask, index: int, slot: _ChunkSlot
+    ) -> None:
+        if slot.accepted:
+            return
+        quorum = self.topo.cluster(ot.vp_index).quorum
+        for sigma, endorsers in slot.endorsements.items():
+            if len(endorsers) >= quorum and sigma in slot.data:
+                chunk = slot.data[sigma]
+                slot.accepted = True
+                ot.accepted.add(index)
+                self.cancel_timer(f"op-wait-{task_id}-{index}")
+                self.chunks_accepted += 1
+                self.records_accepted += len(chunk.records)
+                self.metrics.on_records_accepted(len(chunk.records), self.sim.now)
+                self._check_complete(task_id, ot)
+                return
+        # not acceptable yet: something is late or someone is lying
+        self._arm_wait_timer(task_id, index)
+
+    def _check_complete(self, task_id: str, ot: _OutTask) -> None:
+        if ot.completed or ot.final_index is None:
+            return
+        if all(i in ot.accepted for i in range(ot.final_index + 1)):
+            ot.completed = True
+            for index in list(ot.slots):
+                self.cancel_timer(f"op-wait-{task_id}-{index}")
+            self.metrics.on_task_output_complete(task_id, self.sim.now)
+
+    # ----------------------------------------------------------- timeouts
+    def _arm_wait_timer(self, task_id: str, index: int) -> None:
+        name = f"op-wait-{task_id}-{index}"
+        if self.timer_armed(name):
+            return
+        ot = self._tasks[task_id]
+        slot = ot.slots[index]
+        timeout = self.config.op_timeout * (2 ** min(slot.reports, 8))
+        self.set_timer(name, timeout, self._on_wait_timeout, task_id, index)
+
+    def _on_wait_timeout(self, task_id: str, index: int) -> None:
+        ot = self._tasks.get(task_id)
+        if ot is None or ot.completed:
+            return
+        slot = ot.slots.get(index)
+        if slot is None or slot.accepted:
+            return
+        quorum = self.topo.cluster(ot.vp_index).quorum
+        members = self.topo.cluster(ot.vp_index).members
+        best = max(slot.endorsements.items(), key=lambda kv: len(kv[1]))
+        sigma, endorsers = best
+        slot.reports += 1
+        if len(endorsers) >= quorum:
+            # enough digests, no data: the leader is withholding C
+            report = NegligentLeaderReport(
+                vp_index=ot.vp_index,
+                term=ot.neg_terms,
+                task_id=task_id,
+                index=index,
+            )
+            ot.neg_terms += 1
+            self.net.multicast(self.pid, members, report)
+        else:
+            # at least one but fewer than f+1 digests: equivocation path
+            report = EquivocationReport(
+                vp_index=ot.vp_index,
+                task_id=task_id,
+                index=index,
+                digest=sigma,
+            )
+            self.net.multicast(self.pid, members, report)
+        self._arm_wait_timer(task_id, index)  # exponential backoff re-arm
+
+    # ------------------------------------------------------- Byzantine OP
+    def start_spurious_reports(self, vp_index: int, period: float = 0.2) -> None:
+        """Fault injection: flood a sub-cluster with fake negligence
+        reports (verifiers must eventually ignore this OP)."""
+        if self.fault is None or not self.fault.spurious_reports:
+            return
+        term = [0]
+
+        def fire() -> None:
+            if self.crashed:
+                return
+            report = NegligentLeaderReport(
+                vp_index=vp_index,
+                term=term[0],
+                task_id="bogus-task",
+                index=0,
+            )
+            term[0] += 1
+            self.net.multicast(
+                self.pid, self.topo.cluster(vp_index).members, report
+            )
+            self.set_timer("spurious", period, fire)
+
+        self.set_timer("spurious", period, fire)

@@ -1,0 +1,155 @@
+"""Cluster-wide metrics collection.
+
+One :class:`MetricsHub` per deployment records everything the paper's
+evaluation section measures: output-record throughput (records/sec over a
+measurement window, Fig 5/6/7), task latency (Fig 6e), per-second
+throughput traces (Figs 6d, 7a), OP-link bandwidth (Sec 7.2), executor
+CPU utilization (Sec 7.2), detected faults, reassignments and
+role-switch events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BenchmarkError
+
+__all__ = ["MetricsHub"]
+
+
+class MetricsHub:
+    """Accumulates deployment-wide observations keyed by simulated time."""
+
+    def __init__(self, bin_seconds: float = 1.0) -> None:
+        if bin_seconds <= 0:
+            raise BenchmarkError("bin_seconds must be positive")
+        self.bin_seconds = bin_seconds
+        self.records_accepted = 0
+        self._record_bins: dict[int, int] = {}
+        self._accept_events: list[tuple[float, int]] = []
+        self._task_submit: dict[str, float] = {}
+        self.task_latencies: list[float] = []
+        self.tasks_completed = 0
+        self._completed_ids: set[str] = set()
+        self.completion_times: list[float] = []
+        self.faults_detected: list[tuple[float, str, str]] = []
+        self.reassignments: list[tuple[float, str, int]] = []
+        self.role_switches: list[tuple[float, int, bool]] = []
+        self.fallbacks: list[tuple[float, str]] = []
+        self.leader_elections: list[tuple[float, int, int]] = []
+        self.equivocation_reports: list[tuple[float, str, int]] = []
+
+    # --------------------------------------------------------------- events
+    def on_task_submitted(self, task_id: str, time: float) -> None:
+        """IP handed a task to the coordinator."""
+        self._task_submit.setdefault(task_id, time)
+
+    def on_records_accepted(self, count: int, time: float) -> None:
+        """OP accepted ``count`` verified records at ``time``."""
+        self.records_accepted += count
+        idx = int(time // self.bin_seconds)
+        self._record_bins[idx] = self._record_bins.get(idx, 0) + count
+        self._accept_events.append((time, count))
+
+    def on_task_output_complete(self, task_id: str, time: float) -> None:
+        """OP saw the final verified chunk of a task.  Deduplicated by
+        task id: with multiple output processes, the first acceptance
+        defines completion (records_accepted, by contrast, sums over all
+        OPs since each received its own copy)."""
+        if task_id in self._completed_ids:
+            return
+        self._completed_ids.add(task_id)
+        self.tasks_completed += 1
+        self.completion_times.append(time)
+        start = self._task_submit.get(task_id)
+        if start is not None:
+            self.task_latencies.append(time - start)
+
+    def on_fault_detected(self, time: float, kind: str, culprit: str) -> None:
+        """A verifier proved a process faulty (``kind`` names the check)."""
+        self.faults_detected.append((time, kind, culprit))
+
+    def on_reassignment(self, time: float, task_id: str, attempt: int) -> None:
+        """VP_CO speculatively reassigned a task."""
+        self.reassignments.append((time, task_id, attempt))
+
+    def on_role_switch(self, time: float, vp_index: int, to_executor: bool) -> None:
+        """A verifier sub-cluster switched between roles."""
+        self.role_switches.append((time, vp_index, to_executor))
+
+    def on_fallback(self, time: float, task_id: str) -> None:
+        """A task fell back to execution by a verifier sub-cluster."""
+        self.fallbacks.append((time, task_id))
+
+    def on_leader_election(self, time: float, vp_index: int, term: int) -> None:
+        """A sub-cluster elected a new leader after a negligence report."""
+        self.leader_elections.append((time, vp_index, term))
+
+    def on_equivocation_report(self, time: float, task_id: str, index: int) -> None:
+        """OP reported a partially-delivered chunk digest set."""
+        self.equivocation_reports.append((time, task_id, index))
+
+    # -------------------------------------------------------------- queries
+    def throughput(self, start: float, end: float) -> float:
+        """Mean accepted records/second over [start, end)."""
+        if end <= start:
+            raise BenchmarkError("empty throughput window")
+        lo = int(start // self.bin_seconds)
+        hi = int(math.ceil(end / self.bin_seconds))
+        total = sum(self._record_bins.get(i, 0) for i in range(lo, hi))
+        return total / (end - start)
+
+    def throughput_series(self) -> list[tuple[float, float]]:
+        """Per-bin (time, records/sec) trace, sorted by time."""
+        return [
+            (idx * self.bin_seconds, count / self.bin_seconds)
+            for idx, count in sorted(self._record_bins.items())
+        ]
+
+    def time_to_fraction(self, frac: float) -> float:
+        """Exact earliest time by which ``frac`` of all accepted records
+        had arrived.  Basis of tail-insensitive throughput: burst
+        workloads with heavy-tailed task costs should not have their
+        capacity measurement dominated by the single slowest task."""
+        if not 0 < frac <= 1:
+            raise BenchmarkError("frac must be in (0, 1]")
+        target = frac * self.records_accepted
+        if target <= 0:
+            return 0.0
+        acc = 0
+        for time, count in self._accept_events:  # already time-ordered
+            acc += count
+            if acc >= target:
+                return time
+        return self._accept_events[-1][0]
+
+    def p90_throughput(self) -> float:
+        """0.9 × records / time-to-90% — the headline throughput metric."""
+        t = self.time_to_fraction(0.9)
+        if t <= 0:
+            return 0.0
+        return 0.9 * self.records_accepted / t
+
+    def peak_throughput(self) -> float:
+        """Highest per-bin records/sec observed."""
+        if not self._record_bins:
+            return 0.0
+        return max(self._record_bins.values()) / self.bin_seconds
+
+    def mean_latency(self) -> float:
+        """Mean task latency over completed tasks (0 when none)."""
+        if not self.task_latencies:
+            return 0.0
+        return sum(self.task_latencies) / len(self.task_latencies)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in [0, 100] (0 when no tasks completed)."""
+        if not 0 <= q <= 100:
+            raise BenchmarkError("percentile must be in [0, 100]")
+        if not self.task_latencies:
+            return 0.0
+        data = sorted(self.task_latencies)
+        idx = min(len(data) - 1, int(round(q / 100 * (len(data) - 1))))
+        return data[idx]

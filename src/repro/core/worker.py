@@ -1,0 +1,89 @@
+"""Shared worker behaviour: replicated state maintenance.
+
+Every process in WP (executors and verifiers alike) maintains a full
+replica of the application state (Sec 2, "the application state is
+colocated with WP").  State updates are broadcast by each VP_CO member
+after linearization; a replica applies an update only after receiving
+f+1 signed copies with identical (timestamp, task id) from *distinct*
+coordinator members — a Byzantine minority of VP_CO therefore cannot
+poison replicas, and duplicate copies are idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.api import VerifiableApplication
+from repro.core.config import OsirisConfig
+from repro.core.messages import StateUpdateMsg
+from repro.core.metrics import MetricsHub
+from repro.core.tasks import Task
+from repro.crypto.signatures import KeyRegistry, Signer, verify_cost
+from repro.net.links import Network
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+from repro.store.mvstore import MultiVersionStore
+
+__all__ = ["WorkerBase"]
+
+
+class WorkerBase(SimProcess):
+    """Base for all WP processes: hosts the multiversioned state replica."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: str,
+        net: Network,
+        topo: Topology,
+        registry: KeyRegistry,
+        signer: Signer,
+        app: VerifiableApplication,
+        config: OsirisConfig,
+        metrics: MetricsHub,
+    ) -> None:
+        super().__init__(sim, pid, cores=config.cores_per_node)
+        self.net = net
+        self.topo = topo
+        self.registry = registry
+        self.signer = signer
+        self.app = app
+        self.config = config
+        self.metrics = metrics
+        self.store = MultiVersionStore(app.initial_state())
+        self._update_votes: dict[tuple[str, int], set[str]] = {}
+        self._applied_updates: set[tuple[str, int]] = set()
+
+    # -------------------------------------------------------- state updates
+    def on_StateUpdateMsg(self, msg: StateUpdateMsg) -> None:
+        """Count f+1 coordinator copies, then apply in timestamp order."""
+        task = msg.task
+        if task is None or task.timestamp < 0:
+            return
+        if msg.sender not in self.topo.coordinator.members:
+            return
+        if msg.sig is None or msg.sig.signer != msg.sender:
+            return
+        if not self.registry.verify(msg.signed_payload(), msg.sig):
+            return
+        key = (task.task_id, task.timestamp)
+        if key in self._applied_updates:
+            return
+        votes = self._update_votes.setdefault(key, set())
+        votes.add(msg.sender)
+        if len(votes) >= self.topo.coordinator.quorum:
+            self._applied_updates.add(key)
+            del self._update_votes[key]
+            self.apply_update_locally(task)
+
+    def apply_update_locally(self, task: Task) -> None:
+        """Apply a trusted, linearized state update to the local replica.
+
+        The coordinator members call this directly for updates they
+        committed themselves (their own consensus output is trusted).
+        """
+        cost = self.store.submit(task.timestamp, task.update_payload)
+        cost += verify_cost(1)
+        if cost > 0:
+            self.run_job(cost, lambda: None)

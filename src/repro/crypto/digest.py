@@ -1,0 +1,102 @@
+"""Cryptographic digests over canonically-serialized Python values.
+
+Chunk digests (``σ(C)`` in the paper) and signature payloads both need a
+stable byte representation of protocol objects.  We canonicalize with a
+small recursive encoder rather than ``pickle`` because pickle output is
+not guaranteed stable across interpreter runs, and digest stability is a
+correctness requirement here: an output process accepts a chunk only when
+f+1 verifiers produced *matching* digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+__all__ = ["canonical_bytes", "digest", "digest_hex"]
+
+_FLOAT = struct.Struct("!d")
+_INT = struct.Struct("!q")
+
+
+def _encode(value: Any, out: list[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, (int, np.integer)):
+        v = int(value)
+        if -(2**63) <= v < 2**63:
+            out.append(b"i")
+            out.append(_INT.pack(v))
+        else:
+            enc = str(v).encode()
+            out.append(b"I" + _INT.pack(len(enc)))
+            out.append(enc)
+    elif isinstance(value, (float, np.floating)):
+        out.append(b"f")
+        out.append(_FLOAT.pack(float(value)))
+    elif isinstance(value, str):
+        enc = value.encode("utf-8")
+        out.append(b"s" + _INT.pack(len(enc)))
+        out.append(enc)
+    elif isinstance(value, bytes):
+        out.append(b"b" + _INT.pack(len(value)))
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l" + _INT.pack(len(value)))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:
+            raise CryptoError(
+                "dict keys must be orderable for canonical encoding"
+            ) from exc
+        out.append(b"d" + _INT.pack(len(items)))
+        for k, v in items:
+            _encode(k, out)
+            _encode(v, out)
+    elif isinstance(value, frozenset):
+        _encode(sorted(value), out)
+        out.append(b"S")
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        out.append(b"a")
+        _encode(str(arr.dtype), out)
+        _encode(list(arr.shape), out)
+        out.append(arr.tobytes())
+    elif hasattr(value, "canonical"):
+        # Protocol objects expose `canonical()` returning plain containers.
+        out.append(b"o")
+        _encode(type(value).__name__, out)
+        _encode(value.canonical(), out)
+    else:
+        raise CryptoError(
+            f"cannot canonically encode {type(value).__name__}: {value!r}"
+        )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialize a value to its canonical byte form (stable across runs)."""
+    out: list[bytes] = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def digest(value: Any) -> bytes:
+    """SHA-256 digest of the canonical serialization of ``value``."""
+    return hashlib.sha256(canonical_bytes(value)).digest()
+
+
+def digest_hex(value: Any) -> str:
+    """Hex form of :func:`digest`, convenient for logs and assertions."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()

@@ -1,0 +1,19 @@
+"""Simulated network substrate: reliable FIFO links, NIC bandwidth model,
+partial synchrony, non-equivocating multicast, topology descriptions."""
+
+from repro.net.links import DEFAULT_BANDWIDTH, ByteMeter, Network, Nic
+from repro.net.message import HEADER_BYTES, Message
+from repro.net.partial_synchrony import SynchronyModel
+from repro.net.topology import SubCluster, Topology
+
+__all__ = [
+    "ByteMeter",
+    "DEFAULT_BANDWIDTH",
+    "HEADER_BYTES",
+    "Message",
+    "Network",
+    "Nic",
+    "SubCluster",
+    "SynchronyModel",
+    "Topology",
+]

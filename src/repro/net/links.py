@@ -1,0 +1,221 @@
+"""Reliable FIFO links with NIC bandwidth accounting.
+
+Models the paper's RDMA RC transport: messages between correct processes
+are never dropped, duplicated or reordered (Sec 3, "Communication
+Primitives").  Each node owns a NIC with finite full-duplex bandwidth;
+a message occupies the sender's egress and the receiver's ingress for
+``size / bandwidth`` seconds, then propagation latency from the
+:class:`~repro.net.partial_synchrony.SynchronyModel` applies.
+
+The ingress serialization is what reproduces the paper's Sec 7.2 finding:
+the only bandwidth bottleneck is the *link to OP where records converge* —
+executor→verifier replication is spread across many NICs.
+Per-node byte meters feed the bandwidth-profiling bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+from repro.net.partial_synchrony import SynchronyModel
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = ["Network", "Nic", "ByteMeter"]
+
+#: Default NIC bandwidth: the paper's 100 Gbps Infiniband, in bytes/second.
+DEFAULT_BANDWIDTH = 100e9 / 8
+
+
+class ByteMeter:
+    """Per-second histogram of bytes, for bandwidth time-series reporting."""
+
+    def __init__(self, bin_seconds: float = 1.0) -> None:
+        if bin_seconds <= 0:
+            raise NetworkError("bin_seconds must be positive")
+        self.bin_seconds = bin_seconds
+        self.total = 0
+        self._bins: dict[int, int] = {}
+
+    def add(self, time: float, nbytes: int) -> None:
+        """Record ``nbytes`` transferred at simulated ``time``."""
+        self.total += nbytes
+        idx = int(time // self.bin_seconds)
+        self._bins[idx] = self._bins.get(idx, 0) + nbytes
+
+    def rate_series(self) -> list[tuple[float, float]]:
+        """(bin_start_time, bytes/sec) pairs, sorted by time."""
+        return [
+            (idx * self.bin_seconds, count / self.bin_seconds)
+            for idx, count in sorted(self._bins.items())
+        ]
+
+    def mean_rate(self, start: float, end: float) -> float:
+        """Average bytes/sec over [start, end)."""
+        if end <= start:
+            raise NetworkError("empty meter window")
+        lo = int(start // self.bin_seconds)
+        hi = int(math.ceil(end / self.bin_seconds))
+        total = sum(self._bins.get(i, 0) for i in range(lo, hi))
+        return total / (end - start)
+
+
+@dataclass
+class Nic:
+    """Per-node NIC state: next-free times and traffic meters."""
+
+    bandwidth: float
+    egress_free: float = 0.0
+    ingress_free: float = 0.0
+    egress_meter: ByteMeter = field(default_factory=ByteMeter)
+    ingress_meter: ByteMeter = field(default_factory=ByteMeter)
+
+
+class Network:
+    """The simulated cluster network.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    synchrony:
+        Latency/GST model.
+    bandwidth:
+        Per-NIC bandwidth in bytes/second (full duplex).
+    neq_latency_factor:
+        Multiplier on propagation latency for the non-equivocating
+        multicast primitive — it is "relatively heavyweight" (Sec 3) since
+        implementations go through RDMA reliable broadcast or trusted
+        hardware.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        synchrony: Optional[SynchronyModel] = None,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        neq_latency_factor: float = 3.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self.sim = sim
+        self.synchrony = synchrony or SynchronyModel()
+        self.bandwidth = bandwidth
+        self.neq_latency_factor = neq_latency_factor
+        self._procs: dict[str, "SimProcess"] = {}
+        self._nics: dict[str, Nic] = {}
+        self._fifo_tail: dict[tuple[str, str], float] = {}
+        self._rng = sim.rng("network")
+        self.messages_sent = 0
+        self.neq_multicasts = 0
+
+    # ------------------------------------------------------------- topology
+    def register(self, proc: "SimProcess") -> None:
+        """Attach a process to the network (one NIC per process id)."""
+        if proc.pid in self._procs:
+            raise NetworkError(f"duplicate process id {proc.pid!r}")
+        self._procs[proc.pid] = proc
+        self._nics[proc.pid] = Nic(self.bandwidth)
+
+    def process(self, pid: str) -> "SimProcess":
+        """Look up a registered process."""
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise NetworkError(f"unknown process {pid!r}") from None
+
+    def nic(self, pid: str) -> Nic:
+        """NIC state (for profiling/bench assertions)."""
+        try:
+            return self._nics[pid]
+        except KeyError:
+            raise NetworkError(f"unknown process {pid!r}") from None
+
+    @property
+    def pids(self) -> list[str]:
+        """All registered process ids, in registration order."""
+        return list(self._procs)
+
+    # ----------------------------------------------------------------- send
+    def send(self, src: str, dst: str, msg: Message) -> float:
+        """Send ``msg`` from ``src`` to ``dst``; returns the delivery time.
+
+        Reliable FIFO: per-(src,dst) delivery order matches send order.
+        The message object is stamped with ``sender=src`` (link-level
+        authentication); handlers receive the same object — the simulation
+        trusts protocol code not to mutate received messages, which the
+        test-suite enforces for the core protocols by checking digests.
+        """
+        if src not in self._nics:
+            raise NetworkError(f"unknown sender {src!r}")
+        dst_proc = self.process(dst)
+        msg.sender = src
+        size = msg.wire_size()
+        now = self.sim.now
+
+        src_nic = self._nics[src]
+        dst_nic = self._nics[dst]
+        tx = size / self.bandwidth
+
+        egress_start = max(now, src_nic.egress_free)
+        src_nic.egress_free = egress_start + tx
+        src_nic.egress_meter.add(egress_start, size)
+
+        latency = self.synchrony.sample(now, self._rng)
+        arrive = src_nic.egress_free + latency * self._latency_factor(msg)
+
+        ingress_start = max(arrive, dst_nic.ingress_free)
+        dst_nic.ingress_free = ingress_start + tx
+        dst_nic.ingress_meter.add(ingress_start, size)
+
+        deliver_at = dst_nic.ingress_free
+        key = (src, dst)
+        deliver_at = max(deliver_at, self._fifo_tail.get(key, 0.0))
+        self._fifo_tail[key] = deliver_at
+
+        self.messages_sent += 1
+        self.sim.schedule_at(deliver_at, dst_proc.deliver, msg)
+        return deliver_at
+
+    def _latency_factor(self, msg: Message) -> float:
+        return self.neq_latency_factor if getattr(msg, "_neq", False) else 1.0
+
+    # ------------------------------------------------------------ multicast
+    def multicast(self, src: str, dsts: Iterable[str], msg: Message) -> None:
+        """Plain multicast: independent sends of the same message object.
+
+        NOTE: a Byzantine sender equivocates by *not* using this helper and
+        calling :meth:`send` with different contents per destination; the
+        substrate cannot prevent that — the protocols must (Sec 5.2.2,
+        "Limited Equivocation").
+        """
+        for dst in dsts:
+            self.send(src, dst, msg)
+
+    def neq_multicast(self, src: str, group: Iterable[str], msg: Message) -> None:
+        """Non-equivocating multicast (Mu-style reliable broadcast [3, 4]).
+
+        Guarantees of the primitive, enforced by construction:
+
+        * **No equivocation** — one payload object goes to every group
+          member in a single call; there is no per-destination variant.
+        * **Atomicity to correct receivers** — the substrate performs all
+          the sends; a faulty *sender* can only choose not to invoke the
+          primitive at all (an omission, handled by timeouts).
+
+        It is heavyweight: propagation latency is multiplied by
+        ``neq_latency_factor``.
+        """
+        group = list(group)
+        if not group:
+            raise NetworkError("neq_multicast to empty group")
+        self.neq_multicasts += 1
+        msg._neq = True  # type: ignore[attr-defined]
+        for dst in group:
+            self.send(src, dst, msg)

@@ -1,0 +1,42 @@
+"""Message base types for the simulated network.
+
+All protocol messages derive from :class:`Message`.  Two things matter to
+the substrate: the *wire size* (drives the bandwidth model — record chunks
+dominate, matching the paper's communication-replication tradeoff) and the
+*sender* field stamped by the network (the transport authenticates point-
+to-point links, like RDMA RC queue pairs; impersonation therefore requires
+forging signatures, which the crypto substrate rules out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Message", "HEADER_BYTES"]
+
+#: Fixed per-message overhead (headers, framing) in bytes.
+HEADER_BYTES = 128
+
+
+@dataclass
+class Message:
+    """Base class for everything sent over the simulated network.
+
+    Attributes
+    ----------
+    sender:
+        Stamped by the network at send time with the *actual* transmitting
+        process id.  Handlers trust this field (link-level authentication),
+        but never trust message *content* from untrusted roles.
+    """
+
+    sender: Optional[str] = field(default=None, init=False, compare=False)
+
+    def payload_bytes(self) -> int:
+        """Size of the payload; subclasses carrying bulk data override."""
+        return 0
+
+    def wire_size(self) -> int:
+        """Total bytes on the wire (payload + fixed header)."""
+        return self.payload_bytes() + HEADER_BYTES

@@ -1,0 +1,13 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package is the stand-in for the paper's 40-node Docker/Infiniband
+testbed: simulated time, simulated CPUs, and (via :mod:`repro.net`)
+simulated links let the protocols run unmodified while every benchmark
+remains laptop-sized and exactly reproducible.
+"""
+
+from repro.sim.cpu import CpuBank
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.process import SimProcess
+
+__all__ = ["CpuBank", "EventHandle", "Simulator", "SimProcess"]

@@ -1,0 +1,110 @@
+"""Base class for simulated processes.
+
+Every actor in the system — input processes, executors, verifiers, output
+processes, baseline workers — derives from :class:`SimProcess`.  A process
+owns a CPU bank, receives messages dispatched by type, and can arm
+cancellable timers (the building block for reassignment timeouts,
+negligent-leader timeouts, and role-switching control loops).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuBank
+from repro.sim.kernel import EventHandle, Simulator
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """A named simulated process with CPU and message dispatch.
+
+    Subclasses implement handlers named ``on_<MessageType>`` (matching the
+    message class name, see :mod:`repro.net.message`); :meth:`deliver`
+    routes incoming messages to them.  Unknown message types are counted
+    and dropped — a correct process must tolerate garbage from Byzantine
+    peers, so an unexpected type is never an error.
+    """
+
+    def __init__(self, sim: Simulator, pid: str, cores: int = 7) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.cpu = CpuBank(sim, cores)
+        #: control-plane core: the paper dedicates one core per node to
+        #: "network operations" (Sec 7); protocol-critical work (consensus
+        #: signing, acks) runs here so it never queues behind long
+        #: application jobs on the worker cores.
+        self.ctrl = CpuBank(sim, 1)
+        self.crashed = False
+        self.unhandled_messages = 0
+        self._timers: dict[str, EventHandle] = {}
+
+    # ------------------------------------------------------------- messaging
+    def deliver(self, msg: Any) -> None:
+        """Entry point the network calls when a message arrives."""
+        if self.crashed:
+            return
+        handler = getattr(self, "on_" + type(msg).__name__, None)
+        if handler is None:
+            self.unhandled_messages += 1
+            return
+        handler(msg)
+
+    # ---------------------------------------------------------------- timers
+    def set_timer(
+        self, name: str, delay: float, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Arm (or re-arm) a named timer.  Re-arming cancels the old one."""
+        self.cancel_timer(name)
+        guarded = self._guard(fn)
+        handle = self.sim.schedule(delay, guarded, *args)
+        self._timers[name] = handle
+        return handle
+
+    def cancel_timer(self, name: str) -> None:
+        """Cancel a named timer if armed; no-op otherwise."""
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def timer_armed(self, name: str) -> bool:
+        """Whether a live timer with this name exists."""
+        handle = self._timers.get(name)
+        return handle is not None and handle.alive
+
+    def _guard(self, fn: Callable[..., None]) -> Callable[..., None]:
+        def run(*args: Any) -> None:
+            if not self.crashed:
+                fn(*args)
+
+        return run
+
+    # ------------------------------------------------------------------- cpu
+    def run_job(
+        self, cost: float, on_done: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Submit application CPU work; completion callback is crash-guarded."""
+        return self.cpu.submit(cost, self._guard(on_done), *args)
+
+    def run_ctrl_job(
+        self, cost: float, on_done: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Submit protocol-plane work to the dedicated control core."""
+        return self.ctrl.submit(cost, self._guard(on_done), *args)
+
+    # ----------------------------------------------------------------- crash
+    def crash(self) -> None:
+        """Silence the process: drops all future messages, timers and jobs.
+
+        Crash is one point in the Byzantine behaviour space; richer faults
+        are injected via the strategies in :mod:`repro.core.faults`.
+        """
+        self.crashed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.pid}>"

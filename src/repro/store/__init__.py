@@ -1,0 +1,12 @@
+"""Multiversioned state management (the paper's learner-style data store).
+
+All worker processes colocate a full replica of the application state
+(Sec 2, "State Management"); VP_CO linearizes updates and broadcasts them,
+and each replica applies them in timestamp order via
+:class:`MultiVersionStore`.
+"""
+
+from repro.store.mvstore import MultiVersionStore
+from repro.store.state_machine import KVState, VersionedState
+
+__all__ = ["KVState", "MultiVersionStore", "VersionedState"]

@@ -1,0 +1,135 @@
+"""Application state-machine interface for the multiversioned data store.
+
+The paper models applications as ⟨U, A⟩ pairs over a global state (Sec
+4.1); state management uses multiversioning so concurrent computations
+read "well-defined deterministic snapshots" (Sec 5).  The store layer is
+generic: applications provide a :class:`VersionedState` whose ``apply``
+implements U and whose ``snapshot`` returns a read view pinned to a
+logical timestamp.  Versioning strategy (copy-on-write, delta logs...) is
+the application's choice; :class:`KVState` is the reference
+implementation used by tests and the write-only Fig 5a workload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Any
+
+from repro.errors import StoreError
+
+__all__ = ["VersionedState", "KVState"]
+
+
+class VersionedState(ABC):
+    """State machine with timestamped versions and snapshot reads."""
+
+    @abstractmethod
+    def apply(self, ts: int, payload: Any) -> float:
+        """Apply one state update (U), advancing to version ``ts``.
+
+        Returns the simulated CPU cost of the update in seconds; the
+        hosting process charges it to its CPU bank.  ``ts`` values arrive
+        strictly increasing (the store enforces ordering).
+        """
+
+    @abstractmethod
+    def snapshot(self, ts: int) -> Any:
+        """Return a read view of the state as of version ``ts``.
+
+        The view must be stable: later ``apply`` calls must not change
+        what the view observes (multiversion isolation).
+        """
+
+
+class KVState(VersionedState):
+    """Multiversioned key-value map: the classic learner-style store.
+
+    Every key keeps its full version history as parallel (ts, value)
+    lists; a snapshot resolves reads by binary search.  Updates are
+    ``("put", key, value)`` or ``("del", key)`` tuples, or a list of such
+    tuples for batched writes.
+    """
+
+    _TOMBSTONE = object()
+
+    def __init__(self, update_cost: float = 2e-6) -> None:
+        self._history: dict[Any, tuple[list[int], list[Any]]] = {}
+        self._version = -1
+        self.update_cost = update_cost
+        self.updates_applied = 0
+
+    @property
+    def version(self) -> int:
+        """Highest applied timestamp (-1 when pristine)."""
+        return self._version
+
+    def apply(self, ts: int, payload: Any) -> float:
+        if ts <= self._version:
+            raise StoreError(
+                f"non-monotonic apply: ts={ts} <= version={self._version}"
+            )
+        ops = payload if isinstance(payload, list) else [payload]
+        for op in ops:
+            if op[0] == "put":
+                _, key, value = op
+                tss, vals = self._history.setdefault(key, ([], []))
+                tss.append(ts)
+                vals.append(value)
+            elif op[0] == "del":
+                _, key = op
+                tss, vals = self._history.setdefault(key, ([], []))
+                tss.append(ts)
+                vals.append(self._TOMBSTONE)
+            else:
+                raise StoreError(f"unknown KV op {op[0]!r}")
+        self._version = ts
+        self.updates_applied += len(ops)
+        return self.update_cost * len(ops)
+
+    def snapshot(self, ts: int) -> "KVSnapshot":
+        return KVSnapshot(self, ts)
+
+    def compact(self, min_ts: int) -> int:
+        """Drop key versions older than ``min_ts`` (snapshots at or above
+        ``min_ts`` stay exact).  Returns versions discarded."""
+        dropped = 0
+        for tss, vals in self._history.values():
+            idx = bisect_right(tss, min_ts) - 1
+            if idx > 0:
+                del tss[:idx]
+                del vals[:idx]
+                dropped += idx
+        return dropped
+
+    def version_count(self) -> int:
+        """Total retained key versions."""
+        return sum(len(tss) for tss, _ in self._history.values())
+
+    def _get_at(self, key: Any, ts: int) -> Any:
+        entry = self._history.get(key)
+        if entry is None:
+            return None
+        tss, vals = entry
+        idx = bisect_right(tss, ts) - 1
+        if idx < 0:
+            return None
+        value = vals[idx]
+        return None if value is self._TOMBSTONE else value
+
+
+class KVSnapshot:
+    """Read view of a :class:`KVState` pinned at a timestamp."""
+
+    __slots__ = ("_state", "ts")
+
+    def __init__(self, state: KVState, ts: int) -> None:
+        self._state = state
+        self.ts = ts
+
+    def get(self, key: Any) -> Any:
+        """Value of ``key`` as of this snapshot's timestamp (None if absent)."""
+        return self._state._get_at(key, self.ts)
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key) is not None

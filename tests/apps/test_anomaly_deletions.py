@@ -1,0 +1,88 @@
+"""Anomaly Detection with link deletions: snapshot correctness for
+matching over shrinking graphs and delete-task handling in the cluster."""
+
+import pytest
+
+from repro.apps.anomaly import (
+    AnomalyApp,
+    EdgeAnchoredMatcher,
+    MultiVersionGraph,
+    clique,
+    make_link_task,
+    power_law_graph,
+)
+from repro.core import Opcode, build_osiris_cluster
+from tests.core.helpers import fast_config
+
+
+class TestMatcherUnderDeletions:
+    def test_deleted_edge_produces_no_matches(self):
+        g = MultiVersionGraph([(0, 1), (1, 2), (0, 2)])
+        g.apply(1, ("del", 0, 1))
+        m = EdgeAnchoredMatcher(clique(3))
+        assert m.enumerate(g.snapshot(1), 0, 1).matches == ()
+        # …but the pre-deletion snapshot still matches
+        assert len(m.enumerate(g.snapshot(0), 0, 1).matches) == 1
+
+    def test_deletion_invalidates_neighbor_matches(self):
+        # square with both diagonals: two triangles share edge (0, 2)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]
+        g = MultiVersionGraph(edges)
+        m = EdgeAnchoredMatcher(clique(3))
+        before = len(m.enumerate(g.snapshot(0), 0, 2).matches)
+        g.apply(1, ("del", 1, 2))
+        after = len(m.enumerate(g.snapshot(1), 0, 2).matches)
+        assert before == 2 and after == 1
+
+    def test_is_instance_respects_version(self):
+        g = MultiVersionGraph([(0, 1), (1, 2), (0, 2)])
+        m = EdgeAnchoredMatcher(clique(3))
+        g.apply(1, ("del", 1, 2))
+        assert m.is_instance(g.snapshot(0), (0, 1, 2))
+        assert not m.is_instance(g.snapshot(1), (0, 1, 2))
+
+
+class TestDeleteTasksOnCluster:
+    def test_mixed_add_delete_stream(self):
+        base = power_law_graph(60, 4, seed=5)
+        app = AnomalyApp(base, clique(3), step_cost=1e-5)
+        workload = []
+        t = 0.0
+        # add fresh links, then delete some of them again
+        added = []
+        i = 0
+        for u, v in [(0, 50), (1, 51), (2, 52), (3, 53)]:
+            workload.append((t, make_link_task(i, u, v, op="add")))
+            added.append((u, v))
+            t += 0.01
+            i += 1
+        for u, v in added[:2]:
+            workload.append(
+                (t, make_link_task(i, u, v, op="del", compute=False))
+            )
+            t += 0.01
+            i += 1
+        cluster = build_osiris_cluster(
+            app,
+            workload=iter(workload),
+            n_workers=10,
+            k=2,
+            seed=70,
+            config=fast_config(chunk_bytes=4096),
+        )
+        cluster.start()
+        cluster.run(until=30.0)
+        # 4 compute tasks (adds) completed; deletes were update-only
+        assert cluster.metrics.tasks_completed == 4
+        ex = cluster.executors[0]
+        assert ex.store.applied_ts == 6
+        final = ex.store.view(6)
+        assert not final.has_edge(0, 50)
+        assert final.has_edge(2, 52)
+
+    def test_delete_task_is_valid_task(self):
+        base = power_law_graph(30, 3, seed=5)
+        app = AnomalyApp(base, clique(3))
+        task = make_link_task(0, 1, 2, op="del", compute=False)
+        assert task.opcode == Opcode.UPDATE
+        assert app.valid_task(task)

@@ -1,0 +1,131 @@
+"""Tests for the multiversioned dynamic graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.anomaly import MultiVersionGraph
+from repro.errors import StoreError
+
+
+class TestBaseGraph:
+    def test_base_edges_visible_at_version_zero(self):
+        g = MultiVersionGraph([(0, 1), (1, 2)])
+        view = g.snapshot(0)
+        assert view.has_edge(0, 1) and view.has_edge(1, 0)
+        assert view.has_edge(1, 2)
+        assert not view.has_edge(0, 2)
+
+    def test_neighbors_sorted(self):
+        g = MultiVersionGraph([(5, 1), (5, 9), (5, 3)])
+        assert list(g.snapshot(0).neighbors(5)) == [1, 3, 9]
+
+    def test_self_loops_ignored(self):
+        g = MultiVersionGraph([(1, 1), (1, 2)])
+        assert list(g.snapshot(0).neighbors(1)) == [2]
+
+    def test_duplicate_base_edges_collapse(self):
+        g = MultiVersionGraph([(0, 1), (1, 0), (0, 1)])
+        assert g.snapshot(0).degree(0) == 1
+
+    def test_edge_count(self):
+        g = MultiVersionGraph([(0, 1), (1, 2), (2, 0)])
+        assert g.snapshot(0).edge_count() == 3
+
+
+class TestUpdates:
+    def test_add_edge(self):
+        g = MultiVersionGraph([(0, 1)])
+        g.apply(1, ("add", 1, 2))
+        assert g.snapshot(1).has_edge(1, 2)
+        assert not g.snapshot(0).has_edge(1, 2)
+
+    def test_delete_edge(self):
+        g = MultiVersionGraph([(0, 1)])
+        g.apply(1, ("del", 0, 1))
+        assert not g.snapshot(1).has_edge(0, 1)
+        assert g.snapshot(0).has_edge(0, 1)
+
+    def test_batched_updates_one_version(self):
+        g = MultiVersionGraph([])
+        g.apply(1, [("add", 0, 1), ("add", 1, 2)])
+        view = g.snapshot(1)
+        assert view.has_edge(0, 1) and view.has_edge(1, 2)
+
+    def test_idempotent_add(self):
+        g = MultiVersionGraph([(0, 1)])
+        cost = g.apply(1, ("add", 0, 1))
+        assert cost == 0.0
+        assert g.snapshot(1).degree(0) == 1
+
+    def test_delete_missing_edge_is_noop(self):
+        g = MultiVersionGraph([])
+        assert g.apply(1, ("del", 0, 1)) == 0.0
+
+    def test_non_monotonic_rejected(self):
+        g = MultiVersionGraph([])
+        g.apply(2, ("add", 0, 1))
+        with pytest.raises(StoreError):
+            g.apply(2, ("add", 1, 2))
+
+    def test_unknown_op_rejected(self):
+        g = MultiVersionGraph([])
+        with pytest.raises(StoreError):
+            g.apply(1, ("xor", 0, 1))
+
+    def test_cost_scales_with_degree(self):
+        g = MultiVersionGraph([(0, i) for i in range(1, 100)])
+        hub_cost = g.apply(1, ("add", 0, 200))
+        g2 = MultiVersionGraph([])
+        leaf_cost = g2.apply(1, ("add", 0, 1))
+        assert hub_cost > leaf_cost
+
+
+class TestSnapshotIsolation:
+    def test_old_view_unchanged_by_later_updates(self):
+        g = MultiVersionGraph([(0, 1)])
+        view0 = g.snapshot(0)
+        nbrs_before = view0.neighbors(0).copy()
+        g.apply(1, ("add", 0, 2))
+        g.apply(2, ("del", 0, 1))
+        assert (view0.neighbors(0) == nbrs_before).all()
+        assert view0.has_edge(0, 1)
+        assert not view0.has_edge(0, 2)
+
+    def test_views_at_each_version(self):
+        g = MultiVersionGraph([])
+        for ts in range(1, 6):
+            g.apply(ts, ("add", 0, ts))
+        for ts in range(1, 6):
+            assert g.snapshot(ts).degree(0) == ts
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "del"]),
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_snapshot_matches_sequential_replay(self, ops):
+        """Multiversion reads == replaying the op prefix on a plain set."""
+        g = MultiVersionGraph([])
+        for ts, op in enumerate(ops, start=1):
+            g.apply(ts, op)
+        reference: set[tuple[int, int]] = set()
+        for ts, (kind, u, v) in enumerate(ops, start=1):
+            if u != v:
+                e = (min(u, v), max(u, v))
+                if kind == "add":
+                    reference.add(e)
+                else:
+                    reference.discard(e)
+            view = g.snapshot(ts)
+            for a in range(7):
+                for b in range(a + 1, 7):
+                    assert view.has_edge(a, b) == ((a, b) in reference)

@@ -1,0 +1,216 @@
+"""Tests for patterns and the edge-anchored matcher, cross-checked
+against networkx / brute force ground truth."""
+
+from itertools import combinations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.anomaly import (
+    EdgeAnchoredMatcher,
+    MultiVersionGraph,
+    Pattern,
+    clique,
+    clique_minus,
+    dense_six,
+    path,
+    power_law_graph,
+)
+from repro.errors import ApplicationError
+
+
+class TestPattern:
+    def test_clique_edges(self):
+        assert clique(4).edge_count == 6
+
+    def test_clique_minus(self):
+        assert clique_minus(6, 2).edge_count == 13
+
+    def test_path_edges(self):
+        p = path(3)
+        assert p.size == 4 and p.edge_count == 3
+
+    def test_dense_six_differs_from_clique_minus(self):
+        # K6 minus independent edges vs minus adjacent edges: different
+        # automorphism group sizes prove non-isomorphism
+        assert len(dense_six().automorphisms()) != len(
+            clique_minus(6, 2).automorphisms()
+        )
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(ApplicationError):
+            Pattern.from_edges(4, [(0, 1), (2, 3)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ApplicationError):
+            Pattern.from_edges(3, [(0, 5)])
+
+    def test_clique_automorphisms(self):
+        assert len(clique(4).automorphisms()) == 24
+
+    def test_path_automorphisms(self):
+        assert len(path(3).automorphisms()) == 2
+
+    def test_canonical_match_is_minimal(self):
+        p = path(2)  # 0-1-2, automorphism reverses
+        assert p.canonical_match((5, 3, 1)) == (1, 3, 5)
+        assert p.is_canonical((1, 3, 5))
+        assert not p.is_canonical((5, 3, 1))
+
+    def test_directed_edge_orbits_clique(self):
+        # all directed edges of a clique are one orbit
+        assert len(clique(5).directed_edge_orbits()) == 1
+
+    def test_directed_edge_orbits_path(self):
+        # 3-hop path: {(0,1)~(3,2)}, {(1,0)~(2,3)}, {(1,2)~(2,1)}
+        assert len(path(3).directed_edge_orbits()) == 3
+
+    def test_matching_order_connected(self):
+        for pat in (clique(4), path(3), dense_six(), clique_minus(6, 2)):
+            order = pat.matching_order()
+            assert sorted(order) == list(range(pat.size))
+            for i in range(1, len(order)):
+                assert any(
+                    pat.has_edge(order[i], order[j]) for j in range(i)
+                )
+
+
+def graph_pair(n=80, m=4, seed=1):
+    edges = power_law_graph(n, m, seed=seed)
+    g = MultiVersionGraph(edges)
+    return edges, g.snapshot(0), nx.Graph(edges)
+
+
+class TestTriangles:
+    def test_matches_networkx_common_neighbors(self):
+        edges, view, G = graph_pair()
+        m = EdgeAnchoredMatcher(clique(3))
+        for u, v in edges[:40]:
+            truth = len(set(G.neighbors(u)) & set(G.neighbors(v)))
+            out = m.enumerate(view, u, v)
+            assert len(out.matches) == truth
+            assert m.count(view, u, v).count == truth
+
+    def test_no_edge_no_matches(self):
+        _, view, G = graph_pair()
+        m = EdgeAnchoredMatcher(clique(3))
+        non_edge = None
+        for u in range(80):
+            for v in range(u + 1, 80):
+                if not G.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        out = m.enumerate(view, *non_edge)
+        assert out.matches == ()
+        assert m.count(view, *non_edge).count == 0
+
+
+class TestCliques:
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_matches_networkx_clique_enumeration(self, k):
+        edges, view, G = graph_pair(n=60, m=4, seed=2)
+        truth_all = set()
+        for c in nx.find_cliques(G):
+            if len(c) >= k:
+                for sub in combinations(sorted(c), k):
+                    if all(G.has_edge(a, b) for a, b in combinations(sub, 2)):
+                        truth_all.add(sub)
+        m = EdgeAnchoredMatcher(clique(k))
+        for u, v in edges[:30]:
+            truth = {t for t in truth_all if u in t and v in t}
+            out = m.enumerate(view, u, v)
+            assert set(out.matches) == truth
+            assert m.count(view, u, v).count == len(truth)
+
+    def test_clique_count_cheaper_than_enumeration(self):
+        edges, view, _ = graph_pair(n=80, m=6, seed=3)
+        m = EdgeAnchoredMatcher(clique(4))
+        enum_steps = sum(m.enumerate(view, u, v).steps for u, v in edges[:30])
+        count_steps = sum(m.count(view, u, v).steps for u, v in edges[:30])
+        assert count_steps < enum_steps
+
+
+class TestGenericPatterns:
+    def brute_force(self, G, pattern, u, v):
+        """All canonical embeddings of `pattern` containing edge (u,v)."""
+        from itertools import permutations
+
+        nodes = list(G.nodes)
+        found = set()
+        k = pattern.size
+        # brute force over node tuples near u,v only for small graphs
+        for tup in permutations(nodes, k):
+            if u not in tup or v not in tup:
+                continue
+            if not all(
+                G.has_edge(tup[a], tup[b]) for a, b in pattern.edges
+            ):
+                continue
+            if not any(
+                {tup[a], tup[b]} == {u, v} for a, b in pattern.edges
+            ):
+                continue
+            found.add(pattern.canonical_match(tup))
+        return found
+
+    @pytest.mark.parametrize(
+        "pattern", [path(2), path(3), clique_minus(4, 1)]
+    )
+    def test_matches_brute_force(self, pattern):
+        edges = power_law_graph(16, 2, seed=4)
+        view = MultiVersionGraph(edges).snapshot(0)
+        G = nx.Graph(edges)
+        m = EdgeAnchoredMatcher(pattern)
+        for u, v in edges[:10]:
+            truth = self.brute_force(G, pattern, u, v)
+            out = m.enumerate(view, u, v)
+            assert set(out.matches) == truth, (u, v)
+            assert m.count(view, u, v).count == len(truth)
+
+    def test_matches_are_sorted_and_unique(self):
+        edges, view, _ = graph_pair(n=60, m=4, seed=5)
+        m = EdgeAnchoredMatcher(dense_six())
+        for u, v in edges[:20]:
+            out = m.enumerate(view, u, v)
+            assert list(out.matches) == sorted(set(out.matches))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_every_match_is_instance_containing_link(self, seed):
+        edges = power_law_graph(40, 3, seed=seed)
+        view = MultiVersionGraph(edges).snapshot(0)
+        m = EdgeAnchoredMatcher(clique_minus(4, 1))
+        u, v = edges[seed % len(edges)]
+        for match in m.enumerate(view, u, v).matches:
+            assert m.is_instance(view, match)
+            assert m.contains_link(match, u, v)
+
+
+class TestValidity:
+    def test_is_instance_rejects_non_canonical(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        view = MultiVersionGraph(edges).snapshot(0)
+        m = EdgeAnchoredMatcher(clique(3))
+        assert m.is_instance(view, (0, 1, 2))
+        assert not m.is_instance(view, (2, 1, 0))
+
+    def test_is_instance_rejects_missing_edge(self):
+        edges = [(0, 1), (1, 2)]
+        view = MultiVersionGraph(edges).snapshot(0)
+        m = EdgeAnchoredMatcher(clique(3))
+        assert not m.is_instance(view, (0, 1, 2))
+
+    def test_is_instance_rejects_repeated_vertex(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        view = MultiVersionGraph(edges).snapshot(0)
+        m = EdgeAnchoredMatcher(clique(3))
+        assert not m.is_instance(view, (0, 1, 1))
+
+    def test_contains_link(self):
+        m = EdgeAnchoredMatcher(path(2))
+        assert m.contains_link((1, 2, 3), 2, 1)
+        assert not m.contains_link((1, 2, 3), 1, 3)  # non-adjacent in path

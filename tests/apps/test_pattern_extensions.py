@@ -1,0 +1,85 @@
+"""Tests for the star and cycle pattern factories, cross-checked against
+brute force — high-symmetry patterns stress the canonicalization."""
+
+from itertools import permutations
+
+import networkx as nx
+import pytest
+
+from repro.apps.anomaly import (
+    EdgeAnchoredMatcher,
+    MultiVersionGraph,
+    cycle,
+    power_law_graph,
+    star,
+)
+
+
+def brute_force(G, pattern, u, v):
+    found = set()
+    for tup in permutations(G.nodes, pattern.size):
+        if u not in tup or v not in tup:
+            continue
+        if not all(G.has_edge(tup[a], tup[b]) for a, b in pattern.edges):
+            continue
+        if not any({tup[a], tup[b]} == {u, v} for a, b in pattern.edges):
+            continue
+        found.add(pattern.canonical_match(tup))
+    return found
+
+
+class TestStar:
+    def test_star_shape(self):
+        p = star(4)
+        assert p.size == 5 and p.edge_count == 4
+        assert p.neighbors(0) == (1, 2, 3, 4)
+
+    def test_star_automorphisms_are_leaf_permutations(self):
+        assert len(star(3).automorphisms()) == 6  # 3!
+
+    def test_star_orbits(self):
+        # hub→leaf and leaf→hub: exactly two directed-edge orbits
+        assert len(star(4).directed_edge_orbits()) == 2
+
+    @pytest.mark.parametrize("leaves", [2, 3])
+    def test_star_matches_brute_force(self, leaves):
+        edges = power_law_graph(14, 2, seed=3)
+        view = MultiVersionGraph(edges).snapshot(0)
+        G = nx.Graph(edges)
+        m = EdgeAnchoredMatcher(star(leaves))
+        for u, v in edges[:8]:
+            assert set(m.enumerate(view, u, v).matches) == brute_force(
+                G, star(leaves), u, v
+            )
+
+
+class TestCycle:
+    def test_cycle_shape(self):
+        p = cycle(5)
+        assert p.size == 5 and p.edge_count == 5
+
+    def test_cycle_automorphisms_are_dihedral(self):
+        assert len(cycle(5).automorphisms()) == 10  # D5
+
+    def test_cycle_orbit_is_single(self):
+        assert len(cycle(4).directed_edge_orbits()) == 1
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_cycle_matches_brute_force(self, k):
+        edges = power_law_graph(12, 2, seed=4)
+        view = MultiVersionGraph(edges).snapshot(0)
+        G = nx.Graph(edges)
+        m = EdgeAnchoredMatcher(cycle(k))
+        for u, v in edges[:8]:
+            assert set(m.enumerate(view, u, v).matches) == brute_force(
+                G, cycle(k), u, v
+            )
+
+    def test_cycle_count_matches_enumeration(self):
+        edges = power_law_graph(20, 3, seed=5)
+        view = MultiVersionGraph(edges).snapshot(0)
+        m = EdgeAnchoredMatcher(cycle(4))
+        for u, v in edges[:10]:
+            assert m.count(view, u, v).count == len(
+                m.enumerate(view, u, v).matches
+            )

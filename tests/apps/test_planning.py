@@ -1,0 +1,254 @@
+"""Motion Planning tests: solver correctness, certificate soundness,
+tamper resistance, and on-cluster integration."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.apps.planning import (
+    BranchAndBoundSolver,
+    CertificateVerifier,
+    CertNode,
+    MipInstance,
+    PlanningApp,
+    instance_suite,
+    make_planning_task,
+)
+from repro.errors import ApplicationError
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return instance_suite(count=12, seed=1)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return BranchAndBoundSolver()
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return CertificateVerifier()
+
+
+def brute_force_optimum(inst):
+    if inst.n_vars > 14 or not inst.integer.all():
+        pytest.skip("instance too large for brute force")
+    best = np.inf
+    for bits in product(*[
+        range(int(lo), int(hi) + 1)
+        for lo, hi in zip(inst.lower, inst.upper)
+    ]):
+        x = np.array(bits, dtype=float)
+        if inst.is_feasible(x):
+            best = min(best, inst.objective(x))
+    return best
+
+
+class TestInstances:
+    def test_suite_is_deterministic(self):
+        a = instance_suite(count=5, seed=3)
+        b = instance_suite(count=5, seed=3)
+        for ia, ib in zip(a, b):
+            assert ia.name == ib.name
+            assert (ia.c == ib.c).all()
+
+    def test_suite_contains_infeasible_instances(self, suite):
+        # every 20th is infeasible; with 12 none — generate more
+        big = instance_suite(count=40, seed=1)
+        assert any(i.name.startswith("infeasible") for i in big)
+
+    def test_shape_validation(self):
+        with pytest.raises(ApplicationError):
+            MipInstance(
+                name="bad",
+                c=np.ones(3),
+                a_ub=np.ones((2, 4)),
+                b_ub=np.ones(2),
+                lower=np.zeros(3),
+                upper=np.ones(3),
+                integer=np.ones(3, dtype=bool),
+            )
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ApplicationError):
+            MipInstance(
+                name="bad",
+                c=np.ones(2),
+                a_ub=np.ones((1, 2)),
+                b_ub=np.ones(1),
+                lower=np.ones(2),
+                upper=np.zeros(2),
+                integer=np.ones(2, dtype=bool),
+            )
+
+    def test_is_feasible(self, suite):
+        inst = suite[0]
+        assert not inst.is_feasible(np.full(inst.n_vars, 0.5))  # fractional
+        assert inst.is_feasible(np.zeros(inst.n_vars)) or True
+
+
+class TestSolver:
+    def test_knapsack_matches_brute_force(self, solver):
+        inst = instance_suite(count=1, seed=5, infeasible_every=0)[0]
+        result = solver.solve(inst)
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(
+            brute_force_optimum(inst), abs=1e-6
+        )
+
+    def test_solution_is_feasible_and_integral(self, solver, suite):
+        for inst in suite[:6]:
+            result = solver.solve(inst)
+            if result.status == "optimal":
+                assert inst.is_feasible(result.x)
+                assert inst.objective(result.x) == pytest.approx(
+                    result.objective, abs=1e-5
+                )
+
+    def test_infeasible_detected(self, solver):
+        big = instance_suite(count=40, seed=1)
+        inst = next(i for i in big if i.name.startswith("infeasible"))
+        assert solver.solve(inst).status == "infeasible"
+
+    def test_work_counters_positive(self, solver, suite):
+        result = solver.solve(suite[0])
+        assert result.nodes_explored >= 1
+        assert result.lp_solves >= result.nodes_explored
+
+
+class TestCertificates:
+    def test_all_suite_certificates_verify(self, solver, checker, suite):
+        for inst in suite:
+            r = solver.solve(inst)
+            if r.status == "optimal":
+                out = checker.verify_optimal(
+                    inst, r.x, r.objective, r.certificate
+                )
+            else:
+                out = checker.verify_infeasible(inst, r.certificate)
+            assert out.ok, (inst.name, out.reason)
+
+    def test_claimed_better_objective_rejected(self, solver, checker, suite):
+        inst = suite[0]
+        r = solver.solve(inst)
+        out = checker.verify_optimal(
+            inst, r.x, r.objective - 5.0, r.certificate
+        )
+        assert not out.ok
+
+    def test_suboptimal_solution_rejected(self, solver, checker, suite):
+        """A feasible but worse x: objective matches x, but the
+        certificate (bounding the true optimum) must betray it."""
+        inst = instance_suite(count=1, seed=5, infeasible_every=0)[0]
+        r = solver.solve(inst)
+        worse = np.zeros(inst.n_vars)  # empty knapsack is feasible
+        if abs(inst.objective(worse) - r.objective) < 1e-9:
+            pytest.skip("degenerate instance")
+        out = checker.verify_optimal(
+            inst, worse, inst.objective(worse), r.certificate
+        )
+        assert not out.ok
+        assert out.reason == "bound-too-weak"
+
+    def test_infeasible_solution_rejected(self, solver, checker, suite):
+        inst = suite[0]
+        r = solver.solve(inst)
+        bad_x = np.full(inst.n_vars, 10_000.0)
+        out = checker.verify_optimal(inst, bad_x, r.objective, r.certificate)
+        assert not out.ok
+        assert out.reason == "solution-infeasible"
+
+    def test_truncated_certificate_rejected(self, solver, checker, suite):
+        inst = suite[0]
+        r = solver.solve(inst)
+        cert = r.certificate
+        if cert.kind != "branch":
+            pytest.skip("root solved without branching")
+        # chop off a subtree: coverage hole must be caught
+        pruned = CertNode(
+            kind="branch",
+            branch_var=cert.branch_var,
+            branch_val=cert.branch_val,
+            left=cert.left,
+            right=None,
+        )
+        out = checker.verify_optimal(inst, r.x, r.objective, pruned)
+        assert not out.ok
+
+    def test_fake_infeasibility_rejected(self, checker, suite):
+        inst = suite[0]  # actually feasible
+        fake = CertNode(kind="infeasible")
+        out = checker.verify_infeasible(inst, fake)
+        assert not out.ok
+        assert out.reason == "leaf-actually-feasible"
+
+    def test_bad_branch_var_rejected(self, checker, suite):
+        inst = suite[0]
+        cert = CertNode(
+            kind="branch",
+            branch_var=10**6,
+            branch_val=0.0,
+            left=CertNode(kind="infeasible"),
+            right=CertNode(kind="infeasible"),
+        )
+        out = checker.verify_optimal(
+            inst, np.zeros(inst.n_vars), inst.objective(np.zeros(inst.n_vars)), cert
+        )
+        assert not out.ok
+
+
+class TestPlanningApp:
+    def test_operators_roundtrip(self, suite):
+        app = PlanningApp(instances=suite)
+        task = make_planning_task(0, 2).with_timestamp(0)
+        assert app.valid_task(task)
+        view = app.initial_state().snapshot(0)
+        out = app.compute(view, task)
+        assert len(out.records) == 1
+        assert app.is_valid(view, out.records[0], task)
+        assert app.output_size(view, task).count == 1
+
+    def test_invalid_instance_index_rejected(self, suite):
+        app = PlanningApp(instances=suite)
+        assert not app.valid_task(make_planning_task(0, 999))
+        assert not app.valid_task(make_planning_task(0, -1))
+
+    def test_tampered_record_rejected(self, suite):
+        from repro.core import Record
+
+        app = PlanningApp(instances=suite)
+        task = make_planning_task(0, 0).with_timestamp(0)
+        view = app.initial_state().snapshot(0)
+        rec = app.compute(view, task).records[0]
+        tampered = Record(
+            key=(0,),
+            data={**rec.data, "objective": rec.data["objective"] - 3.0},
+            size_bytes=rec.size_bytes,
+        )
+        assert not app.is_valid(view, tampered, task)
+
+    def test_on_cluster(self, suite):
+        from repro.core import build_osiris_cluster
+        from tests.core.helpers import fast_config
+
+        app = PlanningApp(instances=suite, node_cost=1e-3)
+        workload = [
+            (i * 0.01, make_planning_task(i, i % len(suite)))
+            for i in range(12)
+        ]
+        cluster = build_osiris_cluster(
+            app,
+            workload=iter(workload),
+            n_workers=10,
+            k=2,
+            seed=55,
+            config=fast_config(chunk_bytes=65536),
+        )
+        cluster.start()
+        cluster.run(until=30.0)
+        assert cluster.metrics.tasks_completed == 12
+        assert cluster.metrics.records_accepted == 12
+        assert cluster.metrics.faults_detected == []

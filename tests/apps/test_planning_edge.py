@@ -1,0 +1,101 @@
+"""Planning edge cases: verify-outcome counters, branched infeasibility,
+cache behaviour, continuous variables."""
+
+import numpy as np
+import pytest
+
+from repro.apps.planning import (
+    BranchAndBoundSolver,
+    CertificateVerifier,
+    MipInstance,
+    PlanningApp,
+    instance_suite,
+    make_planning_task,
+)
+
+
+def mixed_instance():
+    """2 integer + 1 continuous variable."""
+    return MipInstance(
+        name="mixed",
+        c=np.array([-3.0, -2.0, -1.0]),
+        a_ub=np.array([[2.0, 1.0, 1.0]]),
+        b_ub=np.array([4.0]),
+        lower=np.zeros(3),
+        upper=np.array([2.0, 2.0, 1.5]),
+        integer=np.array([True, True, False]),
+    )
+
+
+def branched_infeasible():
+    """LP-feasible but integer-infeasible: x must be integral in a window
+    that contains no integer (0.4 <= x <= 0.6)."""
+    return MipInstance(
+        name="int-infeasible",
+        c=np.array([1.0]),
+        a_ub=np.array([[1.0], [-1.0]]),
+        b_ub=np.array([0.6, -0.4]),
+        lower=np.zeros(1),
+        upper=np.ones(1),
+        integer=np.array([True]),
+    )
+
+
+class TestMixedInteger:
+    def test_continuous_variable_allowed_fractional(self):
+        solver = BranchAndBoundSolver()
+        result = solver.solve(mixed_instance())
+        assert result.status == "optimal"
+        x = result.x
+        assert float(x[0]) == int(x[0]) and float(x[1]) == int(x[1])
+        checker = CertificateVerifier()
+        out = checker.verify_optimal(
+            mixed_instance(), x, result.objective, result.certificate
+        )
+        assert out.ok, out.reason
+
+
+class TestBranchedInfeasibility:
+    def test_integer_infeasible_detected_and_certified(self):
+        solver = BranchAndBoundSolver()
+        inst = branched_infeasible()
+        result = solver.solve(inst)
+        assert result.status == "infeasible"
+        # the root LP is feasible, so the certificate must branch
+        assert result.certificate.kind == "branch"
+        out = CertificateVerifier().verify_infeasible(inst, result.certificate)
+        assert out.ok, out.reason
+        assert out.lp_resolves >= 2  # both integer windows re-checked
+
+    def test_outcome_counters_populated(self):
+        solver = BranchAndBoundSolver()
+        inst = instance_suite(count=1, seed=3, infeasible_every=0)[0]
+        result = solver.solve(inst)
+        out = CertificateVerifier().verify_optimal(
+            inst, result.x, result.objective, result.certificate
+        )
+        assert out.leaves_checked == result.certificate.leaf_count()
+        assert out.lp_resolves <= out.leaves_checked
+
+
+class TestSolveCache:
+    def test_compute_reuses_solver_results(self):
+        suite = instance_suite(count=3, seed=4)
+        app = PlanningApp(instances=suite)
+        view = app.initial_state().snapshot(0)
+        t = make_planning_task(0, 1).with_timestamp(0)
+        first = app.compute(view, t)
+        assert 1 in app._solve_cache
+        second = app.compute(view, t)
+        assert first.cost == second.cost
+        assert first.records[0].data["objective"] == pytest.approx(
+            second.records[0].data["objective"]
+        )
+
+    def test_resolve_budget_enforced(self):
+        checker = CertificateVerifier(max_lp_resolves=0)
+        inst = branched_infeasible()
+        result = BranchAndBoundSolver().solve(inst)
+        out = checker.verify_infeasible(inst, result.certificate)
+        assert not out.ok
+        assert out.reason == "too-many-resolves"

@@ -1,0 +1,83 @@
+"""Tests for the synthetic dial-a-workload application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
+from repro.core import Record
+
+
+@pytest.fixture
+def app():
+    return SyntheticApp(records_per_task=6, compute_cost=1e-3)
+
+
+def view_of(app):
+    return app.initial_state().snapshot(0)
+
+
+class TestContract:
+    def test_compute_is_deterministic(self, app):
+        t = make_compute_task(3).with_timestamp(0)
+        a = app.compute(view_of(app), t)
+        b = app.compute(view_of(app), t)
+        assert a.records == b.records
+        assert a.cost == b.cost
+
+    def test_records_sorted_unique(self, app):
+        t = make_compute_task(3).with_timestamp(0)
+        keys = [r.key for r in app.compute(view_of(app), t).records]
+        assert keys == sorted(set(keys))
+
+    def test_output_size_matches_compute(self, app):
+        t = make_compute_task(3, n=17).with_timestamp(0)
+        assert app.output_size(view_of(app), t).count == 17
+        assert len(app.compute(view_of(app), t).records) == 17
+
+    def test_verification_cheaper_than_compute(self, app):
+        t = make_compute_task(0).with_timestamp(0)
+        result = app.compute(view_of(app), t)
+        count = app.output_size(view_of(app), t)
+        verify_total = count.cost + sum(
+            app.verify_record_cost(r) for r in result.records
+        )
+        assert verify_total < result.cost
+
+    @given(n=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_every_record_is_valid(self, n):
+        app = SyntheticApp()
+        t = make_compute_task(1, n=n).with_timestamp(0)
+        view = view_of(app)
+        for r in app.compute(view, t).records:
+            assert app.is_valid(view, r, t)
+
+    def test_cross_task_record_invalid(self, app):
+        ta = make_compute_task(1).with_timestamp(0)
+        tb = make_compute_task(2).with_timestamp(0)
+        view = view_of(app)
+        for r in app.compute(view, ta).records:
+            assert not app.is_valid(view, r, tb)
+
+    def test_corrupted_record_invalid(self, app):
+        t = make_compute_task(1).with_timestamp(0)
+        view = view_of(app)
+        r = app.compute(view, t).records[0]
+        assert not app.is_valid(view, Record(key=r.key, data=r.data + 1), t)
+        assert not app.is_valid(view, Record(key=(999,), data=r.data), t)
+        assert not app.is_valid(view, Record(key=("x",), data=r.data), t)
+
+
+class TestTaskValidation:
+    def test_negative_count_rejected(self, app):
+        assert not app.valid_task(make_compute_task(1, n=-1))
+
+    def test_update_without_payload_rejected(self, app):
+        from repro.core import Opcode, Task
+
+        assert not app.valid_task(Task("u", Opcode.UPDATE))
+
+    def test_factories_produce_valid_tasks(self, app):
+        assert app.valid_task(make_compute_task(1))
+        assert app.valid_task(make_update_task(1))

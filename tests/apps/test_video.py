@@ -1,0 +1,216 @@
+"""Video Analysis tests: frames, k-means, operators, cluster integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.video import (
+    VideoApp,
+    VideoState,
+    check_stability,
+    frame_stream,
+    lloyd,
+    make_cluster_task,
+    make_frame_task,
+)
+from repro.errors import ApplicationError, StoreError
+
+
+class TestFrameStream:
+    def test_deterministic(self):
+        a = list(frame_stream(3, seed=5))
+        b = list(frame_stream(3, seed=5))
+        for fa, fb in zip(a, b):
+            assert (fa == fb).all()
+
+    def test_shapes(self):
+        frames = list(frame_stream(4, points_per_frame=200))
+        assert len(frames) == 4
+        for f in frames:
+            assert f.shape == (200, 3)
+
+    def test_blobs_move_between_frames(self):
+        frames = list(frame_stream(2, seed=1))
+        assert not (frames[0] == frames[1]).all()
+
+
+class TestVideoState:
+    def test_window_selects_recent_frames(self):
+        state = VideoState()
+        for ts in range(1, 6):
+            state.apply(ts, np.full((10, 3), float(ts)))
+        view = state.snapshot(5)
+        pts = view.points(2)
+        assert len(pts) == 20
+        assert set(pts[:, 0]) == {4.0, 5.0}
+
+    def test_snapshot_isolated_from_new_frames(self):
+        state = VideoState()
+        state.apply(1, np.ones((10, 3)))
+        view = state.snapshot(1)
+        state.apply(2, np.zeros((10, 3)))
+        assert (view.points(4)[:, 0] == 1.0).all()
+
+    def test_empty_view(self):
+        view = VideoState().snapshot(0)
+        assert view.points(4).shape == (0, 3)
+
+    def test_non_monotonic_rejected(self):
+        state = VideoState()
+        state.apply(2, np.ones((5, 3)))
+        with pytest.raises(StoreError):
+            state.apply(2, np.ones((5, 3)))
+
+    def test_bad_frame_rejected(self):
+        with pytest.raises(StoreError):
+            VideoState().apply(1, np.ones(5))
+
+
+class TestKMeans:
+    def _points(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.concatenate(
+            [
+                rng.normal((0, 0, 0), 0.5, size=(50, 3)),
+                rng.normal((10, 10, 10), 0.5, size=(50, 3)),
+                rng.normal((-10, 5, 0), 0.5, size=(50, 3)),
+            ]
+        )
+
+    def test_separated_blobs_recovered(self):
+        pts = self._points()
+        res = lloyd(pts, 3, seed=1)
+        assert sorted(res.sizes.tolist()) == [50, 50, 50]
+
+    def test_result_is_lloyd_stable(self):
+        pts = self._points()
+        res = lloyd(pts, 3, seed=1)
+        assert check_stability(pts, res.centroids, res.sizes)
+
+    def test_centroids_sorted(self):
+        pts = self._points()
+        res = lloyd(pts, 3, seed=1)
+        keys = [tuple(c) for c in res.centroids]
+        assert keys == sorted(keys)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ApplicationError):
+            lloyd(np.ones((2, 3)), 5)
+
+    def test_tampered_centroid_fails_stability(self):
+        pts = self._points()
+        res = lloyd(pts, 3, seed=1)
+        bad = res.centroids.copy()
+        bad[1] += 3.0
+        assert not check_stability(pts, bad, res.sizes)
+
+    def test_tampered_sizes_fail_stability(self):
+        pts = self._points()
+        res = lloyd(pts, 3, seed=1)
+        bad_sizes = res.sizes.copy()
+        bad_sizes[0] += 1
+        assert not check_stability(pts, res.centroids, bad_sizes)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_stability_property(self, seed):
+        """lloyd() output always passes the verifier's stability check —
+        the executor/verifier contract of the video app."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(120, 3))
+        res = lloyd(pts, 5, seed=seed)
+        assert check_stability(pts, res.centroids, res.sizes)
+
+
+class TestVideoApp:
+    def _ready_state(self, app, n_frames=6):
+        state = app.initial_state()
+        for ts, frame in enumerate(
+            frame_stream(n_frames, points_per_frame=200, seed=2), start=1
+        ):
+            state.apply(ts, frame)
+        return state
+
+    def test_operators_roundtrip(self):
+        app = VideoApp()
+        state = self._ready_state(app)
+        view = state.snapshot(6)
+        task = make_cluster_task(0, k=6, window=3).with_timestamp(6)
+        out = app.compute(view, task)
+        assert len(out.records) == 6
+        keys = [r.key for r in out.records]
+        assert keys == sorted(keys)
+        for rec in out.records:
+            assert app.is_valid(view, rec, task)
+        assert app.output_size(view, task).count == 6
+
+    def test_valid_task_checks(self):
+        app = VideoApp()
+        assert app.valid_task(make_cluster_task(0))
+        assert app.valid_task(
+            make_frame_task(0, np.ones((10, 3)))
+        )
+        assert not app.valid_task(make_cluster_task(0, k=0))
+        assert not app.valid_task(make_cluster_task(0, k=10**6))
+        from repro.core import Opcode, Task
+
+        assert not app.valid_task(
+            Task(task_id="x", opcode=Opcode.UPDATE, update_payload="nope")
+        )
+
+    def test_starved_window_produces_no_records(self):
+        app = VideoApp()
+        state = app.initial_state()
+        view = state.snapshot(0)
+        task = make_cluster_task(0, k=4, window=2).with_timestamp(0)
+        assert app.compute(view, task).records == ()
+        assert app.output_size(view, task).count == 0
+
+    def test_foreign_centroid_rejected(self):
+        from repro.core import Record
+
+        app = VideoApp()
+        state = self._ready_state(app)
+        view = state.snapshot(6)
+        task = make_cluster_task(0, k=6, window=3).with_timestamp(6)
+        rec = app.compute(view, task).records[0]
+        tampered = Record(
+            key=rec.key,
+            data={
+                "size": rec.data["size"],
+                "all_centroids": rec.data["all_centroids"] + 1.0,
+                "all_sizes": rec.data["all_sizes"],
+            },
+            size_bytes=rec.size_bytes,
+        )
+        assert not app.is_valid(view, tampered, task)
+
+    def test_on_cluster_time_based_analytics(self):
+        """Sec 4.1 case (ii): update tasks for frames, periodic compute."""
+        from repro.core import build_osiris_cluster
+        from tests.core.helpers import fast_config
+
+        app = VideoApp()
+        workload = []
+        t = 0.0
+        frames = frame_stream(12, points_per_frame=150, seed=4)
+        for i, frame in enumerate(frames):
+            workload.append((t, make_frame_task(i, frame)))
+            t += 0.02
+            if i % 4 == 3:
+                workload.append((t, make_cluster_task(i, k=4, window=4)))
+                t += 0.02
+        cluster = build_osiris_cluster(
+            app,
+            workload=iter(workload),
+            n_workers=10,
+            k=2,
+            seed=66,
+            config=fast_config(chunk_bytes=8192),
+        )
+        cluster.start()
+        cluster.run(until=30.0)
+        assert cluster.metrics.tasks_completed == 3
+        assert cluster.metrics.records_accepted == 12
+        assert cluster.metrics.faults_detected == []

@@ -1,0 +1,36 @@
+"""Tests for the interactive figure CLI."""
+
+import pytest
+
+from repro.bench.cli import FIGURES, main
+
+
+class TestCli:
+    def test_fig2a_prints_table(self, capsys):
+        assert main(["fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 2a" in out
+        assert "125" in out
+
+    def test_table1_with_f(self, capsys):
+        assert main(["table1", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2f+1 = 5" in out
+
+    def test_fig5a_models(self, capsys):
+        assert main(["fig5a", "--sizes", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Kauri" in out and "Basil" in out
+
+    def test_small_sweep_runs(self, capsys):
+        assert main(["fig6c", "--sizes", "4", "--tasks", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "OsirisBFT" in out and "ZFT" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_registered_figure_has_runner(self):
+        for name, fn in FIGURES.items():
+            assert callable(fn), name

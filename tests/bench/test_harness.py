@@ -1,0 +1,126 @@
+"""Tests for the benchmark harness: analytics, workloads, runners."""
+
+import pytest
+
+from repro.bench import (
+    BenchWorkload,
+    anomaly_bench,
+    osiris_parallel_tasks,
+    planning_bench,
+    rsm_parallel_tasks,
+    run_osiris,
+    run_rcp,
+    run_zft,
+    synthetic_bench,
+    table1,
+    update_only_bench,
+    video_bench,
+)
+from repro.errors import BenchmarkError
+
+
+class TestAnalytic:
+    def test_rsm_parallel_tasks_paper_values(self):
+        assert rsm_parallel_tasks(32, 1) == 10
+        assert rsm_parallel_tasks(125, 2) == 25
+        assert rsm_parallel_tasks(100, 0) == 100
+
+    def test_rsm_without_non_equivocation(self):
+        assert rsm_parallel_tasks(32, 1, non_equivocation=False) == 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BenchmarkError):
+            rsm_parallel_tasks(-1, 1)
+
+    def test_osiris_parallel_tasks(self):
+        assert osiris_parallel_tasks(32, 1, k=5) == 17
+        assert osiris_parallel_tasks(3, 1, k=1) == 0
+
+    def test_table1_systems(self):
+        assert [r.system for r in table1()] == ["ZFT", "RCP", "OsirisBFT"]
+        assert "2f+1 = 5" in table1(f=2)[1].computation_replication
+
+
+class TestWorkloadFactories:
+    def test_anomaly_bench_shapes(self):
+        wl = anomaly_bench("MM", n_tasks=10, seed=1)
+        assert isinstance(wl, BenchWorkload)
+        assert wl.n_compute_tasks == 10
+        assert len(wl.tasks) == 10
+
+    def test_anomaly_bench_unknown_rejected(self):
+        with pytest.raises(BenchmarkError):
+            anomaly_bench("XL", n_tasks=10)
+
+    def test_anomaly_bench_deterministic(self):
+        a = anomaly_bench("HL", n_tasks=5, seed=2)
+        b = anomaly_bench("HL", n_tasks=5, seed=2)
+        assert [t.task_id for _, t in a.tasks] == [
+            t.task_id for _, t in b.tasks
+        ]
+        assert [t.update_payload for _, t in a.tasks] == [
+            t.update_payload for _, t in b.tasks
+        ]
+
+    def test_planning_bench_cycles_suite(self):
+        wl = planning_bench(n_tasks=10, seed=1)
+        indices = [t.compute_payload["instance"] for _, t in wl.tasks]
+        assert indices == list(range(10))
+
+    def test_video_bench_interleaves(self):
+        wl = video_bench(n_compute=3, seed=1)
+        kinds = [t.opcode.has_compute for _, t in wl.tasks]
+        assert sum(kinds) == 3
+        assert wl.n_compute_tasks == 3
+
+    def test_synthetic_bench(self):
+        wl = synthetic_bench(5, records_per_task=7)
+        assert wl.n_compute_tasks == 5
+
+    def test_update_only_bench(self):
+        wl = update_only_bench(20)
+        assert wl.n_compute_tasks == 0
+        assert all(t.opcode.has_update for _, t in wl.tasks)
+
+
+class TestScenarioRunners:
+    def _wl(self):
+        return synthetic_bench(
+            20, records_per_task=4, compute_cost=20e-3, rate=500
+        )
+
+    def test_run_zft(self):
+        res = run_zft(self._wl(), n=6)
+        assert res.system == "ZFT"
+        assert res.tasks_completed == 20
+        assert res.records == 80
+        assert res.throughput > 0
+        assert res.makespan > 0
+
+    def test_run_osiris(self):
+        res = run_osiris(self._wl(), n=8, seed=1)
+        assert res.system == "OsirisBFT"
+        assert res.tasks_completed == 20
+        assert res.records == 80
+        assert "cluster" in res.extra
+
+    def test_run_rcp(self):
+        res = run_rcp(self._wl(), n=9)
+        assert res.system == "RCP"
+        assert res.tasks_completed == 20
+
+    def test_deadline_miss_raises(self):
+        wl = synthetic_bench(10, compute_cost=50.0, rate=1000)
+        with pytest.raises(BenchmarkError):
+            run_zft(wl, n=2, deadline=1.0)
+
+    def test_result_row_renders(self):
+        res = run_zft(self._wl(), n=4)
+        row = res.row()
+        assert "ZFT" in row and "rec/s" in row
+
+    def test_runs_are_deterministic(self):
+        a = run_osiris(self._wl(), n=8, seed=5)
+        b = run_osiris(self._wl(), n=8, seed=5)
+        assert a.throughput == b.throughput
+        assert a.mean_latency == b.mean_latency

@@ -1,0 +1,161 @@
+"""Adversarial consensus cases: forged acks, bogus view changes, replayed
+messages — safety must hold against protocol-level Byzantine inputs."""
+
+import pytest
+
+from repro.consensus import ConsensusClient, ConsensusMember
+from repro.consensus.messages import CsAck, CsPropose, CsViewChange
+from repro.crypto import KeyRegistry
+from repro.crypto.digest import digest
+from repro.crypto.signatures import Signature
+from repro.net import Network, SubCluster, SynchronyModel
+from repro.sim import Simulator, SimProcess
+
+
+class Host(SimProcess):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=1)
+        self.delivered = []
+
+    def record(self, seq, batch):
+        for rid, _, _ in batch:
+            self.delivered.append(rid)
+
+
+def make_group(f=1, seed=21):
+    sim = Simulator(seed=seed)
+    net = Network(sim, synchrony=SynchronyModel())
+    registry = KeyRegistry()
+    group = SubCluster(
+        index=0, members=tuple(f"v{i}" for i in range(2 * f + 1)), f=f
+    )
+    hosts, members = [], []
+    for pid in group.members:
+        host = Host(sim, pid)
+        net.register(host)
+        members.append(
+            ConsensusMember(
+                host, net, registry, registry.register(pid), group,
+                on_commit=host.record,
+            )
+        )
+        hosts.append(host)
+    client_host = Host(sim, "client")
+    net.register(client_host)
+    return sim, net, hosts, members, ConsensusClient(client_host, net, group)
+
+
+class TestForgedAcks:
+    def test_forged_ack_signature_never_counts(self):
+        """An attacker cannot manufacture a commit quorum with forged
+        ack signatures."""
+        sim, net, hosts, members, client = make_group()
+        # propose something real but suppress v2 so no natural quorum…
+        hosts[2].crash()
+        client.submit({"op": 1})
+        sim.run(until=0.01)
+        # …then forge v2's ack
+        m0 = members[0]
+        slot = m0._slots.get(1)
+        if slot is None:
+            pytest.skip("proposal not yet delivered")
+        fake = CsAck(
+            view=0, seq=1, batch_digest=slot.batch_digest,
+            sig=Signature("v2", b"\x00" * 32),
+        )
+        fake.sender = "v2"
+        hosts[0].deliver(fake)
+        # the forged vote must not have been recorded
+        assert "v2" not in m0._slots[1].acks
+
+    def test_ack_for_wrong_digest_ignored(self):
+        sim, net, hosts, members, client = make_group()
+        client.submit({"op": 1})
+        sim.run(until=0.01)
+        m0, m1 = members[0], members[1]
+        slot = m0._slots.get(1)
+        if slot is None:
+            pytest.skip("proposal not yet delivered")
+        wrong = digest(["other"])
+        sig = m1.signer.sign(CsAck.signed_payload(0, 1, wrong))
+        msg = CsAck(view=0, seq=1, batch_digest=wrong, sig=sig)
+        msg.sender = "v1"
+        hosts[0].deliver(msg)
+        assert "v1" not in slot.acks or slot.batch_digest == wrong
+
+
+class TestBogusViewChanges:
+    def test_single_vote_cannot_change_view(self):
+        sim, net, hosts, members, client = make_group()
+        m1 = members[1]
+        sig = m1.signer.sign(CsViewChange.signed_payload(5, 0))
+        msg = CsViewChange(new_view=5, committed_seq=0, slots=(), sig=sig)
+        msg.sender = "v1"
+        hosts[0].deliver(msg)
+        assert members[0].view == 0
+
+    def test_outsider_view_change_ignored(self):
+        sim, net, hosts, members, client = make_group()
+        registry_outsider = KeyRegistry(seed=b"evil").register("v9")
+        sig = registry_outsider.sign(CsViewChange.signed_payload(1, 0))
+        msg = CsViewChange(new_view=1, committed_seq=0, slots=(), sig=sig)
+        msg.sender = "v9"
+        hosts[0].deliver(msg)
+        assert members[0].view == 0
+
+    def test_view_change_slots_cannot_forge_commits(self):
+        """Reported slots only seed re-proposals — they still need a live
+        ack quorum in the new view before committing."""
+        sim, net, hosts, members, client = make_group()
+        m1, m2 = members[1], members[2]
+        evil_batch = (("evil", {"op": 666}, 0),)
+        bd = digest(["evil"])
+        for m, pid in ((m1, "v1"), (m2, "v2")):
+            sig = m.signer.sign(CsViewChange.signed_payload(1, 0))
+            msg = CsViewChange(
+                new_view=1,
+                committed_seq=0,
+                slots=((1, 0, evil_batch, bd),),
+                sig=sig,
+            )
+            msg.sender = pid
+            hosts[0].deliver(msg)
+        # view adopted (quorum of votes)…
+        assert members[0].view == 1
+        sim.run(until=0.5)
+        # the injected slot was re-proposed by the new leader and can
+        # commit — but only through the normal ack path; the key safety
+        # property is agreement:
+        sim.run(until=2.0)
+        assert hosts[0].delivered == hosts[1].delivered == hosts[2].delivered
+
+
+class TestReplay:
+    def test_replayed_propose_is_idempotent(self):
+        sim, net, hosts, members, client = make_group()
+        client.submit({"op": 1})
+        sim.run(until=1.0)
+        before = list(hosts[0].delivered)
+        m0 = members[0]
+        slot = m0._slots[1]
+        leader = members[0]
+        sig = leader.signer.sign(
+            CsPropose.signed_payload(0, 1, slot.batch_digest)
+        )
+        replay = CsPropose(view=0, seq=1, batch=slot.batch, sig=sig)
+        replay.sender = "v0"
+        replay._neq = True
+        hosts[1].deliver(replay)
+        sim.run(until=2.0)
+        assert hosts[1].delivered == before
+
+    def test_replayed_request_id_committed_once(self):
+        sim, net, hosts, members, client = make_group()
+        rid = client.submit({"op": 1})
+        sim.run(until=1.0)
+        from repro.consensus.messages import CsRequest
+
+        for pid in ("v0", "v1", "v2"):
+            net.send("client", pid, CsRequest(request_id=rid, payload={"op": 1}))
+        sim.run(until=2.0)
+        assert hosts[0].delivered.count(rid) == 1

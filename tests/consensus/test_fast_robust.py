@@ -1,0 +1,245 @@
+"""Tests for the 2f+1 consensus protocol: safety, liveness, view changes."""
+
+import pytest
+
+from repro.consensus import ConsensusClient, ConsensusMember
+from repro.crypto import KeyRegistry
+from repro.net import Network, SubCluster, SynchronyModel
+from repro.sim import Simulator, SimProcess
+
+
+class Host(SimProcess):
+    """Consensus member host recording its commit sequence."""
+
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=2)
+        self.committed = []  # (seq, batch)
+
+    def record(self, seq, batch):
+        self.committed.append((seq, batch))
+
+
+class Client(SimProcess):
+    pass
+
+
+def make_group(f=1, n_members=None, validate=None, seed=3, **member_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, synchrony=SynchronyModel())
+    registry = KeyRegistry()
+    n = n_members or (2 * f + 1)
+    group = SubCluster(index=0, members=tuple(f"v{i}" for i in range(n)), f=f)
+    hosts, members = [], []
+    for pid in group.members:
+        host = Host(sim, pid)
+        net.register(host)
+        signer = registry.register(pid)
+        member = ConsensusMember(
+            host, net, registry, signer, group,
+            on_commit=host.record, validate=validate, **member_kwargs,
+        )
+        hosts.append(host)
+        members.append(member)
+    client_proc = Client(sim, "client")
+    net.register(client_proc)
+    client = ConsensusClient(client_proc, net, group)
+    return sim, net, hosts, members, client
+
+
+def committed_ids(host):
+    return [rid for _, batch in host.committed for rid, _, _ in batch]
+
+
+class TestGracefulCommit:
+    def test_single_request_commits_on_all_members(self):
+        sim, net, hosts, members, client = make_group()
+        client.submit({"op": "x"})
+        sim.run(until=1.0)
+        for host in hosts:
+            assert len(committed_ids(host)) == 1
+
+    def test_commit_carries_payload(self):
+        sim, net, hosts, members, client = make_group()
+        client.submit({"op": "x"})
+        sim.run(until=1.0)
+        _, batch = hosts[0].committed[0]
+        assert batch[0][1] == {"op": "x"}
+
+    def test_all_members_agree_on_order(self):
+        sim, net, hosts, members, client = make_group()
+        for i in range(20):
+            client.submit({"op": i})
+        sim.run(until=2.0)
+        orders = [committed_ids(h) for h in hosts]
+        assert orders[0] == orders[1] == orders[2]
+        assert len(orders[0]) == 20
+
+    def test_seq_numbers_are_contiguous(self):
+        sim, net, hosts, members, client = make_group()
+        for i in range(10):
+            client.submit({"op": i})
+        sim.run(until=2.0)
+        seqs = [seq for seq, _ in hosts[0].committed]
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_duplicate_request_committed_once(self):
+        sim, net, hosts, members, client = make_group()
+        rid = client.submit({"op": 1})
+        # replay the same request id directly to all members
+        from repro.consensus.messages import CsRequest
+
+        for pid in ("v0", "v1", "v2"):
+            net.send("client", pid, CsRequest(request_id=rid, payload={"op": 1}))
+        sim.run(until=1.0)
+        assert committed_ids(hosts[0]).count(rid) == 1
+
+    def test_batching_groups_requests(self):
+        sim, net, hosts, members, client = make_group()
+        for i in range(50):
+            client.submit({"op": i})
+        sim.run(until=2.0)
+        # far fewer consensus slots than requests
+        assert len(hosts[0].committed) < 50
+        assert len(committed_ids(hosts[0])) == 50
+
+    def test_requests_from_two_clients_all_commit(self):
+        sim, net, hosts, members, client = make_group()
+        client2_proc = Client(sim, "client2")
+        net.register(client2_proc)
+        client2 = ConsensusClient(client2_proc, net, client.group)
+        client.submit({"op": "a"})
+        client2.submit({"op": "b"})
+        sim.run(until=1.0)
+        assert len(committed_ids(hosts[0])) == 2
+
+    def test_five_member_group_f2(self):
+        sim, net, hosts, members, client = make_group(f=2)
+        client.submit({"op": 1})
+        sim.run(until=1.0)
+        for host in hosts:
+            assert len(committed_ids(host)) == 1
+
+
+class TestValidation:
+    def test_invalid_requests_filtered(self):
+        validate = lambda payload: payload.get("ok", False)
+        sim, net, hosts, members, client = make_group(validate=validate)
+        client.submit({"ok": True})
+        client.submit({"ok": False})
+        sim.run(until=1.0)
+        payloads = [p for _, b in hosts[0].committed for _, p, _ in b]
+        assert payloads == [{"ok": True}]
+
+
+class TestLeaderFailure:
+    def test_crashed_leader_triggers_view_change(self):
+        sim, net, hosts, members, client = make_group()
+        hosts[0].crash()  # v0 is leader of view 0
+        client.submit({"op": 1})
+        sim.run(until=5.0)
+        for host in hosts[1:]:
+            assert len(committed_ids(host)) == 1, host.pid
+        assert members[1].view >= 1
+
+    def test_commits_resume_after_view_change(self):
+        sim, net, hosts, members, client = make_group()
+        hosts[0].crash()
+        for i in range(5):
+            client.submit({"op": i})
+        sim.run(until=5.0)
+        assert len(committed_ids(hosts[1])) == 5
+        # and the two survivors agree
+        assert committed_ids(hosts[1]) == committed_ids(hosts[2])
+
+    def test_leader_crash_mid_stream(self):
+        sim, net, hosts, members, client = make_group()
+        for i in range(5):
+            client.submit({"op": i})
+        sim.schedule(0.02, hosts[0].crash)
+        sim.schedule(1.0, lambda: [client.submit({"op": 100 + i}) for i in range(5)])
+        sim.run(until=8.0)
+        ids1, ids2 = committed_ids(hosts[1]), committed_ids(hosts[2])
+        # agreement on the common prefix and everything eventually commits
+        assert ids1 == ids2
+        assert len(ids1) == 10
+
+    def test_f2_survives_two_crashes(self):
+        sim, net, hosts, members, client = make_group(f=2)
+        hosts[0].crash()
+        hosts[1].crash()
+        client.submit({"op": 1})
+        sim.run(until=20.0)
+        survivors = hosts[2:]
+        for host in survivors:
+            assert len(committed_ids(host)) == 1
+
+
+class TestSafetyUnderEquivocationAttempts:
+    def test_plain_channel_proposals_rejected(self):
+        """Proposals not sent through the non-equivocating primitive are
+        ignored, so a Byzantine leader cannot equivocate via plain sends."""
+        from repro.consensus.messages import CsPropose
+        from repro.crypto.digest import digest
+
+        sim, net, hosts, members, client = make_group()
+        leader = members[0]
+        bd = digest(["evil"])
+        sig = leader.signer.sign(CsPropose.signed_payload(0, 1, bd))
+        msg = CsPropose(view=0, seq=1, batch=(("evil", {"op": 666}, 0),), sig=sig)
+        net.send("v0", "v1", msg)  # plain send, not neq_multicast
+        sim.run(until=1.0)
+        assert committed_ids(hosts[1]) == []
+
+    def test_forged_leader_signature_rejected(self):
+        from repro.consensus.messages import CsPropose
+        from repro.crypto.digest import digest
+        from repro.crypto.signatures import Signature
+
+        sim, net, hosts, members, client = make_group()
+        bd = digest(["evil"])
+        msg = CsPropose(
+            view=0, seq=1, batch=(("evil", {"op": 666}, 0),),
+            sig=Signature("v0", b"\x00" * 32),
+        )
+        net.neq_multicast("v1", ["v1", "v2"], msg)
+        sim.run(until=1.0)
+        assert committed_ids(hosts[1]) == []
+        assert committed_ids(hosts[2]) == []
+
+    def test_proposal_from_non_leader_rejected(self):
+        from repro.consensus.messages import CsPropose
+        from repro.crypto.digest import digest
+
+        sim, net, hosts, members, client = make_group()
+        impostor = members[1]  # not the view-0 leader
+        bd = digest(["evil"])
+        sig = impostor.signer.sign(CsPropose.signed_payload(0, 1, bd))
+        msg = CsPropose(view=0, seq=1, batch=(("evil", {"op": 666}, 0),), sig=sig)
+        net.neq_multicast("v1", ["v0", "v2"], msg)
+        sim.run(until=1.0)
+        assert committed_ids(hosts[0]) == []
+
+
+class TestPartialSynchrony:
+    def test_progress_after_gst_despite_pre_gst_delays(self):
+        sim = Simulator(seed=3)
+        syn = SynchronyModel(gst=0.5, pre_gst_extra=0.3, delta=1e-3)
+        net = Network(sim, synchrony=syn)
+        registry = KeyRegistry()
+        group = SubCluster(index=0, members=("v0", "v1", "v2"), f=1)
+        hosts = []
+        for pid in group.members:
+            host = Host(sim, pid)
+            net.register(host)
+            ConsensusMember(
+                host, net, registry, registry.register(pid), group,
+                on_commit=host.record,
+            )
+            hosts.append(host)
+        cproc = Client(sim, "client")
+        net.register(cproc)
+        client = ConsensusClient(cproc, net, group)
+        client.submit({"op": 1})
+        sim.run(until=10.0)
+        for host in hosts:
+            assert len(committed_ids(host)) == 1

@@ -1,0 +1,158 @@
+"""Tests for the 3f+1 PBFT-style consensus (no non-equivocation)."""
+
+import pytest
+
+from repro.consensus import ConsensusClient, PbftMember
+from repro.crypto import KeyRegistry
+from repro.errors import ConsensusError
+from repro.net import Network, SubCluster, SynchronyModel
+from repro.sim import Simulator, SimProcess
+
+
+class Host(SimProcess):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=1)
+        self.delivered = []
+
+    def record(self, seq, batch):
+        for rid, _, _ in batch:
+            self.delivered.append(rid)
+
+
+def make_group(f=1, seed=6, **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, synchrony=SynchronyModel())
+    registry = KeyRegistry()
+    n = 3 * f + 1
+    group = SubCluster(index=0, members=tuple(f"v{i}" for i in range(n)), f=f)
+    hosts, members = [], []
+    for pid in group.members:
+        host = Host(sim, pid)
+        net.register(host)
+        members.append(
+            PbftMember(
+                host, net, registry, registry.register(pid), group,
+                on_commit=host.record, **kwargs,
+            )
+        )
+        hosts.append(host)
+    cp = Host(sim, "client")
+    net.register(cp)
+    return sim, net, hosts, members, ConsensusClient(cp, net, group)
+
+
+class TestGraceful:
+    def test_requests_commit_on_all_members(self):
+        sim, net, hosts, members, client = make_group()
+        for i in range(20):
+            client.submit({"op": i})
+        sim.run(until=5.0)
+        for host in hosts:
+            assert len(host.delivered) == 20
+
+    def test_all_members_agree_on_order(self):
+        sim, net, hosts, members, client = make_group()
+        for i in range(30):
+            sim.schedule(i * 0.002, lambda i=i: client.submit({"op": i}))
+        sim.run(until=5.0)
+        orders = [h.delivered for h in hosts]
+        assert all(o == orders[0] for o in orders)
+
+    def test_group_size_enforced(self):
+        sim = Simulator()
+        net = Network(sim)
+        registry = KeyRegistry()
+        group = SubCluster(index=0, members=("a", "b", "c"), f=1)
+        host = Host(sim, "a")
+        net.register(host)
+        with pytest.raises(ConsensusError):
+            PbftMember(
+                host, net, registry, registry.register("a"), group,
+                on_commit=host.record,
+            )
+
+    def test_no_neq_multicast_used(self):
+        """PBFT must not rely on the heavyweight primitive at all."""
+        sim, net, hosts, members, client = make_group()
+        for i in range(10):
+            client.submit({"op": i})
+        sim.run(until=5.0)
+        assert net.neq_multicasts == 0
+        assert len(hosts[0].delivered) == 10
+
+
+class TestFaults:
+    def test_crashed_leader_recovered_by_view_change(self):
+        sim, net, hosts, members, client = make_group(seed=7)
+        hosts[0].crash()
+        for i in range(10):
+            client.submit({"op": i})
+        sim.run(until=20.0)
+        for host in hosts[1:]:
+            assert len(host.delivered) == 10, host.pid
+        assert members[1].view >= 1
+
+    def test_f_crashes_tolerated(self):
+        sim, net, hosts, members, client = make_group(f=1, seed=8)
+        hosts[3].crash()  # a non-leader
+        for i in range(10):
+            client.submit({"op": i})
+        sim.run(until=20.0)
+        for host in hosts[:3]:
+            assert len(host.delivered) == 10
+
+    def test_leader_crash_mid_stream_exactly_once(self):
+        sim, net, hosts, members, client = make_group(seed=9)
+        for i in range(30):
+            sim.schedule(i * 0.005, lambda i=i: client.submit({"op": i}))
+        sim.schedule(0.05, hosts[0].crash)
+        sim.run(until=30.0)
+        for host in hosts[1:]:
+            assert len(host.delivered) == 30
+            assert len(set(host.delivered)) == 30
+        assert hosts[1].delivered == hosts[2].delivered == hosts[3].delivered
+
+    def test_equivocating_preprepares_cannot_both_commit(self):
+        """Two conflicting proposals for the same slot: the prepare
+        quorum (2f+1 of 3f+1) makes at most one win."""
+        from repro.consensus.pbft import PbftPrePrepare
+        from repro.crypto.digest import digest as dg
+
+        sim, net, hosts, members, client = make_group(seed=10)
+        leader = members[0]
+        batch_a = (("a", {"op": "a"}, 0),)
+        batch_b = (("b", {"op": "b"}, 0),)
+        for batch, targets in ((batch_a, ["v1", "v2"]), (batch_b, ["v3"])):
+            bd = dg([rid for rid, _, _ in batch])
+            sig = leader.signer.sign(PbftPrePrepare.signed_payload(0, 1, bd))
+            msg = PbftPrePrepare(view=0, seq=1, batch=batch, sig=sig)
+            for t in targets:
+                net.send("v0", t, msg)
+        sim.run(until=5.0)
+        delivered = [set(h.delivered) for h in hosts[1:]]
+        # at most one of the conflicting requests ever commits, and no
+        # two correct members commit different ones
+        union = set().union(*delivered)
+        assert not ({"a", "b"} <= union)
+
+
+class TestOsirisWithoutNonEquivocation:
+    def test_full_pipeline_on_pbft(self):
+        """End-to-end OsirisBFT with 3f+1 sub-clusters and PBFT."""
+        from repro.apps.synthetic import SyntheticApp
+        from repro.core import build_osiris_cluster
+        from tests.core.helpers import compute_workload, fast_config
+
+        app = SyntheticApp(records_per_task=5, compute_cost=5e-3)
+        cluster = build_osiris_cluster(
+            app,
+            workload=iter(compute_workload(15)),
+            n_workers=12,
+            k=2,
+            seed=77,
+            config=fast_config(non_equivocation=False),
+        )
+        cluster.start()
+        cluster.run(until=30.0)
+        assert cluster.metrics.tasks_completed == 15
+        assert cluster.metrics.records_accepted == 75

@@ -1,0 +1,61 @@
+"""Shared helpers for core protocol tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
+from repro.core import OsirisConfig, build_osiris_cluster
+
+
+def fast_config(**overrides) -> OsirisConfig:
+    """Config with short timeouts so failure tests converge quickly."""
+    defaults = dict(
+        suspect_timeout=0.1,
+        op_timeout=0.05,
+        role_switching=False,
+        chunk_bytes=256,
+    )
+    defaults.update(overrides)
+    return OsirisConfig(**defaults)
+
+
+def compute_workload(n_tasks: int, period: float = 0.01, records=None):
+    """(time, task) pairs of pure compute tasks."""
+    return [
+        (i * period, make_compute_task(i, n=records)) for i in range(n_tasks)
+    ]
+
+
+def run_cluster(
+    n_tasks=10,
+    n_workers=10,
+    k=2,
+    seed=1,
+    until=30.0,
+    app=None,
+    config=None,
+    workload=None,
+    **kwargs,
+):
+    """Build, run and return a cluster with a simple compute workload."""
+    app = app or SyntheticApp(records_per_task=5, compute_cost=5e-3)
+    workload = workload if workload is not None else compute_workload(n_tasks)
+    cluster = build_osiris_cluster(
+        app,
+        workload=iter(workload),
+        n_workers=n_workers,
+        k=k,
+        seed=seed,
+        config=config or fast_config(),
+        **kwargs,
+    )
+    cluster.start()
+    cluster.run(until=until)
+    return cluster
+
+
+def expected_record_data(task_id: str, i: int) -> int:
+    """The datum SyntheticApp must produce at position i of a task."""
+    raw = hashlib.sha256(f"{task_id}:{i}".encode()).digest()
+    return int.from_bytes(raw[:8], "big")

@@ -1,0 +1,98 @@
+"""Regression: a single Byzantine VP_CO member colluding with an executor
+must not be able to activate verification for a task that was never
+linearized (found by audit; activation now always requires the f+1
+signature quorum on every path)."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.core import build_osiris_cluster
+from repro.core.messages import AssignmentMsg, ChunkDigestMsg, ChunkMsg
+from repro.core.tasks import Assignment, Chunk, chunk_records
+from repro.crypto.digest import digest
+from tests.core.helpers import fast_config
+
+
+def deploy():
+    app = SyntheticApp(records_per_task=3, compute_cost=1e-3)
+    cluster = build_osiris_cluster(
+        app,
+        workload=None,
+        n_workers=10,
+        k=2,
+        seed=90,
+        config=fast_config(),
+    )
+    return cluster, app
+
+
+def forged_assignment(cluster, app, task_id="ghost"):
+    """An assignment signed by only ONE coordinator member for a task
+    that never went through consensus."""
+    task = make_compute_task(999).with_timestamp(0)
+    task = task.with_timestamp(0)
+    a = Assignment(task=task, executor="e0", vp_index=1, attempt=0)
+    traitor = cluster.coordinators[0]
+    sig = traitor.signer.sign(a.signed_payload())
+    return a, sig, traitor.pid, task
+
+
+class TestForgedAssignment:
+    def test_single_signed_assignment_plus_chunks_never_verifies(self):
+        cluster, app = deploy()
+        a, sig, traitor_pid, task = forged_assignment(cluster, app)
+        verifier = cluster.verifiers[0]
+
+        # step 1: traitor sends its (valid!) single assignment copy
+        amsg = AssignmentMsg(assignment=a, sig=sig)
+        amsg.sender = traitor_pid
+        verifier.deliver(amsg)
+        assert not any(st.activated for st in verifier._tasks.values())
+
+        # step 2: colluding executor streams a perfectly plausible output
+        view = app.initial_state().snapshot(0)
+        records = list(app.compute(view, a.task).records)
+        chunk = chunk_records(a.task.task_id, records, 10**6)[0]
+        cmsg = ChunkMsg(chunk=chunk, assignment=a, assignment_sigs=(sig,))
+        cmsg.sender = "e0"
+        verifier.deliver(cmsg)
+        dmsg = ChunkDigestMsg(
+            task_id=a.task.task_id, attempt=0, index=0, digest=digest(chunk)
+        )
+        dmsg.sender = "e0"
+        dmsg._neq = True
+        verifier.deliver(dmsg)
+        cluster.sim.run(until=5.0)
+
+        # the verifier never activated, verified, or forwarded anything
+        st = verifier._tasks.get(a.key)
+        assert st is None or (not st.activated and not st.verified)
+        assert verifier.chunks_verified == 0
+        assert cluster.metrics.records_accepted == 0
+
+    def test_quorum_signed_chunk_borne_assignment_still_works(self):
+        """The coordination-free path (legit quorum prepended to chunks)
+        keeps working."""
+        cluster, app = deploy()
+        verifier = cluster.verifiers[0]
+        task = make_compute_task(1).with_timestamp(0)
+        a = Assignment(task=task, executor="e0", vp_index=1, attempt=0)
+        sigs = tuple(
+            c.signer.sign(a.signed_payload()) for c in cluster.coordinators[:2]
+        )
+        view = app.initial_state().snapshot(0)
+        records = list(app.compute(view, a.task).records)
+        chunk = chunk_records(a.task.task_id, records, 10**6)[0]
+        cmsg = ChunkMsg(chunk=chunk, assignment=a, assignment_sigs=sigs)
+        cmsg.sender = "e0"
+        verifier.deliver(cmsg)
+        dmsg = ChunkDigestMsg(
+            task_id=a.task.task_id, attempt=0, index=0, digest=digest(chunk)
+        )
+        dmsg.sender = "e0"
+        dmsg._neq = True
+        verifier.deliver(dmsg)
+        cluster.sim.run(until=5.0)
+        st = verifier._tasks.get(a.key)
+        assert st is not None and st.activated
+        assert verifier.chunks_verified == 1

@@ -1,0 +1,185 @@
+"""Coordinator control-plane security: forged control ops, suspect
+quorums, and deterministic assignment state across members."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.core import build_osiris_cluster
+from repro.core.coordinator import _ctl_signed_payload
+from repro.core.messages import SuspectExecutorMsg, TaskCompleteMsg
+from repro.crypto.signatures import Signature
+from tests.core.helpers import compute_workload, fast_config
+
+
+def deploy(n_tasks=6, seed=80, **kwargs):
+    app = SyntheticApp(records_per_task=4, compute_cost=20e-3)
+    cluster = build_osiris_cluster(
+        app,
+        workload=iter(compute_workload(n_tasks)),
+        n_workers=10,
+        k=2,
+        seed=seed,
+        config=fast_config(),
+        **kwargs,
+    )
+    return cluster
+
+
+class TestControlOpValidation:
+    def test_unsigned_control_op_rejected(self):
+        cluster = deploy()
+        coord = cluster.coordinators[0]
+        assert not coord._validate({"kind": "blacklist", "executor": "e0"})
+
+    def test_forged_signature_rejected(self):
+        cluster = deploy()
+        coord = cluster.coordinators[0]
+        ctl = {
+            "kind": "blacklist",
+            "executor": "e0",
+            "sig": Signature("v0", b"\x00" * 32),
+        }
+        assert not coord._validate(ctl)
+
+    def test_outsider_signature_rejected(self):
+        """An executor (who has a real key) cannot author control ops."""
+        cluster = deploy()
+        coord = cluster.coordinators[0]
+        e0 = cluster.executors[0]
+        ctl = {"kind": "blacklist", "executor": "e1"}
+        ctl["sig"] = e0.signer.sign(_ctl_signed_payload(ctl))
+        assert not coord._validate(ctl)
+
+    def test_member_signed_control_op_accepted(self):
+        cluster = deploy()
+        coord = cluster.coordinators[0]
+        ctl = {"kind": "blacklist", "executor": "e0"}
+        ctl["sig"] = coord.signer.sign(_ctl_signed_payload(ctl))
+        assert coord._validate(ctl)
+
+    def test_signature_binds_fields(self):
+        cluster = deploy()
+        coord = cluster.coordinators[0]
+        ctl = {"kind": "blacklist", "executor": "e0"}
+        ctl["sig"] = coord.signer.sign(_ctl_signed_payload(ctl))
+        tampered = dict(ctl)
+        tampered["executor"] = "e1"
+        assert not coord._validate(tampered)
+
+    def test_garbage_payload_rejected(self):
+        cluster = deploy()
+        coord = cluster.coordinators[0]
+        assert not coord._validate("not a task")
+        assert not coord._validate({"no_kind": True})
+
+
+class TestSuspectQuorum:
+    def _suspect(self, cluster, sender_pid, entry, byzantine=False):
+        sender = cluster.worker(sender_pid)
+        msg = SuspectExecutorMsg(
+            task_id=entry.task.task_id,
+            attempt=entry.attempt,
+            executor=entry.executor,
+            byzantine=byzantine,
+        )
+        msg.sig = sender.signer.sign(msg.signed_payload())
+        msg.sender = sender_pid
+        return msg
+
+    def _running_cluster(self):
+        app = SyntheticApp(records_per_task=4, compute_cost=5.0)  # slow tasks
+        cluster = build_osiris_cluster(
+            app,
+            workload=iter(compute_workload(2)),
+            n_workers=10,
+            k=2,
+            seed=81,
+            config=fast_config(suspect_timeout=100.0),
+        )
+        cluster.start()
+        cluster.run(until=0.1)  # tasks assigned, far from complete
+        coord = cluster.coordinators[0]
+        entry = next(
+            e for e in coord.outstanding.values() if not e.done
+        )
+        return cluster, coord, entry
+
+    def test_single_suspect_insufficient(self):
+        cluster, coord, entry = self._running_cluster()
+        members = cluster.topo.cluster(entry.vp_index).members
+        coord.on_SuspectExecutorMsg(self._suspect(cluster, members[0], entry, True))
+        cluster.run(until=1.0)
+        assert entry.executor not in coord.blacklist
+
+    def test_quorum_of_suspects_blacklists(self):
+        cluster, coord, entry = self._running_cluster()
+        victim = entry.executor  # reassignment mutates the entry
+        members = cluster.topo.cluster(entry.vp_index).members
+        for pid in members[:2]:
+            for target in cluster.coordinators:
+                target.on_SuspectExecutorMsg(
+                    self._suspect(cluster, pid, entry, byzantine=True)
+                )
+        cluster.run(until=2.0)
+        assert victim in coord.blacklist
+        assert entry.executor != victim  # its task moved elsewhere
+
+    def test_suspect_from_wrong_cluster_ignored(self):
+        cluster, coord, entry = self._running_cluster()
+        outside = [
+            c
+            for c in cluster.topo.verifier_clusters
+            if c.index != entry.vp_index
+        ][0]
+        for pid in outside.members[:2]:
+            coord.on_SuspectExecutorMsg(
+                self._suspect(cluster, pid, entry, byzantine=True)
+            )
+        cluster.run(until=1.0)
+        assert entry.executor not in coord.blacklist
+
+    def test_stale_attempt_suspect_ignored(self):
+        cluster, coord, entry = self._running_cluster()
+        members = cluster.topo.cluster(entry.vp_index).members
+        msg = self._suspect(cluster, members[0], entry, True)
+        entry.attempt += 1  # simulate a reassignment racing the report
+        coord.on_SuspectExecutorMsg(msg)
+        assert coord._suspect_votes == {}
+
+
+class TestTaskCompleteQuorum:
+    def test_forged_complete_does_not_finish_task(self):
+        cluster = deploy(n_tasks=1)
+        cluster.start()
+        cluster.run(until=0.05)
+        coord = cluster.coordinators[0]
+        entry = next(iter(coord.outstanding.values()))
+        if entry.done:
+            pytest.skip("task finished before injection")
+        vp = cluster.topo.cluster(entry.vp_index)
+        msg = TaskCompleteMsg(
+            task_id=entry.task.task_id, attempt=entry.attempt, count=0
+        )
+        msg.sig = Signature(vp.members[0], b"\x00" * 32)
+        msg.sender = vp.members[0]
+        coord.on_TaskCompleteMsg(msg)
+        assert not entry.done or len(coord._complete_votes) == 0
+
+
+class TestDeterministicState:
+    def test_all_members_agree_on_assignment_state(self):
+        cluster = deploy(n_tasks=12)
+        cluster.start()
+        cluster.run(until=30.0)
+        states = [
+            sorted(
+                (tid, e.executor, e.vp_index, e.attempt)
+                for tid, e in coord.outstanding.items()
+            )
+            for coord in cluster.coordinators
+        ]
+        assert states[0] == states[1] == states[2]
+        assert all(
+            c.ts_counter == cluster.coordinators[0].ts_counter
+            for c in cluster.coordinators
+        )

@@ -1,0 +1,155 @@
+"""Unit tests for the execution engine: queueing, cancellation, and the
+coordination-free signature quorum."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.core import build_osiris_cluster
+from repro.core.messages import AssignmentMsg
+from repro.core.tasks import Assignment
+from tests.core.helpers import compute_workload, fast_config
+
+
+def deploy(**kwargs):
+    app = SyntheticApp(records_per_task=3, compute_cost=100e-3)
+    cluster = build_osiris_cluster(
+        app,
+        workload=None,
+        n_workers=10,
+        k=2,
+        seed=60,
+        config=fast_config(cores_per_node=1),
+        **kwargs,
+    )
+    return cluster
+
+
+def send_assignment(cluster, executor_pid, task, attempt=0, vp_index=1,
+                    to_executor=None, n_sigs=2):
+    target = cluster.worker(to_executor or executor_pid)
+    a = Assignment(
+        task=task.with_timestamp(0),
+        executor=executor_pid,
+        vp_index=vp_index,
+        attempt=attempt,
+    )
+    for coord in cluster.coordinators[:n_sigs]:
+        msg = AssignmentMsg(assignment=a, sig=coord.signer.sign(a.signed_payload()))
+        msg.sender = coord.pid
+        target.deliver(msg)
+
+
+class TestQuorum:
+    def test_single_signature_does_not_start(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        send_assignment(cluster, "e0", make_compute_task(1), n_sigs=1)
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 0
+
+    def test_quorum_starts_execution(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        send_assignment(cluster, "e0", make_compute_task(1), n_sigs=2)
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 1
+
+    def test_duplicate_signer_insufficient(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        task = make_compute_task(1)
+        a = Assignment(task=task.with_timestamp(0), executor="e0", vp_index=1)
+        coord = cluster.coordinators[0]
+        for _ in range(3):
+            msg = AssignmentMsg(
+                assignment=a, sig=coord.signer.sign(a.signed_payload())
+            )
+            msg.sender = coord.pid
+            e0.deliver(msg)
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 0
+
+    def test_same_attempt_runs_once(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        send_assignment(cluster, "e0", make_compute_task(1), n_sigs=3)
+        send_assignment(cluster, "e0", make_compute_task(1), n_sigs=3)
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 1
+
+
+class TestCancellation:
+    def test_queued_task_cancelled_by_superseding_assignment(self):
+        """f+1 copies of a newer-attempt assignment naming another
+        executor cancel the locally queued older attempt."""
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        # fill the single core, then queue the victim task
+        send_assignment(cluster, "e0", make_compute_task(1))
+        send_assignment(cluster, "e0", make_compute_task(2))
+        assert len(e0.engine._ready) == 1
+        # VP_CO reassigned task 2 to e1 (attempt 1); e0 learns via copies
+        send_assignment(
+            cluster, "e1", make_compute_task(2), attempt=1, to_executor="e0"
+        )
+        assert e0.engine._ready == []
+        assert e0.engine.tasks_cancelled == 1
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 1  # only task 1 ran
+
+    def test_single_copy_does_not_cancel(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        send_assignment(cluster, "e0", make_compute_task(1))
+        send_assignment(cluster, "e0", make_compute_task(2))
+        send_assignment(
+            cluster, "e1", make_compute_task(2), attempt=1,
+            to_executor="e0", n_sigs=1,
+        )
+        assert len(e0.engine._ready) == 1
+
+    def test_in_flight_task_not_cancelled(self):
+        """A task already computing runs to completion (speculation:
+        first finisher wins)."""
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        send_assignment(cluster, "e0", make_compute_task(1))
+        send_assignment(
+            cluster, "e1", make_compute_task(1), attempt=1, to_executor="e0"
+        )
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 1
+
+    def test_cancel_does_not_affect_newer_attempt(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        send_assignment(cluster, "e0", make_compute_task(1))
+        send_assignment(cluster, "e0", make_compute_task(2), attempt=2)
+        # stale superseding info (attempt 1 < queued attempt 2): no cancel
+        send_assignment(
+            cluster, "e1", make_compute_task(2), attempt=1, to_executor="e0"
+        )
+        assert len(e0.engine._ready) == 1
+
+
+class TestQueueing:
+    def test_tasks_serialize_on_single_core(self):
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        for i in range(3):
+            send_assignment(cluster, "e0", make_compute_task(i))
+        assert e0.engine._in_flight == 1
+        assert len(e0.engine._ready) == 2
+        cluster.sim.run(until=1.0)
+        assert e0.engine.tasks_executed == 3
+        assert e0.engine._in_flight == 0
+
+    def test_control_core_isolated_from_app_core(self):
+        """Protocol jobs on the ctrl core never wait behind app jobs."""
+        cluster = deploy()
+        e0 = cluster.executors[0]
+        e0.run_job(100.0, lambda: None)  # hog the app core
+        done = []
+        e0.run_ctrl_job(1e-3, done.append, "ctl")
+        cluster.sim.run(until=1.0)
+        assert done == ["ctl"]

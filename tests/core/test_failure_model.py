@@ -1,0 +1,125 @@
+"""Machine-checked Lemma 4.1/4.2/6.2: the output-failure taxonomy is
+complete, correct executions are failure-free, and the verification
+operators accept exactly the correct output."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Record
+from repro.core.failure_model import OutputFailure, classify_output, operators_accept
+
+
+def recs(keys, data=None):
+    return [Record(key=(k,), data=(data or {}).get(k, k * 7)) for k in keys]
+
+
+EXPECTED = recs([1, 2, 3, 4])
+
+
+def is_valid(record):
+    return any(
+        record.key == e.key and record.data == e.data for e in EXPECTED
+    )
+
+
+class TestClassification:
+    def test_correct_output_has_no_failure(self):
+        assert classify_output(EXPECTED, EXPECTED) == OutputFailure.NONE
+
+    def test_empty_expected_and_observed(self):
+        assert classify_output([], []) == OutputFailure.NONE
+
+    def test_fabricated_record_is_mismatch(self):
+        observed = EXPECTED + recs([99])
+        assert OutputFailure.MISMATCH in classify_output(observed, EXPECTED)
+
+    def test_corrupted_data_is_mismatch(self):
+        observed = recs([1, 2, 3]) + [Record(key=(4,), data="junk")]
+        failures = classify_output(observed, EXPECTED)
+        assert OutputFailure.MISMATCH in failures
+        assert OutputFailure.OMISSION in failures  # true record 4 missing
+
+    def test_replayed_record_is_duplication(self):
+        observed = EXPECTED + recs([1])
+        assert OutputFailure.DUPLICATION in classify_output(observed, EXPECTED)
+
+    def test_dropped_record_is_omission(self):
+        observed = recs([1, 2, 4])
+        assert classify_output(observed, EXPECTED) == OutputFailure.OMISSION
+
+    def test_combined_failures(self):
+        observed = recs([1, 1, 99])
+        failures = classify_output(observed, EXPECTED)
+        assert OutputFailure.MISMATCH in failures
+        assert OutputFailure.DUPLICATION in failures
+        assert OutputFailure.OMISSION in failures
+
+
+expected_strategy = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=0, max_size=10, unique=True
+).map(sorted)
+
+
+class TestLemma41Completeness:
+    @given(
+        expected_keys=expected_strategy,
+        observed_keys=st.lists(
+            st.integers(min_value=0, max_value=40), max_size=15
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_deviation_is_classified(self, expected_keys, observed_keys):
+        """Lemma 4.1: every invalid output hits >= 1 failure class."""
+        expected = recs(expected_keys)
+        observed = recs(observed_keys)
+        failures = classify_output(observed, expected)
+        multiset_equal = sorted(observed_keys) == sorted(expected_keys)
+        if multiset_equal:
+            assert failures == OutputFailure.NONE
+        else:
+            assert failures != OutputFailure.NONE
+
+    @given(expected_keys=expected_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_42_correct_execution_no_failures(self, expected_keys):
+        """Lemma 4.2 (output side): faithful execution yields no failure."""
+        expected = recs(expected_keys)
+        assert classify_output(expected, expected) == OutputFailure.NONE
+
+
+class TestLemma62Operators:
+    def _is_valid_for(self, expected):
+        table = {(e.key, e.data) for e in expected}
+        return lambda r: (r.key, r.data) in table
+
+    @given(
+        expected_keys=expected_strategy,
+        observed_keys=st.lists(
+            st.integers(min_value=0, max_value=40), max_size=15
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_operators_accept_iff_output_correct(
+        self, expected_keys, observed_keys
+    ):
+        """Lemma 6.2: validity + total order + count ⟺ R = A(s, t)."""
+        expected = recs(expected_keys)
+        observed = recs(observed_keys)
+        accepted = operators_accept(
+            observed, expected, self._is_valid_for(expected)
+        )
+        assert accepted == (observed_keys == sorted(expected_keys))
+
+    def test_out_of_order_rejected(self):
+        observed = recs([2, 1, 3, 4])
+        assert not operators_accept(observed, EXPECTED, is_valid)
+
+    def test_duplicate_rejected_by_strict_order(self):
+        observed = recs([1, 2, 3, 3])
+        assert not operators_accept(observed, EXPECTED, is_valid)
+
+    def test_padding_with_duplicates_rejected(self):
+        """Omission hidden by duplication (count right, content wrong)."""
+        observed = recs([1, 1, 2, 3])
+        assert not operators_accept(observed, EXPECTED, is_valid)

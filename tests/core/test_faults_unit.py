@@ -1,0 +1,116 @@
+"""Unit tests for fault strategy transformations (no cluster needed)."""
+
+import pytest
+
+from repro.core import Record, Task
+from repro.core.faults import (
+    CorruptRecordFault,
+    DuplicateFinalChunkFault,
+    DuplicateRecordFault,
+    EarlyFinalFault,
+    ExecutorFault,
+    FabricateRecordFault,
+    OmitRecordFault,
+    OutputFault,
+    ReorderRecordsFault,
+    SilentFault,
+    SlowFault,
+    TruncateOutputFault,
+    VerifierFault,
+)
+from repro.core.tasks import Opcode, chunk_records
+
+
+@pytest.fixture
+def task():
+    return Task("t1", Opcode.COMPUTE)
+
+
+@pytest.fixture
+def records():
+    return [Record(key=(i,), data=i) for i in range(6)]
+
+
+class TestActivation:
+    def test_inactive_before_activate_at(self):
+        fault = CorruptRecordFault(activate_at=10.0)
+        assert not fault.active(5.0)
+        assert fault.active(10.0)
+
+    def test_default_active_immediately(self):
+        assert ExecutorFault().active(0.0)
+
+    def test_verifier_and_output_fault_activation(self):
+        assert not VerifierFault(activate_at=3.0).active(2.0)
+        assert OutputFault().active(0.0)
+
+
+class TestRecordTransforms:
+    def test_base_class_is_honest(self, task, records):
+        fault = ExecutorFault()
+        assert fault.transform_records(task, records) == records
+        assert not fault.silent(task)
+        assert not fault.suppress_final_chunk(task)
+        assert fault.extra_delay(task) == 0.0
+        assert not fault.equivocate(task)
+        chunks = chunk_records("t1", records, 10**6)
+        assert fault.transform_chunks(task, chunks) == chunks
+
+    def test_corrupt_changes_last_record_data(self, task, records):
+        out = CorruptRecordFault().transform_records(task, records)
+        assert len(out) == len(records)
+        assert out[-1].data != records[-1].data
+        assert out[-1].key == records[-1].key
+
+    def test_corrupt_noop_on_empty(self, task):
+        assert CorruptRecordFault().transform_records(task, []) == []
+
+    def test_fabricate_appends(self, task, records):
+        out = FabricateRecordFault().transform_records(task, records)
+        assert len(out) == len(records) + 1
+
+    def test_fabricate_on_empty_output(self, task):
+        out = FabricateRecordFault().transform_records(task, [])
+        assert len(out) == 1
+
+    def test_duplicate_replays_first(self, task, records):
+        out = DuplicateRecordFault().transform_records(task, records)
+        assert out[-1] == records[0]
+
+    def test_omit_drops_one(self, task, records):
+        out = OmitRecordFault().transform_records(task, records)
+        assert len(out) == len(records) - 1
+
+    def test_truncate_halves(self, task, records):
+        out = TruncateOutputFault().transform_records(task, records)
+        assert len(out) == 3
+
+    def test_reorder_reverses(self, task, records):
+        out = ReorderRecordsFault().transform_records(task, records)
+        assert out == list(reversed(records))
+
+    def test_silent_and_slow(self, task):
+        assert SilentFault().silent(task)
+        assert SlowFault(delay=2.5).extra_delay(task) == 2.5
+
+
+class TestChunkTransforms:
+    def test_duplicate_final_chunk_appends_replay(self, task, records):
+        chunks = chunk_records("t1", records, 128)
+        out = DuplicateFinalChunkFault().transform_chunks(task, chunks)
+        assert len(out) == len(chunks) + 1
+        assert out[-1].records == chunks[-1].records
+        assert out[-1].index == chunks[-1].index + 1
+        assert out[-1].final
+
+    def test_early_final_marks_middle_chunk(self, task, records):
+        chunks = chunk_records("t1", records, 128)
+        assert len(chunks) >= 2
+        out = EarlyFinalFault().transform_chunks(task, chunks)
+        finals = [c.final for c in out]
+        assert finals.count(True) >= 2  # the injected early final + real one
+
+    def test_early_final_noop_on_single_chunk(self, task):
+        chunks = chunk_records("t1", [Record(key=(0,))], 10**6)
+        out = EarlyFinalFault().transform_chunks(task, chunks)
+        assert out == chunks

@@ -1,0 +1,154 @@
+"""Graceful-execution integration tests: the happy path of Fig 4."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
+from repro.core import Opcode, Task, build_osiris_cluster
+from tests.core.helpers import compute_workload, fast_config, run_cluster
+
+
+class TestComputePipeline:
+    def test_all_tasks_complete(self):
+        cluster = run_cluster(n_tasks=20)
+        assert cluster.metrics.tasks_completed == 20
+
+    def test_all_records_accepted_exactly_once(self):
+        cluster = run_cluster(n_tasks=20)
+        assert cluster.metrics.records_accepted == 20 * 5
+
+    def test_no_faults_detected_in_graceful_run(self):
+        cluster = run_cluster(n_tasks=20)
+        assert cluster.metrics.faults_detected == []
+        assert cluster.metrics.reassignments == []
+        assert cluster.metrics.leader_elections == []
+
+    def test_tasks_execute_exactly_once(self):
+        """No task replication: total executions == number of tasks."""
+        cluster = run_cluster(n_tasks=20)
+        total = sum(e.engine.tasks_executed for e in cluster.executors)
+        assert total == 20
+
+    def test_tasks_spread_across_executors(self):
+        cluster = run_cluster(n_tasks=20)
+        used = sum(1 for e in cluster.executors if e.engine.tasks_executed > 0)
+        assert used == len(cluster.executors)
+
+    def test_latency_recorded_per_task(self):
+        cluster = run_cluster(n_tasks=10)
+        assert len(cluster.metrics.task_latencies) == 10
+        assert all(lat > 0 for lat in cluster.metrics.task_latencies)
+
+    def test_empty_output_task_completes(self):
+        cluster = run_cluster(n_tasks=5, workload=compute_workload(5, records=0))
+        assert cluster.metrics.tasks_completed == 5
+        assert cluster.metrics.records_accepted == 0
+
+    def test_large_output_uses_multiple_chunks(self):
+        app = SyntheticApp(records_per_task=40, compute_cost=2e-3, record_bytes=64)
+        cluster = run_cluster(n_tasks=5, app=app)  # 256B chunks -> 10 chunks
+        assert cluster.metrics.records_accepted == 200
+        op = cluster.outputs[0]
+        assert op.chunks_accepted > 5
+
+    def test_single_cluster_coordinator_verifies(self):
+        """k=1: VP_CO itself verifies record chunks."""
+        cluster = run_cluster(n_tasks=10, n_workers=7, k=1)
+        assert cluster.metrics.tasks_completed == 10
+        assert any(c.chunks_verified > 0 for c in cluster.coordinators)
+
+    def test_f2_deployment(self):
+        cluster = run_cluster(
+            n_tasks=10,
+            n_workers=14,
+            k=2,
+            config=fast_config(f=2),
+        )
+        assert cluster.metrics.tasks_completed == 10
+
+    def test_3f_plus_1_without_non_equivocation(self):
+        cluster = run_cluster(
+            n_tasks=10,
+            n_workers=12,
+            k=2,
+            config=fast_config(non_equivocation=False),
+        )
+        assert cluster.topo.coordinator.members.__len__() == 4
+        assert cluster.metrics.tasks_completed == 10
+
+
+class TestStateUpdates:
+    def _mixed_workload(self, n):
+        out, t = [], 0.0
+        for i in range(n):
+            out.append((t, make_update_task(i, key=f"k{i}")))
+            t += 0.005
+            out.append((t, make_compute_task(i)))
+            t += 0.005
+        return out
+
+    def test_updates_reach_all_workers(self):
+        cluster = run_cluster(workload=self._mixed_workload(10), until=20.0)
+        for proc in cluster.executors + cluster.all_verifiers:
+            assert proc.store.applied_ts == 10, proc.pid
+
+    def test_update_only_workload(self):
+        workload = [(i * 0.005, make_update_task(i)) for i in range(20)]
+        cluster = run_cluster(workload=workload)
+        assert cluster.executors[0].store.applied_ts == 20
+        assert cluster.metrics.records_accepted == 0
+
+    def test_compute_pinned_to_latest_update(self):
+        cluster = run_cluster(workload=self._mixed_workload(5), until=20.0)
+        # every compute task completed despite interleaved updates
+        assert cluster.metrics.tasks_completed == 5
+
+    def test_both_opcode_updates_then_computes(self):
+        app = SyntheticApp(records_per_task=3, compute_cost=1e-3)
+        tasks = [
+            (
+                i * 0.01,
+                Task(
+                    task_id=f"b{i}",
+                    opcode=Opcode.BOTH,
+                    update_payload=("put", f"k{i}", i),
+                    compute_payload={},
+                ),
+            )
+            for i in range(10)
+        ]
+        cluster = run_cluster(app=app, workload=tasks)
+        assert cluster.metrics.tasks_completed == 10
+        assert cluster.executors[0].store.applied_ts == 10
+
+    def test_invalid_tasks_filtered_at_coordinator(self):
+        """Task-Validity: VP_CO refuses tasks outside T (Byzantine IP)."""
+        bad = Task(task_id="bad", opcode=Opcode.COMPUTE, compute_payload={"n": -5})
+        workload = [(0.0, bad)] + compute_workload(5)
+        cluster = run_cluster(workload=workload)
+        assert cluster.metrics.tasks_completed == 5
+        assert all("bad" != t for t in [])  # bad task never completes
+        assert cluster.coordinators[0].tasks_linearized == 5
+
+
+class TestDeploymentShapes:
+    @pytest.mark.parametrize("n_workers,k", [(4, 1), (8, 1), (10, 2), (16, 3)])
+    def test_various_shapes_complete(self, n_workers, k):
+        cluster = run_cluster(n_tasks=8, n_workers=n_workers, k=k)
+        assert cluster.metrics.tasks_completed == 8
+
+    def test_executor_count(self):
+        cluster = run_cluster(n_workers=10, k=2)
+        assert len(cluster.executors) == 10 - 2 * 3
+
+    def test_determinism_same_seed(self):
+        a = run_cluster(n_tasks=10, seed=7)
+        b = run_cluster(n_tasks=10, seed=7)
+        assert a.metrics.records_accepted == b.metrics.records_accepted
+        assert a.metrics.task_latencies == b.metrics.task_latencies
+
+    def test_default_cluster_count(self):
+        from repro.core import OsirisConfig, default_cluster_count
+
+        cfg = OsirisConfig()
+        assert default_cluster_count(32, cfg) == 5
+        assert default_cluster_count(6, cfg) == 1

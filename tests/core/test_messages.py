@@ -1,0 +1,111 @@
+"""Tests for protocol message sizing and signed payload binding."""
+
+import pytest
+
+from repro.core import Opcode, Record, Task
+from repro.core.messages import (
+    AssignmentMsg,
+    ChunkDigestMsg,
+    ChunkMsg,
+    ChunkShareMsg,
+    EquivocationReport,
+    FallbackExecuteMsg,
+    LeaderElectMsg,
+    NegligentLeaderReport,
+    OutputSizeReport,
+    RoleSwitchMsg,
+    StateUpdateMsg,
+    SuspectExecutorMsg,
+    TaskCompleteMsg,
+    VerifiedChunkMsg,
+    VerifiedDigestMsg,
+    VerifierLoadReport,
+)
+from repro.core.tasks import Assignment, Chunk
+from repro.net.message import HEADER_BYTES
+
+
+def make_chunk(n=3, size=100):
+    return Chunk(
+        "t1", 0, tuple(Record(key=(i,), size_bytes=size) for i in range(n)), True
+    )
+
+
+def make_assignment():
+    return Assignment(
+        Task("t1", Opcode.COMPUTE, timestamp=1, size_bytes=64), "e0", 1, 0
+    )
+
+
+class TestWireSizes:
+    def test_chunk_msg_dominated_by_records(self):
+        small = ChunkMsg(chunk=make_chunk(1), assignment=make_assignment())
+        big = ChunkMsg(chunk=make_chunk(50), assignment=make_assignment())
+        assert big.wire_size() - small.wire_size() == 49 * 100
+
+    def test_digest_messages_are_small(self):
+        chunk = ChunkMsg(chunk=make_chunk(100), assignment=make_assignment())
+        for msg in (
+            ChunkDigestMsg(),
+            VerifiedDigestMsg(),
+            OutputSizeReport(),
+            VerifierLoadReport(),
+            LeaderElectMsg(),
+            NegligentLeaderReport(),
+        ):
+            assert msg.wire_size() < chunk.wire_size() / 10
+
+    def test_wire_size_includes_header(self):
+        assert OutputSizeReport().wire_size() >= HEADER_BYTES
+
+    def test_verified_chunk_carries_data(self):
+        msg = VerifiedChunkMsg(chunk=make_chunk(10))
+        assert msg.payload_bytes() >= 10 * 100
+
+    def test_state_update_scales_with_task(self):
+        small = StateUpdateMsg(task=Task("a", Opcode.UPDATE, size_bytes=10))
+        big = StateUpdateMsg(task=Task("b", Opcode.UPDATE, size_bytes=1000))
+        assert big.wire_size() > small.wire_size()
+
+    def test_share_and_fallback_sizes(self):
+        share = ChunkShareMsg(chunk=make_chunk(5), assignment=make_assignment())
+        assert share.payload_bytes() >= 500
+        fb = FallbackExecuteMsg(task=Task("t", Opcode.COMPUTE, size_bytes=64))
+        assert fb.payload_bytes() >= 64
+
+
+class TestSignedPayloads:
+    def test_suspect_payload_binds_fields(self):
+        base = SuspectExecutorMsg(
+            task_id="t1", attempt=0, executor="e0", byzantine=False
+        )
+        variants = [
+            SuspectExecutorMsg(task_id="t2", attempt=0, executor="e0"),
+            SuspectExecutorMsg(task_id="t1", attempt=1, executor="e0"),
+            SuspectExecutorMsg(task_id="t1", attempt=0, executor="e1"),
+            SuspectExecutorMsg(
+                task_id="t1", attempt=0, executor="e0", byzantine=True
+            ),
+        ]
+        for v in variants:
+            assert v.signed_payload() != base.signed_payload()
+
+    def test_complete_payload_binds_fields(self):
+        a = TaskCompleteMsg(task_id="t1", attempt=0, count=5)
+        b = TaskCompleteMsg(task_id="t1", attempt=0, count=6)
+        assert a.signed_payload() != b.signed_payload()
+
+    def test_role_switch_payload_binds_direction(self):
+        out = RoleSwitchMsg(vp_index=1, epoch=1, to_executor=True)
+        back = RoleSwitchMsg(vp_index=1, epoch=1, to_executor=False)
+        assert out.signed_payload() != back.signed_payload()
+
+    def test_elect_payload_binds_term(self):
+        assert (
+            LeaderElectMsg(vp_index=1, new_term=1).signed_payload()
+            != LeaderElectMsg(vp_index=1, new_term=2).signed_payload()
+        )
+
+    def test_equivocation_report_fields(self):
+        msg = EquivocationReport(vp_index=1, task_id="t", index=2, digest=b"x")
+        assert msg.payload_bytes() > 0

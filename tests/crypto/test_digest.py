@@ -1,0 +1,92 @@
+"""Tests for canonical serialization and digests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import canonical_bytes, digest, digest_hex
+from repro.errors import CryptoError
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalBytes:
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+    def test_dict_order_does_not_matter(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes(
+            {"b": 2, "a": 1}
+        )
+
+    def test_distinct_types_encode_distinctly(self):
+        assert canonical_bytes(1) != canonical_bytes(1.0)
+        assert canonical_bytes("1") != canonical_bytes(b"1")
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes([]) != canonical_bytes(None)
+
+    def test_list_vs_nested_list_distinct(self):
+        assert canonical_bytes([1, 2]) != canonical_bytes([[1], 2])
+        assert canonical_bytes(["ab"]) != canonical_bytes(["a", "b"])
+
+    def test_big_integers_roundtrip(self):
+        a, b = 2**100, 2**100 + 1
+        assert canonical_bytes(a) != canonical_bytes(b)
+
+    def test_numpy_arrays_encoded_by_contents(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([1, 2, 3], dtype=np.int64)
+        c = np.array([1, 2, 4], dtype=np.int64)
+        assert canonical_bytes(a) == canonical_bytes(b)
+        assert canonical_bytes(a) != canonical_bytes(c)
+
+    def test_numpy_dtype_matters(self):
+        a = np.array([1, 2], dtype=np.int32)
+        b = np.array([1, 2], dtype=np.int64)
+        assert canonical_bytes(a) != canonical_bytes(b)
+
+    def test_object_with_canonical_method(self):
+        class Rec:
+            def canonical(self):
+                return [1, "x"]
+
+        assert canonical_bytes(Rec()) == canonical_bytes(Rec())
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(CryptoError):
+            canonical_bytes(object())
+
+    def test_unorderable_dict_keys_raise(self):
+        with pytest.raises(CryptoError):
+            canonical_bytes({(1,): "a", "x": "b"})
+
+
+class TestDigest:
+    @given(values)
+    @settings(max_examples=50, deadline=None)
+    def test_digest_is_32_bytes(self, value):
+        assert len(digest(value)) == 32
+
+    def test_digest_hex_matches_digest(self):
+        assert digest_hex([1, 2]) == digest([1, 2]).hex()
+
+    def test_small_change_changes_digest(self):
+        assert digest({"records": [1, 2, 3]}) != digest({"records": [1, 2, 4]})

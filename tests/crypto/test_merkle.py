@@ -1,0 +1,60 @@
+"""Tests for Merkle commitments over record chunks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import MerkleTree, merkle_root, verify_inclusion
+from repro.errors import CryptoError
+
+
+class TestMerkleTree:
+    def test_single_leaf(self):
+        tree = MerkleTree(["r0"])
+        assert tree.size == 1
+        assert verify_inclusion("r0", tree.proof(0), tree.root)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([])
+
+    def test_root_depends_on_contents(self):
+        assert merkle_root([1, 2, 3]) != merkle_root([1, 2, 4])
+
+    def test_root_depends_on_order(self):
+        assert merkle_root([1, 2]) != merkle_root([2, 1])
+
+    def test_proof_index_out_of_range(self):
+        tree = MerkleTree([1, 2])
+        with pytest.raises(CryptoError):
+            tree.proof(2)
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=33),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_inclusion_proof_verifies(self, items):
+        tree = MerkleTree(items)
+        for i, item in enumerate(items):
+            assert verify_inclusion(item, tree.proof(i), tree.root)
+
+    @given(items=st.lists(st.integers(), min_size=2, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_wrong_item_fails_proof(self, items):
+        tree = MerkleTree(items)
+        proof = tree.proof(0)
+        tampered = items[0] + 1
+        assert not verify_inclusion(tampered, proof, tree.root)
+
+    def test_odd_sized_levels(self):
+        # 5 leaves exercises duplicate-last-node promotion
+        tree = MerkleTree(list(range(5)))
+        for i in range(5):
+            assert verify_inclusion(i, tree.proof(i), tree.root)
+
+    def test_leaf_inner_domain_separation(self):
+        """A tree of two leaves must not equal a 'leaf' forged from their
+        concatenated hashes (classic CVE-2012-2459 shape)."""
+        t2 = MerkleTree([b"a", b"b"])
+        t1 = MerkleTree([t2.root])
+        assert t1.root != t2.root

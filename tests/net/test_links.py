@@ -1,0 +1,227 @@
+"""Tests for the reliable FIFO link and NIC bandwidth model."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.net import Message, Network, SynchronyModel
+from repro.sim import Simulator, SimProcess
+
+
+@dataclass
+class Data(Message):
+    seq: int = 0
+    nbytes: int = 0
+
+    def payload_bytes(self) -> int:
+        return self.nbytes
+
+
+class Sink(SimProcess):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=1)
+        self.received = []
+
+    def on_Data(self, msg):
+        self.received.append((self.sim.now, msg.seq, msg.sender))
+
+
+def make_net(n=3, bandwidth=1e9, **synchrony_kwargs):
+    sim = Simulator(seed=1)
+    syn = SynchronyModel(**synchrony_kwargs) if synchrony_kwargs else SynchronyModel()
+    net = Network(sim, synchrony=syn, bandwidth=bandwidth)
+    procs = [Sink(sim, f"p{i}") for i in range(n)]
+    for p in procs:
+        net.register(p)
+    return sim, net, procs
+
+
+class TestDelivery:
+    def test_message_is_delivered(self):
+        sim, net, procs = make_net()
+        net.send("p0", "p1", Data(seq=1))
+        sim.run()
+        assert [(s, r) for _, s, r in procs[1].received] == [(1, "p0")]
+
+    def test_sender_is_stamped_by_network(self):
+        sim, net, procs = make_net()
+        msg = Data(seq=1)
+        net.send("p2", "p1", msg)
+        sim.run()
+        assert procs[1].received[0][2] == "p2"
+
+    def test_latency_applied(self):
+        sim, net, procs = make_net(jitter=0.0, base_latency=1e-3, delta=2e-3)
+        net.send("p0", "p1", Data(seq=1, nbytes=0))
+        sim.run()
+        t = procs[1].received[0][0]
+        assert t >= 1e-3
+
+    def test_unknown_destination_raises(self):
+        sim, net, _ = make_net()
+        with pytest.raises(NetworkError):
+            net.send("p0", "ghost", Data())
+
+    def test_unknown_sender_raises(self):
+        sim, net, _ = make_net()
+        with pytest.raises(NetworkError):
+            net.send("ghost", "p0", Data())
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, procs = make_net()
+        with pytest.raises(NetworkError):
+            net.register(procs[0])
+
+
+class TestFifo:
+    def test_fifo_per_link(self):
+        sim, net, procs = make_net()
+        for i in range(20):
+            net.send("p0", "p1", Data(seq=i, nbytes=1000 * (20 - i)))
+        sim.run()
+        seqs = [s for _, s, _ in procs[1].received]
+        assert seqs == list(range(20))
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_property(self, sizes):
+        sim, net, procs = make_net(jitter=10e-6)
+        for i, size in enumerate(sizes):
+            net.send("p0", "p1", Data(seq=i, nbytes=size))
+        sim.run()
+        seqs = [s for _, s, _ in procs[1].received]
+        assert seqs == list(range(len(sizes)))
+        times = [t for t, _, _ in procs[1].received]
+        assert times == sorted(times)
+
+
+class TestBandwidth:
+    def test_large_message_takes_transmission_time(self):
+        sim, net, procs = make_net(bandwidth=1e6, jitter=0.0)  # 1 MB/s
+        net.send("p0", "p1", Data(seq=0, nbytes=10**6))
+        sim.run()
+        # ~1s egress + ~1s ingress serialization
+        assert procs[1].received[0][0] >= 2.0
+
+    def test_egress_serializes_concurrent_sends(self):
+        sim, net, procs = make_net(bandwidth=1e6, jitter=0.0)
+        net.send("p0", "p1", Data(seq=0, nbytes=10**6))
+        net.send("p0", "p2", Data(seq=1, nbytes=10**6))
+        sim.run()
+        t1 = procs[1].received[0][0]
+        t2 = procs[2].received[0][0]
+        # second send could not start egress until the first finished
+        assert t2 >= t1 + 0.9
+
+    def test_ingress_converges_at_receiver(self):
+        """Two senders to one receiver serialize at the receiver NIC —
+        the OP-link bottleneck of Sec 7.2."""
+        sim, net, procs = make_net(bandwidth=1e6, jitter=0.0)
+        net.send("p0", "p2", Data(seq=0, nbytes=10**6))
+        net.send("p1", "p2", Data(seq=1, nbytes=10**6))
+        sim.run()
+        times = sorted(t for t, _, _ in procs[2].received)
+        assert times[1] - times[0] >= 0.9
+
+    def test_meters_count_bytes(self):
+        sim, net, procs = make_net()
+        msg = Data(seq=0, nbytes=500)
+        net.send("p0", "p1", msg)
+        sim.run()
+        assert net.nic("p0").egress_meter.total == msg.wire_size()
+        assert net.nic("p1").ingress_meter.total == msg.wire_size()
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(Simulator(), bandwidth=0)
+
+
+class TestMulticast:
+    def test_plain_multicast_reaches_all(self):
+        sim, net, procs = make_net(n=4)
+        net.multicast("p0", ["p1", "p2", "p3"], Data(seq=9))
+        sim.run()
+        for p in procs[1:]:
+            assert [s for _, s, _ in p.received] == [9]
+
+    def test_neq_multicast_reaches_all(self):
+        sim, net, procs = make_net(n=4)
+        net.neq_multicast("p0", ["p1", "p2", "p3"], Data(seq=9))
+        sim.run()
+        for p in procs[1:]:
+            assert [s for _, s, _ in p.received] == [9]
+        assert net.neq_multicasts == 1
+
+    def test_neq_multicast_empty_group_rejected(self):
+        sim, net, _ = make_net()
+        with pytest.raises(NetworkError):
+            net.neq_multicast("p0", [], Data())
+
+    def test_neq_multicast_is_slower_than_plain_send(self):
+        sim1, net1, procs1 = make_net(jitter=0.0, base_latency=1e-3, delta=2e-3)
+        net1.send("p0", "p1", Data(seq=0))
+        sim1.run()
+        plain_t = procs1[1].received[0][0]
+
+        sim2, net2, procs2 = make_net(jitter=0.0, base_latency=1e-3, delta=2e-3)
+        net2.neq_multicast("p0", ["p1"], Data(seq=0))
+        sim2.run()
+        neq_t = procs2[1].received[0][0]
+        assert neq_t > plain_t
+
+
+class TestByteMeter:
+    def test_rate_series_bins(self):
+        from repro.net import ByteMeter
+
+        meter = ByteMeter(bin_seconds=1.0)
+        meter.add(0.5, 100)
+        meter.add(0.7, 100)
+        meter.add(2.1, 300)
+        assert meter.rate_series() == [(0.0, 200.0), (2.0, 300.0)]
+
+    def test_mean_rate(self):
+        from repro.net import ByteMeter
+
+        meter = ByteMeter()
+        meter.add(0.0, 100)
+        meter.add(1.0, 300)
+        assert meter.mean_rate(0.0, 2.0) == pytest.approx(200.0)
+
+    def test_empty_window_rejected(self):
+        from repro.net import ByteMeter
+
+        with pytest.raises(NetworkError):
+            ByteMeter().mean_rate(1.0, 1.0)
+
+
+class TestPartialSynchrony:
+    def test_pre_gst_messages_can_be_slower(self):
+        sim, net, procs = make_net(
+            base_latency=1e-4,
+            jitter=0.0,
+            gst=10.0,
+            pre_gst_extra=0.5,
+            delta=1e-3,
+        )
+        net.send("p0", "p1", Data(seq=0))
+        sim.run()
+        pre_t = procs[1].received[0][0]
+        assert pre_t <= 0.5 + 1e-3
+
+        # after GST the bound is delta
+        sim.schedule_at(20.0, lambda: net.send("p0", "p1", Data(seq=1)))
+        sim.run()
+        post_t = procs[1].received[1][0] - 20.0
+        assert post_t <= 1e-3
+
+    def test_delta_must_bound_latency(self):
+        with pytest.raises(NetworkError):
+            SynchronyModel(base_latency=1.0, jitter=0.0, delta=0.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(NetworkError):
+            SynchronyModel(base_latency=-1.0)

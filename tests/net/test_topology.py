@@ -1,0 +1,103 @@
+"""Tests for topology / sub-cluster descriptions."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import SubCluster, Topology
+
+
+def make_topology(f=1, k=2, executors=4):
+    clusters = []
+    pid = 0
+    for i in range(k):
+        size = 2 * f + 1
+        clusters.append(
+            SubCluster(
+                index=i,
+                members=tuple(f"v{pid + j}" for j in range(size)),
+                f=f,
+            )
+        )
+        pid += size
+    return Topology(
+        input_pids=("ip0",),
+        output_pids=("op0",),
+        executor_pids=tuple(f"e{i}" for i in range(executors)),
+        verifier_clusters=tuple(clusters),
+        f=f,
+    )
+
+
+class TestSubCluster:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(NetworkError):
+            SubCluster(index=0, members=("a", "b"), f=1)
+
+    def test_quorum_is_f_plus_1(self):
+        sc = SubCluster(index=0, members=("a", "b", "c"), f=1)
+        assert sc.quorum == 2
+
+    def test_leader_rotation(self):
+        sc = SubCluster(index=0, members=("a", "b", "c"), f=1)
+        assert sc.leader_at(0) == "a"
+        assert sc.leader_at(1) == "b"
+        assert sc.leader_at(3) == "a"
+
+    def test_3f_plus_1_allowed(self):
+        sc = SubCluster(index=0, members=("a", "b", "c", "d"), f=1)
+        assert sc.quorum == 2
+
+
+class TestTopology:
+    def test_coordinator_is_first_cluster(self):
+        topo = make_topology()
+        assert topo.coordinator.index == 0
+
+    def test_worker_clusters_include_coordinator(self):
+        # VP_CO is one of the verifier sub-clusters (Sec 2): it verifies
+        # records in addition to coordinating
+        topo = make_topology(k=3)
+        assert [c.index for c in topo.worker_clusters] == [0, 1, 2]
+
+    def test_single_cluster_serves_both_roles(self):
+        topo = make_topology(k=1)
+        assert [c.index for c in topo.worker_clusters] == [0]
+
+    def test_worker_pids_is_ep_union_vp(self):
+        topo = make_topology(f=1, k=2, executors=4)
+        wp = topo.worker_pids()
+        assert len(wp) == 4 + 2 * 3
+        assert set(topo.executor_pids) <= set(wp)
+
+    def test_cluster_of(self):
+        topo = make_topology()
+        assert topo.cluster_of("v0").index == 0
+        assert topo.cluster_of("v3").index == 1
+        assert topo.cluster_of("e0") is None
+
+    def test_cluster_by_index(self):
+        topo = make_topology()
+        assert topo.cluster(1).index == 1
+        with pytest.raises(NetworkError):
+            topo.cluster(9)
+
+    def test_overlapping_pids_rejected(self):
+        sc = SubCluster(index=0, members=("x", "y", "z"), f=1)
+        with pytest.raises(NetworkError):
+            Topology(
+                input_pids=("x",),
+                output_pids=("op0",),
+                executor_pids=(),
+                verifier_clusters=(sc,),
+                f=1,
+            )
+
+    def test_empty_verifier_clusters_rejected(self):
+        with pytest.raises(NetworkError):
+            Topology(
+                input_pids=("ip0",),
+                output_pids=("op0",),
+                executor_pids=("e0",),
+                verifier_clusters=(),
+                f=1,
+            )

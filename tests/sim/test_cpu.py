@@ -1,0 +1,134 @@
+"""Tests for the multi-core CPU model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import CpuBank, Simulator
+
+
+class TestSingleCore:
+    def test_jobs_serialize_on_one_core(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        bank.submit(2.0, lambda: done.append(sim.now))
+        bank.submit(3.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 5.0]
+
+    def test_job_submitted_later_starts_after_now(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        sim.schedule(10.0, lambda: bank.submit(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [11.0]
+
+    def test_zero_cost_job_completes_immediately(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        bank.submit(0.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        with pytest.raises(SimulationError):
+            bank.submit(-1.0, lambda: None)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            CpuBank(Simulator(), cores=0)
+
+
+class TestMultiCore:
+    def test_parallel_jobs_overlap_across_cores(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=2)
+        done = []
+        bank.submit(2.0, lambda: done.append(("a", sim.now)))
+        bank.submit(2.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 2.0), ("b", 2.0)]
+
+    def test_third_job_waits_for_earliest_core(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=2)
+        done = []
+        bank.submit(2.0, lambda: done.append(sim.now))
+        bank.submit(5.0, lambda: done.append(sim.now))
+        bank.submit(1.0, lambda: done.append(sim.now))
+        sim.run()
+        # third job runs on the core that frees at t=2
+        assert done == [2.0, 3.0, 5.0]
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        cores=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, costs, cores):
+        """Makespan of greedy list scheduling obeys classic bounds."""
+        sim = Simulator()
+        bank = CpuBank(sim, cores=cores)
+        for c in costs:
+            bank.submit(c, lambda: None)
+        sim.run()
+        makespan = sim.now
+        lower = max(max(costs), sum(costs) / cores)
+        assert makespan >= lower - 1e-9
+        assert makespan <= sum(costs) + 1e-9
+
+
+class TestAccounting:
+    def test_busy_seconds_accumulates(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=2)
+        bank.submit(2.0, lambda: None)
+        bank.submit(3.0, lambda: None)
+        sim.run()
+        assert bank.busy_seconds == pytest.approx(5.0)
+        assert bank.jobs_done == 2
+
+    def test_utilization(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=2)
+        bank.submit(2.0, lambda: None)
+        bank.submit(2.0, lambda: None)
+        sim.run(until=4.0)
+        assert bank.utilization(0.0, 4.0) == pytest.approx(0.5)
+
+    def test_utilization_empty_window_rejected(self):
+        bank = CpuBank(Simulator(), cores=1)
+        with pytest.raises(SimulationError):
+            bank.utilization(1.0, 1.0)
+
+    def test_backlog_seconds(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        bank.submit(5.0, lambda: None)
+        bank.submit(5.0, lambda: None)
+        assert bank.backlog_seconds() == pytest.approx(10.0)
+
+    def test_cancelled_completion_does_not_fire(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        handle = bank.submit(1.0, done.append, "x")
+        handle.cancel()
+        sim.run()
+        assert done == []
+
+    def test_earliest_free_reflects_queue(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        bank.submit(4.0, lambda: None)
+        assert bank.earliest_free() == pytest.approx(4.0)

@@ -1,0 +1,78 @@
+"""Tests for version-history compaction of multiversioned states."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.anomaly import MultiVersionGraph
+from repro.store import KVState
+
+
+class TestKVCompaction:
+    def _kv(self, n=10):
+        kv = KVState()
+        for ts in range(1, n + 1):
+            kv.apply(ts, ("put", "k", ts))
+        return kv
+
+    def test_recent_snapshots_exact_after_compaction(self):
+        kv = self._kv()
+        kv.compact(5)
+        for ts in range(5, 11):
+            assert kv.snapshot(ts).get("k") == ts
+
+    def test_compaction_drops_versions(self):
+        kv = self._kv()
+        before = kv.version_count()
+        dropped = kv.compact(8)
+        assert dropped > 0
+        assert kv.version_count() == before - dropped
+
+    def test_compaction_idempotent(self):
+        kv = self._kv()
+        kv.compact(5)
+        assert kv.compact(5) == 0
+
+    def test_compact_nothing_when_min_ts_zero(self):
+        kv = self._kv()
+        assert kv.compact(0) == 0
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        cut=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reads_at_or_above_cut_unchanged(self, n, cut):
+        cut = min(cut, n)
+        kv = self._kv(n)
+        expected = {ts: kv.snapshot(ts).get("k") for ts in range(cut, n + 1)}
+        kv.compact(cut)
+        for ts in range(cut, n + 1):
+            assert kv.snapshot(ts).get("k") == expected[ts]
+
+
+class TestGraphCompaction:
+    def _graph(self, n=10):
+        g = MultiVersionGraph([(0, 1)])
+        for ts in range(1, n + 1):
+            g.apply(ts, ("add", 0, ts + 10))
+        return g
+
+    def test_recent_snapshots_exact(self):
+        g = self._graph()
+        g.compact(6)
+        for ts in range(6, 11):
+            assert g.snapshot(ts).degree(0) == ts + 1
+
+    def test_versions_dropped(self):
+        g = self._graph()
+        before = g.version_count()
+        dropped = g.compact(9)
+        assert dropped > 0
+        assert g.version_count() == before - dropped
+
+    def test_compaction_preserves_latest_adjacency(self):
+        g = self._graph()
+        latest = set(g.snapshot(10).neighbors(0))
+        g.compact(10)
+        assert set(g.snapshot(10).neighbors(0)) == latest

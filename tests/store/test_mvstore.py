@@ -1,0 +1,111 @@
+"""Tests for in-order update application and readiness gating."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreError
+from repro.store import KVState, MultiVersionStore
+
+
+def make_store():
+    return MultiVersionStore(KVState())
+
+
+class TestOrdering:
+    def test_in_order_applies_immediately(self):
+        store = make_store()
+        store.submit(1, ("put", "a", 1))
+        assert store.applied_ts == 1
+
+    def test_out_of_order_update_buffers(self):
+        store = make_store()
+        store.submit(2, ("put", "a", 2))
+        assert store.applied_ts == 0
+        assert store.pending_count == 1
+        store.submit(1, ("put", "a", 1))
+        assert store.applied_ts == 2
+        assert store.pending_count == 0
+        assert store.view(2).get("a") == 2
+        assert store.view(1).get("a") == 1
+
+    def test_gap_chain_applies_in_one_shot(self):
+        store = make_store()
+        for ts in (4, 3, 2):
+            store.submit(ts, ("put", "k", ts))
+        assert store.applied_ts == 0
+        store.submit(1, ("put", "k", 1))
+        assert store.applied_ts == 4
+
+    def test_duplicates_ignored_and_counted(self):
+        store = make_store()
+        store.submit(1, ("put", "a", 1))
+        cost = store.submit(1, ("put", "a", 999))
+        assert cost == 0.0
+        assert store.duplicate_updates == 1
+        assert store.view(1).get("a") == 1
+
+    def test_duplicate_of_pending_ignored(self):
+        store = make_store()
+        store.submit(3, ("put", "a", 3))
+        store.submit(3, ("put", "a", 999))
+        store.submit(1, ("put", "a", 1))
+        store.submit(2, ("put", "a", 2))
+        assert store.view(3).get("a") == 3
+
+    @given(perm=st.permutations(list(range(1, 12))))
+    @settings(max_examples=50, deadline=None)
+    def test_any_arrival_order_yields_same_state(self, perm):
+        store = make_store()
+        for ts in perm:
+            store.submit(ts, ("put", "k", ts))
+        assert store.applied_ts == 11
+        for ts in range(1, 12):
+            assert store.view(ts).get("k") == ts
+
+
+class TestReadiness:
+    def test_view_of_unapplied_version_rejected(self):
+        store = make_store()
+        with pytest.raises(StoreError):
+            store.view(1)
+
+    def test_ready(self):
+        store = make_store()
+        assert store.ready(0)
+        assert not store.ready(1)
+        store.submit(1, ("put", "a", 1))
+        assert store.ready(1)
+
+    def test_when_ready_fires_immediately_if_visible(self):
+        store = make_store()
+        store.submit(1, ("put", "a", 1))
+        fired = []
+        store.when_ready(1, lambda: fired.append("now"))
+        assert fired == ["now"]
+
+    def test_when_ready_defers_until_applied(self):
+        store = make_store()
+        fired = []
+        store.when_ready(2, lambda: fired.append(store.applied_ts))
+        store.submit(1, ("put", "a", 1))
+        assert fired == []
+        store.submit(2, ("put", "a", 2))
+        assert fired == [2]
+
+    def test_when_ready_multiple_waiters_fifo(self):
+        store = make_store()
+        fired = []
+        store.when_ready(1, lambda: fired.append("first"))
+        store.when_ready(1, lambda: fired.append("second"))
+        store.submit(1, ("put", "a", 1))
+        assert fired == ["first", "second"]
+
+    def test_cost_accumulates(self):
+        store = MultiVersionStore(KVState(update_cost=1e-3))
+        store.submit(1, [("put", "a", 1), ("put", "b", 2)])
+        assert store.total_apply_cost == pytest.approx(2e-3)
+
+    def test_base_ts_offset(self):
+        store = MultiVersionStore(KVState(), base_ts=0)
+        assert store.applied_ts == 0

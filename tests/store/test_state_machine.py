@@ -1,0 +1,99 @@
+"""Tests for the KV reference state machine and snapshot isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreError
+from repro.store import KVState
+
+
+class TestApply:
+    def test_put_then_get(self):
+        kv = KVState()
+        kv.apply(1, ("put", "a", 10))
+        assert kv.snapshot(1).get("a") == 10
+
+    def test_delete(self):
+        kv = KVState()
+        kv.apply(1, ("put", "a", 10))
+        kv.apply(2, ("del", "a"))
+        assert kv.snapshot(2).get("a") is None
+        assert "a" not in kv.snapshot(2)
+
+    def test_batched_ops(self):
+        kv = KVState()
+        kv.apply(1, [("put", "a", 1), ("put", "b", 2)])
+        snap = kv.snapshot(1)
+        assert snap.get("a") == 1 and snap.get("b") == 2
+
+    def test_non_monotonic_apply_rejected(self):
+        kv = KVState()
+        kv.apply(2, ("put", "a", 1))
+        with pytest.raises(StoreError):
+            kv.apply(2, ("put", "a", 2))
+        with pytest.raises(StoreError):
+            kv.apply(1, ("put", "a", 2))
+
+    def test_unknown_op_rejected(self):
+        kv = KVState()
+        with pytest.raises(StoreError):
+            kv.apply(1, ("frobnicate", "a"))
+
+    def test_apply_returns_cost(self):
+        kv = KVState(update_cost=1e-3)
+        assert kv.apply(1, [("put", "a", 1), ("put", "b", 2)]) == pytest.approx(2e-3)
+
+    def test_updates_applied_counter(self):
+        kv = KVState()
+        kv.apply(1, [("put", "a", 1), ("put", "b", 2)])
+        kv.apply(2, ("del", "a"))
+        assert kv.updates_applied == 3
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_pins_version(self):
+        kv = KVState()
+        kv.apply(1, ("put", "a", 1))
+        snap = kv.snapshot(1)
+        kv.apply(2, ("put", "a", 2))
+        assert snap.get("a") == 1
+        assert kv.snapshot(2).get("a") == 2
+
+    def test_snapshot_before_key_existed(self):
+        kv = KVState()
+        kv.apply(1, ("put", "a", 1))
+        kv.apply(2, ("put", "b", 2))
+        assert kv.snapshot(1).get("b") is None
+
+    def test_snapshot_sees_tombstone_history(self):
+        kv = KVState()
+        kv.apply(1, ("put", "a", 1))
+        kv.apply(2, ("del", "a"))
+        kv.apply(3, ("put", "a", 3))
+        assert kv.snapshot(1).get("a") == 1
+        assert kv.snapshot(2).get("a") is None
+        assert kv.snapshot(3).get("a") == 3
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_snapshots_match_sequential_replay(self, writes):
+        """Every snapshot equals a fresh replay of the prefix — the
+        multiversion store agrees with the obvious sequential semantics."""
+        kv = KVState()
+        for ts, (key, value) in enumerate(writes, start=1):
+            kv.apply(ts, ("put", key, value))
+
+        for ts in range(1, len(writes) + 1):
+            replay = {}
+            for key, value in writes[:ts]:
+                replay[key] = value
+            snap = kv.snapshot(ts)
+            for key in "abcd":
+                assert snap.get(key) == replay.get(key)
