@@ -27,6 +27,13 @@ from repro.net.links import DEFAULT_BANDWIDTH, Network
 from repro.net.message import Message
 from repro.net.partial_synchrony import SynchronyModel
 from repro.net.topology import SubCluster
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CATEGORY_TASK,
+    RecordsAccepted,
+    TaskCompleted,
+    TaskSubmitted,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.process import SimProcess
 from repro.store.mvstore import MultiVersionStore
@@ -104,7 +111,6 @@ class RcpWorker(SimProcess):
         registry: KeyRegistry,
         signer: Signer,
         app,
-        metrics,
         cluster: SubCluster,
         coordinator: SubCluster,
         output_pids,
@@ -116,7 +122,6 @@ class RcpWorker(SimProcess):
         self.registry = registry
         self.signer = signer
         self.app = app
-        self.metrics = metrics
         self.cluster = cluster
         self.coordinator_cluster = coordinator
         self.output_pids = output_pids
@@ -297,9 +302,8 @@ class _OutSlot:
 class RcpOutput(SimProcess):
     """Accepts a chunk once f+1 members of one sub-cluster agree on it."""
 
-    def __init__(self, sim, pid, metrics, clusters: list[SubCluster]):
+    def __init__(self, sim, pid, clusters: list[SubCluster]):
         super().__init__(sim, pid, cores=2)
-        self.metrics = metrics
         self.clusters = {c.index: c for c in clusters}
         self._slots: dict[tuple[str, int], _OutSlot] = {}
         self._final: dict[str, int] = {}
@@ -326,9 +330,15 @@ class RcpOutput(SimProcess):
                 slot.accepted = True
                 accepted_chunk = slot.data[sig]
                 self.records_accepted += len(accepted_chunk.records)
-                self.metrics.on_records_accepted(
-                    len(accepted_chunk.records), self.sim.now
-                )
+                if self.bus.wants(CATEGORY_TASK):
+                    self.bus.emit(
+                        RecordsAccepted(
+                            time=self.sim.now,
+                            pid=self.pid,
+                            task_id=task_id,
+                            count=len(accepted_chunk.records),
+                        )
+                    )
                 done = self._accepted.setdefault(task_id, set())
                 done.add(index)
                 fin = self._final.get(task_id)
@@ -336,9 +346,14 @@ class RcpOutput(SimProcess):
                     i in done for i in range(fin + 1)
                 ):
                     self._completed.add(task_id)
-                    self.metrics.on_task_output_complete(
-                        task_id, self.sim.now
-                    )
+                    if self.bus.wants(CATEGORY_TASK):
+                        self.bus.emit(
+                            TaskCompleted(
+                                time=self.sim.now,
+                                pid=self.pid,
+                                task_id=task_id,
+                            )
+                        )
                 return
 
     def on_RcpRecords(self, msg: RcpRecords) -> None:
@@ -360,9 +375,8 @@ class RcpOutput(SimProcess):
 
 
 class RcpInput(SimProcess):
-    def __init__(self, sim, pid, net, metrics, coordinator: SubCluster, workload):
+    def __init__(self, sim, pid, net, coordinator: SubCluster, workload):
         super().__init__(sim, pid, cores=2)
-        self.metrics = metrics
         self.client = ConsensusClient(self, net, coordinator)
         self._workload = iter(workload)
 
@@ -378,7 +392,12 @@ class RcpInput(SimProcess):
 
     def _fire(self, task: Task) -> None:
         if not self.crashed:
-            self.metrics.on_task_submitted(task.task_id, self.sim.now)
+            if self.bus.wants(CATEGORY_TASK):
+                self.bus.emit(
+                    TaskSubmitted(
+                        time=self.sim.now, pid=self.pid, task_id=task.task_id
+                    )
+                )
             self.client.submit(task, size=task.size_bytes)
         self._next()
 
@@ -390,6 +409,7 @@ class RcpCluster:
     sim: Simulator
     net: Network
     metrics: MetricsHub
+    bus: EventBus
     clusters: list[SubCluster]
     workers: list[RcpWorker]
     inputs: list[RcpInput]
@@ -426,6 +446,7 @@ def build_rcp_cluster(
     net = Network(sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth)
     registry = KeyRegistry()
     metrics = MetricsHub()
+    sim.bus.attach(metrics)
     clusters = [
         SubCluster(
             index=i,
@@ -447,7 +468,6 @@ def build_rcp_cluster(
                 registry,
                 registry.register(pid),
                 app,
-                metrics,
                 cluster,
                 coordinator,
                 ("op0",),
@@ -458,16 +478,17 @@ def build_rcp_cluster(
             net.register(w)
             workers.append(w)
     ip = RcpInput(
-        sim, "ip0", net, metrics, coordinator,
+        sim, "ip0", net, coordinator,
         workload if workload is not None else iter(()),
     )
     net.register(ip)
-    op = RcpOutput(sim, "op0", metrics, clusters)
+    op = RcpOutput(sim, "op0", clusters)
     net.register(op)
     return RcpCluster(
         sim=sim,
         net=net,
         metrics=metrics,
+        bus=sim.bus,
         clusters=clusters,
         workers=workers,
         inputs=[ip],

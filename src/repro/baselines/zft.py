@@ -19,6 +19,13 @@ from repro.errors import ProtocolError
 from repro.net.links import DEFAULT_BANDWIDTH, Network
 from repro.net.message import Message
 from repro.net.partial_synchrony import SynchronyModel
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CATEGORY_TASK,
+    RecordsAccepted,
+    TaskCompleted,
+    TaskSubmitted,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.process import SimProcess
 from repro.store.mvstore import MultiVersionStore
@@ -61,11 +68,10 @@ class ZftRecords(Message):
 class ZftWorker(SimProcess):
     """Executes tasks on its state replica and forwards records to OP."""
 
-    def __init__(self, sim, pid, net, app, metrics, output_pids, chunk_bytes, cores):
+    def __init__(self, sim, pid, net, app, output_pids, chunk_bytes, cores):
         super().__init__(sim, pid, cores=cores)
         self.net = net
         self.app = app
-        self.metrics = metrics
         self.output_pids = output_pids
         self.chunk_bytes = chunk_bytes
         self.store = MultiVersionStore(app.initial_state())
@@ -134,10 +140,9 @@ class ZftCoordinator(ZftWorker):
 
 
 class ZftInput(SimProcess):
-    def __init__(self, sim, pid, net, metrics, coordinator_pid, workload):
+    def __init__(self, sim, pid, net, coordinator_pid, workload):
         super().__init__(sim, pid, cores=2)
         self.net = net
-        self.metrics = metrics
         self.coordinator_pid = coordinator_pid
         self._workload = iter(workload)
 
@@ -153,23 +158,39 @@ class ZftInput(SimProcess):
 
     def _fire(self, task: Task) -> None:
         if not self.crashed:
-            self.metrics.on_task_submitted(task.task_id, self.sim.now)
+            if self.bus.wants(CATEGORY_TASK):
+                self.bus.emit(
+                    TaskSubmitted(
+                        time=self.sim.now, pid=self.pid, task_id=task.task_id
+                    )
+                )
             self.net.send(self.pid, self.coordinator_pid, ZftSubmit(task=task))
         self._next()
 
 
 class ZftOutput(SimProcess):
-    def __init__(self, sim, pid, metrics):
+    def __init__(self, sim, pid):
         super().__init__(sim, pid, cores=2)
-        self.metrics = metrics
         self.records_accepted = 0
 
     def on_ZftRecords(self, msg: ZftRecords) -> None:
         chunk = msg.chunk
         self.records_accepted += len(chunk.records)
-        self.metrics.on_records_accepted(len(chunk.records), self.sim.now)
-        if chunk.final:
-            self.metrics.on_task_output_complete(chunk.task_id, self.sim.now)
+        if self.bus.wants(CATEGORY_TASK):
+            self.bus.emit(
+                RecordsAccepted(
+                    time=self.sim.now,
+                    pid=self.pid,
+                    task_id=chunk.task_id,
+                    count=len(chunk.records),
+                )
+            )
+            if chunk.final:
+                self.bus.emit(
+                    TaskCompleted(
+                        time=self.sim.now, pid=self.pid, task_id=chunk.task_id
+                    )
+                )
 
 
 @dataclass
@@ -179,6 +200,7 @@ class ZftCluster:
     sim: Simulator
     net: Network
     metrics: MetricsHub
+    bus: EventBus
     coordinator: ZftCoordinator
     workers: list[ZftWorker]
     inputs: list[ZftInput]
@@ -209,13 +231,13 @@ def build_zft_cluster(
     sim = Simulator(seed=seed)
     net = Network(sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth)
     metrics = MetricsHub()
+    sim.bus.attach(metrics)
     worker_pids = [f"w{i}" for i in range(n_workers)]
     coordinator = ZftCoordinator(
         sim,
         "w0",
         net,
         app,
-        metrics,
         ("op0",),
         chunk_bytes,
         cores_per_node,
@@ -225,21 +247,22 @@ def build_zft_cluster(
     workers: list[ZftWorker] = [coordinator]
     for pid in worker_pids[1:]:
         w = ZftWorker(
-            sim, pid, net, app, metrics, ("op0",), chunk_bytes, cores_per_node
+            sim, pid, net, app, ("op0",), chunk_bytes, cores_per_node
         )
         net.register(w)
         workers.append(w)
     ip = ZftInput(
-        sim, "ip0", net, metrics, "w0",
+        sim, "ip0", net, "w0",
         workload if workload is not None else iter(()),
     )
     net.register(ip)
-    op = ZftOutput(sim, "op0", metrics)
+    op = ZftOutput(sim, "op0")
     net.register(op)
     return ZftCluster(
         sim=sim,
         net=net,
         metrics=metrics,
+        bus=sim.bus,
         coordinator=coordinator,
         workers=workers,
         inputs=[ip],

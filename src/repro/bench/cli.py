@@ -7,6 +7,12 @@ single paper figure without pytest, e.g.::
     python -m repro.bench fig2a
     python -m repro.bench table1
 
+The ``trace`` subcommand runs one scenario with trace sinks attached and
+writes a JSONL event log plus a Chrome ``trace_event`` file loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``::
+
+    python -m repro.bench trace --scenario anomaly-mm --n 8
+
 Benchmarks under ``benchmarks/`` remain the canonical reproduction (they
 also assert the shapes); this runner trades assertions for speed and is
 sized for interactive use.
@@ -15,6 +21,7 @@ sized for interactive use.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable
 
 from repro.bench.analytic import rsm_parallel_tasks, table1
@@ -30,6 +37,9 @@ from repro.baselines.store_models import (
     basil_updates_per_sec,
     kauri_updates_per_sec,
 )
+from repro.core.config import OsirisConfig
+from repro.core.faults import CorruptRecordFault
+from repro.obs.sinks import ChromeTraceSink, JsonlTraceSink
 
 __all__ = ["main"]
 
@@ -138,6 +148,121 @@ def _fig7b(args) -> None:
     print_figure("Fig 7b: throughput vs fault level f (n=32)", results)
 
 
+# --------------------------------------------------------------------- trace
+def _trace_anomaly(profile: str):
+    def run(args, sinks):
+        wl = anomaly_bench(profile, n_tasks=args.tasks, seed=args.seed)
+        return run_osiris(
+            wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks
+        )
+
+    return run
+
+
+def _trace_synthetic(args, sinks):
+    wl = synthetic_bench(args.tasks)
+    return run_osiris(wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks)
+
+
+def _trace_planning(args, sinks):
+    wl = planning_bench(n_tasks=args.tasks, seed=args.seed)
+    return run_osiris(wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks)
+
+
+def _trace_video(args, sinks):
+    wl = video_bench(n_compute=args.tasks, seed=args.seed)
+    return run_osiris(wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks)
+
+
+def _trace_recovery(args, sinks):
+    """Fig 7a shape: a streaming workload where half the executor pool
+    starts corrupting records mid-run; the trace shows fault detection,
+    reassignment and role-switch recovery on the timeline."""
+    rate = 12.0
+    wl = synthetic_bench(
+        args.tasks,
+        records_per_task=10,
+        compute_cost=250e-3,
+        record_bytes=4096,
+        rate=rate,
+        verify_cost_ratio=0.15,
+    )
+    config = OsirisConfig(
+        f=1,
+        chunk_bytes=1_000_000,
+        suspect_timeout=2.0,
+        cores_per_node=1,
+        role_switching=True,
+        role_switch_interval=0.5,
+        switch_patience=2,
+        switch_cooldown=3,
+    )
+    n = max(args.n, 14)
+    activate = 0.3 * (args.tasks / rate)
+    faults = {
+        f"e{i}": CorruptRecordFault(activate_at=activate) for i in range(5)
+    }
+    return run_osiris(
+        wl,
+        n=n,
+        k=3,
+        seed=args.seed,
+        deadline=3000,
+        config=config,
+        executor_faults=faults,
+        sinks=sinks,
+    )
+
+
+TRACE_SCENARIOS: dict[str, Callable] = {
+    "anomaly-mm": _trace_anomaly("MM"),
+    "anomaly-lh": _trace_anomaly("LH"),
+    "anomaly-hl": _trace_anomaly("HL"),
+    "synthetic": _trace_synthetic,
+    "planning": _trace_planning,
+    "video": _trace_video,
+    "recovery": _trace_recovery,
+}
+
+
+def _trace_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trace",
+        description="Run one scenario with trace sinks attached; writes a "
+        "JSONL event log and a Perfetto-loadable Chrome trace.",
+    )
+    parser.add_argument(
+        "--scenario", choices=sorted(TRACE_SCENARIOS), default="anomaly-mm"
+    )
+    parser.add_argument("--n", type=int, default=8, help="cluster size")
+    parser.add_argument("--tasks", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path prefix (default: trace-<scenario>)",
+    )
+    args = parser.parse_args(argv)
+    prefix = args.out or f"trace-{args.scenario}"
+    jsonl_path = f"{prefix}.jsonl"
+    chrome_path = f"{prefix}.chrome.json"
+    try:
+        jsonl = JsonlTraceSink(jsonl_path)
+    except OSError as exc:
+        parser.error(f"cannot open trace output {jsonl_path!r}: {exc}")
+    chrome = ChromeTraceSink(chrome_path)
+    result = TRACE_SCENARIOS[args.scenario](args, [jsonl, chrome])
+    jsonl.close()
+    chrome.close()
+    print(result.row())
+    print(f"wrote {jsonl.event_count} events to {jsonl_path}")
+    print(
+        f"wrote Chrome trace to {chrome_path} "
+        "(load in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 FIGURES: dict[str, Callable] = {
     "fig2a": _fig2a,
     "table1": _table1,
@@ -153,9 +278,13 @@ FIGURES: dict[str, Callable] = {
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate a paper figure interactively.",
+        description="Regenerate a paper figure interactively "
+        "(or 'trace' to capture an event trace).",
     )
     parser.add_argument("figure", choices=sorted(FIGURES))
     parser.add_argument(

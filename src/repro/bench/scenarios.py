@@ -17,7 +17,7 @@ nodes on a 100 Gbps fabric with its ~3.4 GB/s app-level ceiling
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.baselines.rcp import build_rcp_cluster
 from repro.baselines.zft import build_zft_cluster
@@ -25,6 +25,7 @@ from repro.bench.workloads import BenchWorkload
 from repro.core.cluster import build_osiris_cluster
 from repro.core.config import OsirisConfig
 from repro.errors import BenchmarkError
+from repro.obs.bus import Sink
 
 __all__ = ["ScenarioResult", "run_osiris", "run_zft", "run_rcp", "BENCH_BANDWIDTH"]
 
@@ -112,9 +113,14 @@ def run_osiris(
     deadline: float = 600.0,
     config: Optional[OsirisConfig] = None,
     bandwidth: float = BENCH_BANDWIDTH,
+    sinks: Iterable[Sink] = (),
     **build_kwargs,
 ) -> ScenarioResult:
-    """Run OsirisBFT on ``n`` workers; returns the measured result."""
+    """Run OsirisBFT on ``n`` workers; returns the measured result.
+
+    ``sinks`` are extra trace sinks attached to the deployment's event
+    bus before the workload starts (the MetricsHub is always attached).
+    """
     config = config or OsirisConfig(
         f=f,
         chunk_bytes=workload.chunk_bytes,
@@ -135,6 +141,8 @@ def run_osiris(
         bandwidth=bandwidth,
         **build_kwargs,
     )
+    for sink in sinks:
+        cluster.bus.attach(sink)
     cluster.start()
     _run_to_completion(cluster.sim, cluster.metrics, workload, deadline)
 
@@ -167,6 +175,7 @@ def run_zft(
     deadline: float = 600.0,
     bandwidth: float = BENCH_BANDWIDTH,
     cores_per_node: int = 1,
+    sinks: Iterable[Sink] = (),
 ) -> ScenarioResult:
     """Run the ZFT baseline."""
     cluster = build_zft_cluster(
@@ -178,6 +187,8 @@ def run_zft(
         chunk_bytes=workload.chunk_bytes,
         cores_per_node=cores_per_node,
     )
+    for sink in sinks:
+        cluster.bus.attach(sink)
     cluster.start()
     _run_to_completion(cluster.sim, cluster.metrics, workload, deadline)
 
@@ -200,6 +211,7 @@ def run_rcp(
     deadline: float = 600.0,
     bandwidth: float = BENCH_BANDWIDTH,
     cores_per_node: int = 1,
+    sinks: Iterable[Sink] = (),
 ) -> ScenarioResult:
     """Run the RCP baseline."""
     cluster = build_rcp_cluster(
@@ -212,6 +224,8 @@ def run_rcp(
         chunk_bytes=workload.chunk_bytes,
         cores_per_node=cores_per_node,
     )
+    for sink in sinks:
+        cluster.bus.attach(sink)
     cluster.start()
     _run_to_completion(cluster.sim, cluster.metrics, workload, deadline)
 

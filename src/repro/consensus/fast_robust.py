@@ -42,6 +42,7 @@ from repro.errors import ConsensusError
 from repro.net.links import Network
 from repro.net.topology import SubCluster
 from repro.consensus.messages import CsAck, CsPropose, CsRequest, CsViewChange
+from repro.obs.events import CATEGORY_CONSENSUS, ConsensusCommit, ViewChange
 from repro.sim.process import SimProcess
 
 __all__ = ["ConsensusMember", "ConsensusClient"]
@@ -302,6 +303,16 @@ class ConsensusMember:
                 self._pending.pop(rid, None)
                 self._proposed_ids.discard(rid)
             self._arm_progress_timer()
+            bus = self.host.sim.bus
+            if bus.wants(CATEGORY_CONSENSUS):
+                bus.emit(
+                    ConsensusCommit(
+                        time=self.host.sim.now,
+                        pid=self.host.pid,
+                        seq=self.committed_seq,
+                        batch=len(slot.batch),
+                    )
+                )
             if fresh:
                 self.on_commit(self.committed_seq, fresh)
 
@@ -373,6 +384,13 @@ class ConsensusMember:
     def _enter_view(self, new_view: int) -> None:
         self._merge_reported_slots(new_view)
         self.view = new_view
+        bus = self.host.sim.bus
+        if bus.wants(CATEGORY_CONSENSUS):
+            bus.emit(
+                ViewChange(
+                    time=self.host.sim.now, pid=self.host.pid, view=new_view
+                )
+            )
         self._vc_votes = {v: p for v, p in self._vc_votes.items() if v > new_view}
         if self.is_leader:
             # re-propose the uncommitted suffix under the new view, then

@@ -26,6 +26,7 @@ from repro.errors import ConsensusError
 from repro.net.links import Network
 from repro.net.message import Message
 from repro.net.topology import SubCluster
+from repro.obs.events import CATEGORY_CONSENSUS, ConsensusCommit, ViewChange
 from repro.sim.process import SimProcess
 
 __all__ = ["PbftMember", "PbftPrePrepare", "PbftPrepare", "PbftCommit"]
@@ -346,6 +347,16 @@ class PbftMember:
                 self._pending.pop(rid, None)
                 self._proposed_ids.discard(rid)
             self._arm_progress_timer()
+            bus = self.host.sim.bus
+            if bus.wants(CATEGORY_CONSENSUS):
+                bus.emit(
+                    ConsensusCommit(
+                        time=self.host.sim.now,
+                        pid=self.host.pid,
+                        seq=self.committed_seq,
+                        batch=len(slot.batch),
+                    )
+                )
             if fresh:
                 self.on_commit(self.committed_seq, fresh)
 
@@ -414,6 +425,13 @@ class PbftMember:
                     self._reclaim(mine.batch)
                 self._slots[seq] = _Slot(view=view, batch=batch, batch_digest=bd)
         self.view = new_view
+        bus = self.host.sim.bus
+        if bus.wants(CATEGORY_CONSENSUS):
+            bus.emit(
+                ViewChange(
+                    time=self.host.sim.now, pid=self.host.pid, view=new_view
+                )
+            )
         self._vc_votes = {v: p for v, p in self._vc_votes.items() if v > new_view}
         if self.is_leader:
             self._next_seq = max(

@@ -29,6 +29,7 @@ from repro.errors import ProtocolError
 from repro.net.links import DEFAULT_BANDWIDTH, Network
 from repro.net.partial_synchrony import SynchronyModel
 from repro.net.topology import SubCluster, Topology
+from repro.obs.bus import EventBus
 from repro.sim.kernel import Simulator
 
 __all__ = ["OsirisCluster", "build_osiris_cluster"]
@@ -43,6 +44,7 @@ class OsirisCluster:
     topo: Topology
     registry: KeyRegistry
     metrics: MetricsHub
+    bus: EventBus
     config: OsirisConfig
     app: VerifiableApplication
     inputs: list[InputProcess]
@@ -139,6 +141,7 @@ def build_osiris_cluster(
     )
     registry = KeyRegistry()
     metrics = MetricsHub()
+    sim.bus.attach(metrics)
     executor_faults = executor_faults or {}
     verifier_faults = verifier_faults or {}
     output_faults = output_faults or {}
@@ -157,7 +160,6 @@ def build_osiris_cluster(
                 registry.register(pid),
                 app,
                 config,
-                metrics,
                 cluster=cluster,
                 fault=verifier_faults.get(pid),
             )
@@ -175,7 +177,6 @@ def build_osiris_cluster(
             registry.register(pid),
             app,
             config,
-            metrics,
             fault=executor_faults.get(pid),
         )
         net.register(proc)
@@ -188,7 +189,6 @@ def build_osiris_cluster(
             pid,
             net,
             topo,
-            metrics,
             workload if (i == 0 and workload is not None) else iter(()),
         )
         net.register(ip)
@@ -197,7 +197,7 @@ def build_osiris_cluster(
     outputs = []
     for pid in topo.output_pids:
         op = OutputProcess(
-            sim, pid, net, topo, config, metrics,
+            sim, pid, net, topo, config,
             fault=output_faults.get(pid),
         )
         net.register(op)
@@ -209,6 +209,7 @@ def build_osiris_cluster(
         topo=topo,
         registry=registry,
         metrics=metrics,
+        bus=sim.bus,
         config=config,
         app=app,
         inputs=inputs,

@@ -37,6 +37,14 @@ from repro.core.messages import (
 from repro.core.tasks import Assignment, Task
 from repro.core.verifier import Verifier
 from repro.crypto.signatures import Signature, sign_cost
+from repro.obs.events import (
+    CATEGORY_TASK,
+    RoleSwitch,
+    TaskAssigned,
+    TaskFallback,
+    TaskLinearized,
+    TaskReassigned,
+)
 
 __all__ = ["Coordinator"]
 
@@ -130,8 +138,19 @@ class Coordinator(Verifier):
 
     @property
     def _reporter(self) -> bool:
-        """Only one member reports shared metrics, avoiding duplicates."""
+        """Only one member emits *replicated* decisions on the bus.
+
+        Control-op commits happen at every correct VP_CO member; gating on
+        the first member keeps cluster-level trace events (reassignments,
+        role switches, fallbacks) deduplicated.  Per-member observations
+        (fault detections, elections) are emitted ungated.
+        """
         return self.pid == self.topo.coordinator.members[0]
+
+    def _report(self, event) -> None:
+        """Emit a cluster-level event, deduplicated to the reporter."""
+        if self._reporter:
+            self.bus.emit(event)
 
     # ---------------------------------------------------------------- pools
     def _executor_pool(self) -> list[str]:
@@ -165,6 +184,15 @@ class Coordinator(Verifier):
         if task.opcode.has_update:
             self.ts_counter += 1
         stamped = task.with_timestamp(self.ts_counter)
+        if self.bus.wants(CATEGORY_TASK):
+            self._report(
+                TaskLinearized(
+                    time=self.sim.now,
+                    pid=self.pid,
+                    task_id=task.task_id,
+                    timestamp=self.ts_counter,
+                )
+            )
         if task.opcode.has_update:
             self.apply_update_locally(stamped)
             msg = StateUpdateMsg(task=stamped)
@@ -203,6 +231,16 @@ class Coordinator(Verifier):
         prev_executor = entry.executor
         entry.executor = pool[(entry.seq + entry.attempt) % len(pool)]
         entry.vp_index = vps[entry.seq % len(vps)]
+        if self.bus.wants(CATEGORY_TASK):
+            self._report(
+                TaskAssigned(
+                    time=self.sim.now,
+                    pid=self.pid,
+                    task_id=entry.task.task_id,
+                    executor=entry.executor,
+                    attempt=entry.attempt,
+                )
+            )
         assignment = Assignment(
             task=entry.task,
             executor=entry.executor,
@@ -266,8 +304,14 @@ class Coordinator(Verifier):
         if entry.attempt > self.config.max_attempts:
             self._fallback(entry)
             return
-        if self._reporter:
-            self.metrics.on_reassignment(self.sim.now, task_id, entry.attempt)
+        self._report(
+            TaskReassigned(
+                time=self.sim.now,
+                pid=self.pid,
+                task_id=task_id,
+                attempt=entry.attempt,
+            )
+        )
         self._assign(entry)
 
     def _ctl_blacklist(self, executor: str) -> None:
@@ -281,10 +325,14 @@ class Coordinator(Verifier):
                 if entry.attempt > self.config.max_attempts:
                     self._fallback(entry)
                 else:
-                    if self._reporter:
-                        self.metrics.on_reassignment(
-                            self.sim.now, entry.task.task_id, entry.attempt
+                    self._report(
+                        TaskReassigned(
+                            time=self.sim.now,
+                            pid=self.pid,
+                            task_id=entry.task.task_id,
+                            attempt=entry.attempt,
                         )
+                    )
                     self._assign(entry)
 
     def _ctl_role_switch(self, vp_index: int, to_executor: bool, epoch: int) -> None:
@@ -304,8 +352,14 @@ class Coordinator(Verifier):
                 return
             self.switched.discard(vp_index)
         self.ctl_epoch = epoch
-        if self._reporter:
-            self.metrics.on_role_switch(self.sim.now, vp_index, to_executor)
+        self._report(
+            RoleSwitch(
+                time=self.sim.now,
+                pid=self.pid,
+                vp_index=vp_index,
+                to_executor=to_executor,
+            )
+        )
         msg = RoleSwitchMsg(
             vp_index=vp_index, epoch=epoch, to_executor=to_executor
         )
@@ -341,8 +395,11 @@ class Coordinator(Verifier):
             c.index for c in self.topo.worker_clusters
         ]
         vp_index = vps[entry.seq % len(vps)]
-        if self._reporter:
-            self.metrics.on_fallback(self.sim.now, entry.task.task_id)
+        self._report(
+            TaskFallback(
+                time=self.sim.now, pid=self.pid, task_id=entry.task.task_id
+            )
+        )
         msg = FallbackExecuteMsg(task=entry.task, vp_index=vp_index)
         msg.sig = self.signer.sign(msg.signed_payload())
         self.net.multicast(

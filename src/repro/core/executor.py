@@ -25,6 +25,7 @@ from repro.core.tasks import Assignment, Chunk, Record, chunk_records
 from repro.core.worker import WorkerBase
 from repro.crypto.digest import digest
 from repro.crypto.signatures import Signature, verify_cost
+from repro.obs.events import CATEGORY_CHUNK, ChunkEmitted
 
 __all__ = ["ExecutionEngine", "Executor"]
 
@@ -174,6 +175,19 @@ class ExecutionEngine:
             return
         members = host.topo.cluster(a.vp_index).members
         sigma = digest(chunk)
+        bus = host.sim.bus
+        if bus.wants(CATEGORY_CHUNK):
+            bus.emit(
+                ChunkEmitted(
+                    time=host.sim.now,
+                    pid=host.pid,
+                    task_id=chunk.task_id,
+                    index=chunk.index,
+                    records=len(chunk.records),
+                    nbytes=chunk.payload_bytes(),
+                    final=chunk.final,
+                )
+            )
         if fault is not None and fault.equivocate(a.task):
             # plain-channel equivocation: different verifiers see different
             # contents; the digest below still travels via the primitive

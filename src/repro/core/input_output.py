@@ -23,9 +23,16 @@ from repro.core.messages import (
     VerifiedChunkMsg,
     VerifiedDigestMsg,
 )
-from repro.core.metrics import MetricsHub
 from repro.core.tasks import Chunk, Task
 from repro.crypto.digest import digest
+from repro.obs.events import (
+    CATEGORY_CHUNK,
+    CATEGORY_TASK,
+    ChunkAccepted,
+    RecordsAccepted,
+    TaskCompleted,
+    TaskSubmitted,
+)
 from repro.net.links import Network
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
@@ -48,13 +55,11 @@ class InputProcess(SimProcess):
         pid: str,
         net: Network,
         topo: Topology,
-        metrics: MetricsHub,
         workload: Iterator[tuple[float, Task]],
     ) -> None:
         super().__init__(sim, pid, cores=2)
         self.net = net
         self.topo = topo
-        self.metrics = metrics
         self._workload = iter(workload)
         self.client = ConsensusClient(self, net, topo.coordinator)
         self.tasks_submitted = 0
@@ -82,7 +87,12 @@ class InputProcess(SimProcess):
                 submitted_at=self.sim.now,
                 size_bytes=task.size_bytes,
             )
-            self.metrics.on_task_submitted(task.task_id, self.sim.now)
+            if self.bus.wants(CATEGORY_TASK):
+                self.bus.emit(
+                    TaskSubmitted(
+                        time=self.sim.now, pid=self.pid, task_id=task.task_id
+                    )
+                )
             self.client.submit(stamped, size=task.size_bytes)
             self.tasks_submitted += 1
         self._schedule_next()
@@ -116,14 +126,12 @@ class OutputProcess(SimProcess):
         net: Network,
         topo: Topology,
         config: OsirisConfig,
-        metrics: MetricsHub,
         fault: Optional[OutputFault] = None,
     ) -> None:
         super().__init__(sim, pid, cores=2)
         self.net = net
         self.topo = topo
         self.config = config
-        self.metrics = metrics
         self.fault = fault
         self._tasks: dict[str, _OutTask] = {}
         self.chunks_accepted = 0
@@ -178,7 +186,25 @@ class OutputProcess(SimProcess):
                 self.cancel_timer(f"op-wait-{task_id}-{index}")
                 self.chunks_accepted += 1
                 self.records_accepted += len(chunk.records)
-                self.metrics.on_records_accepted(len(chunk.records), self.sim.now)
+                if self.bus.wants(CATEGORY_TASK):
+                    self.bus.emit(
+                        RecordsAccepted(
+                            time=self.sim.now,
+                            pid=self.pid,
+                            task_id=task_id,
+                            count=len(chunk.records),
+                        )
+                    )
+                if self.bus.wants(CATEGORY_CHUNK):
+                    self.bus.emit(
+                        ChunkAccepted(
+                            time=self.sim.now,
+                            pid=self.pid,
+                            task_id=task_id,
+                            index=index,
+                            records=len(chunk.records),
+                        )
+                    )
                 self._check_complete(task_id, ot)
                 return
         # not acceptable yet: something is late or someone is lying
@@ -191,7 +217,12 @@ class OutputProcess(SimProcess):
             ot.completed = True
             for index in list(ot.slots):
                 self.cancel_timer(f"op-wait-{task_id}-{index}")
-            self.metrics.on_task_output_complete(task_id, self.sim.now)
+            if self.bus.wants(CATEGORY_TASK):
+                self.bus.emit(
+                    TaskCompleted(
+                        time=self.sim.now, pid=self.pid, task_id=task_id
+                    )
+                )
 
     # ----------------------------------------------------------- timeouts
     def _arm_wait_timer(self, task_id: str, index: int) -> None:

@@ -6,21 +6,44 @@ measurement window, Fig 5/6/7), task latency (Fig 6e), per-second
 throughput traces (Figs 6d, 7a), OP-link bandwidth (Sec 7.2), executor
 CPU utilization (Sec 7.2), detected faults, reassignments and
 role-switch events.
+
+The hub is a :class:`~repro.obs.bus.Sink` over the observability bus:
+deployments attach it to ``sim.bus`` and protocol roles emit typed
+events instead of calling the hub directly.  The ``on_*`` methods remain
+the accumulation API (and stay directly callable, e.g. from tests); the
+query API is unchanged.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import BenchmarkError
+from repro.obs.bus import Sink
+from repro.obs.events import (
+    CATEGORY_FAULT,
+    CATEGORY_TASK,
+    EquivocationReported,
+    FaultDetected,
+    LeaderElection,
+    RecordsAccepted,
+    RoleSwitch,
+    TaskCompleted,
+    TaskFallback,
+    TaskReassigned,
+    TaskSubmitted,
+    TraceEvent,
+)
 
 __all__ = ["MetricsHub"]
 
 
-class MetricsHub:
+class MetricsHub(Sink):
     """Accumulates deployment-wide observations keyed by simulated time."""
+
+    categories = frozenset({CATEGORY_TASK, CATEGORY_FAULT})
 
     def __init__(self, bin_seconds: float = 1.0) -> None:
         if bin_seconds <= 0:
@@ -40,6 +63,13 @@ class MetricsHub:
         self.fallbacks: list[tuple[float, str]] = []
         self.leader_elections: list[tuple[float, int, int]] = []
         self.equivocation_reports: list[tuple[float, str, int]] = []
+
+    # ----------------------------------------------------------------- sink
+    def handle(self, event: TraceEvent) -> None:
+        """Bus entry point: dispatch a typed event to its ``on_*`` method."""
+        fn = self._DISPATCH.get(type(event))
+        if fn is not None:
+            fn(self, event)
 
     # --------------------------------------------------------------- events
     def on_task_submitted(self, task_id: str, time: float) -> None:
@@ -91,6 +121,21 @@ class MetricsHub:
         """OP reported a partially-delivered chunk digest set."""
         self.equivocation_reports.append((time, task_id, index))
 
+    #: Event-type → accumulator, resolved once at class-definition time.
+    _DISPATCH: dict[type, Callable[["MetricsHub", TraceEvent], None]] = {
+        TaskSubmitted: lambda m, e: m.on_task_submitted(e.task_id, e.time),
+        RecordsAccepted: lambda m, e: m.on_records_accepted(e.count, e.time),
+        TaskCompleted: lambda m, e: m.on_task_output_complete(e.task_id, e.time),
+        FaultDetected: lambda m, e: m.on_fault_detected(e.time, e.reason, e.culprit),
+        TaskReassigned: lambda m, e: m.on_reassignment(e.time, e.task_id, e.attempt),
+        RoleSwitch: lambda m, e: m.on_role_switch(e.time, e.vp_index, e.to_executor),
+        TaskFallback: lambda m, e: m.on_fallback(e.time, e.task_id),
+        LeaderElection: lambda m, e: m.on_leader_election(e.time, e.vp_index, e.term),
+        EquivocationReported: lambda m, e: m.on_equivocation_report(
+            e.time, e.task_id, e.index
+        ),
+    }
+
     # -------------------------------------------------------------- queries
     def throughput(self, start: float, end: float) -> float:
         """Mean accepted records/second over [start, end)."""
@@ -98,7 +143,14 @@ class MetricsHub:
             raise BenchmarkError("empty throughput window")
         lo = int(start // self.bin_seconds)
         hi = int(math.ceil(end / self.bin_seconds))
-        total = sum(self._record_bins.get(i, 0) for i in range(lo, hi))
+        if hi - lo > len(self._record_bins):
+            # sparse bins: a long window over a short burst should cost
+            # O(populated bins), not O(window/bin_seconds)
+            total = sum(
+                c for i, c in self._record_bins.items() if lo <= i < hi
+            )
+        else:
+            total = sum(self._record_bins.get(i, 0) for i in range(lo, hi))
         return total / (end - start)
 
     def throughput_series(self) -> list[tuple[float, float]]:

@@ -47,6 +47,13 @@ from repro.core.worker import WorkerBase
 from repro.crypto.digest import digest
 from repro.crypto.signatures import Signature, sign_cost, verify_cost
 from repro.net.topology import SubCluster
+from repro.obs.events import (
+    CATEGORY_CHUNK,
+    ChunkVerified,
+    EquivocationReported,
+    FaultDetected,
+    LeaderElection,
+)
 
 __all__ = ["Verifier"]
 
@@ -306,6 +313,16 @@ class Verifier(WorkerBase):
         st.verified.append((chunk, sigma))
         st.next_index += 1
         self.chunks_verified += 1
+        if self.bus.wants(CATEGORY_CHUNK):
+            self.bus.emit(
+                ChunkVerified(
+                    time=self.sim.now,
+                    pid=self.pid,
+                    task_id=chunk.task_id,
+                    index=chunk.index,
+                    records=len(records),
+                )
+            )
         if chunk.final:
             st.final_seen = True
             self.cancel_timer(self._suspect_timer_name(key))
@@ -345,7 +362,11 @@ class Verifier(WorkerBase):
         self.failures_detected += 1
         self.cancel_timer(self._suspect_timer_name(key))
         executor = st.assignment.executor if st.assignment else "?"
-        self.metrics.on_fault_detected(self.sim.now, reason, executor)
+        self.bus.emit(
+            FaultDetected(
+                time=self.sim.now, pid=self.pid, reason=reason, culprit=executor
+            )
+        )
         self._accuse(key, byzantine=True)
 
     def _accuse(self, key: tuple[str, int], byzantine: bool) -> None:
@@ -502,8 +523,13 @@ class Verifier(WorkerBase):
             self._elect_votes = {
                 t: v for t, v in self._elect_votes.items() if t > new_term
             }
-            self.metrics.on_leader_election(
-                self.sim.now, self.cluster.index, new_term
+            self.bus.emit(
+                LeaderElection(
+                    time=self.sim.now,
+                    pid=self.pid,
+                    vp_index=self.cluster.index,
+                    term=new_term,
+                )
             )
             if self.is_leader:
                 # the new leader re-sends retained verified outputs so OP
@@ -519,7 +545,14 @@ class Verifier(WorkerBase):
         """OP saw ≥1 but <f+1 digests: re-share the chunk (Sec 5.2.2)."""
         if msg.vp_index != self.cluster.index or self._faulty("silent"):
             return
-        self.metrics.on_equivocation_report(self.sim.now, msg.task_id, msg.index)
+        self.bus.emit(
+            EquivocationReported(
+                time=self.sim.now,
+                pid=self.pid,
+                task_id=msg.task_id,
+                index=msg.index,
+            )
+        )
         # Re-share our *verified* chunk for that index even when the OP's
         # quoted digest differs — a Byzantine leader may have fed the OP a
         # bogus digest, and receivers validate any share against their own

@@ -16,7 +16,6 @@ from typing import Optional
 from repro.core.api import VerifiableApplication
 from repro.core.config import OsirisConfig
 from repro.core.messages import StateUpdateMsg
-from repro.core.metrics import MetricsHub
 from repro.core.tasks import Task
 from repro.crypto.signatures import KeyRegistry, Signer, verify_cost
 from repro.net.links import Network
@@ -41,7 +40,6 @@ class WorkerBase(SimProcess):
         signer: Signer,
         app: VerifiableApplication,
         config: OsirisConfig,
-        metrics: MetricsHub,
     ) -> None:
         super().__init__(sim, pid, cores=config.cores_per_node)
         self.net = net
@@ -50,7 +48,6 @@ class WorkerBase(SimProcess):
         self.signer = signer
         self.app = app
         self.config = config
-        self.metrics = metrics
         self.store = MultiVersionStore(app.initial_state())
         self._update_votes: dict[tuple[str, int], set[str]] = {}
         self._applied_updates: set[tuple[str, int]] = set()

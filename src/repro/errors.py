@@ -52,3 +52,7 @@ class ApplicationError(ReproError):
 
 class BenchmarkError(ReproError):
     """Benchmark harness misconfiguration."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid use of the trace-event bus or one of its sinks."""

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.errors import NetworkError
 from repro.net.message import Message
+from repro.obs.events import CATEGORY_NET, LinkTransfer
 from repro.net.partial_synchrony import SynchronyModel
 from repro.sim.kernel import Simulator
 
@@ -180,6 +181,19 @@ class Network:
         self._fifo_tail[key] = deliver_at
 
         self.messages_sent += 1
+        bus = self.sim.bus
+        if bus.wants(CATEGORY_NET):
+            bus.emit(
+                LinkTransfer(
+                    time=now,
+                    pid=src,
+                    dst=dst,
+                    nbytes=size,
+                    msg_type=type(msg).__name__,
+                    deliver_at=deliver_at,
+                    neq=bool(getattr(msg, "_neq", False)),
+                )
+            )
         self.sim.schedule_at(deliver_at, dst_proc.deliver, msg)
         return deliver_at
 

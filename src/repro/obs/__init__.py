@@ -1,0 +1,78 @@
+"""Structured observability: typed trace events, bus, and sinks.
+
+This package is the instrumentation spine of the reproduction.  The DES
+kernel owns one :class:`EventBus` per deployment (``sim.bus``); every
+layer emits typed :mod:`~repro.obs.events` through it, guarded by the
+O(1) :meth:`EventBus.wants` check so untraced runs pay (almost) nothing.
+``MetricsHub`` consumes the same stream as a sink, as do the JSONL and
+Chrome ``trace_event`` exporters.
+"""
+
+from repro.obs.bus import EventBus, Sink
+from repro.obs.events import (
+    ALL_CATEGORIES,
+    CATEGORY_CHUNK,
+    CATEGORY_CONSENSUS,
+    CATEGORY_CPU,
+    CATEGORY_FAULT,
+    CATEGORY_KERNEL,
+    CATEGORY_NET,
+    CATEGORY_TASK,
+    ChunkAccepted,
+    ChunkEmitted,
+    ChunkVerified,
+    ConsensusCommit,
+    CpuSpan,
+    EquivocationReported,
+    FaultDetected,
+    KernelEventFired,
+    LeaderElection,
+    LinkTransfer,
+    RecordsAccepted,
+    RoleSwitch,
+    TaskAssigned,
+    TaskCompleted,
+    TaskFallback,
+    TaskLinearized,
+    TaskReassigned,
+    TaskSubmitted,
+    TraceEvent,
+    ViewChange,
+)
+from repro.obs.sinks import ChromeTraceSink, CollectorSink, JsonlTraceSink
+
+__all__ = [
+    "EventBus",
+    "Sink",
+    "CollectorSink",
+    "JsonlTraceSink",
+    "ChromeTraceSink",
+    "TraceEvent",
+    "ALL_CATEGORIES",
+    "CATEGORY_TASK",
+    "CATEGORY_CHUNK",
+    "CATEGORY_CONSENSUS",
+    "CATEGORY_FAULT",
+    "CATEGORY_CPU",
+    "CATEGORY_NET",
+    "CATEGORY_KERNEL",
+    "TaskSubmitted",
+    "TaskLinearized",
+    "TaskAssigned",
+    "TaskReassigned",
+    "TaskFallback",
+    "TaskCompleted",
+    "RecordsAccepted",
+    "ChunkEmitted",
+    "ChunkVerified",
+    "ChunkAccepted",
+    "ConsensusCommit",
+    "ViewChange",
+    "FaultDetected",
+    "RoleSwitch",
+    "LeaderElection",
+    "EquivocationReported",
+    "CpuSpan",
+    "LinkTransfer",
+    "KernelEventFired",
+]

@@ -1,0 +1,106 @@
+"""Per-deployment event bus with pluggable sinks.
+
+The bus is the observability spine: every layer (kernel, CPU banks,
+network, consensus, protocol roles) emits :mod:`repro.obs.events` through
+the simulator's bus instead of hand-threaded callbacks.  Sinks subscribe
+by *category*; :meth:`EventBus.wants` is the O(1) guard that hot paths
+check **before constructing an event**, so a run with no sinks (or none
+interested in a category) pays one set-membership test per emission site
+and allocates nothing.
+
+Determinism: sinks are invoked synchronously, in attach order, from the
+emitting call site.  Sinks must not schedule simulator events or consume
+RNG — the bus is strictly read-only with respect to the simulation, which
+is what keeps traced and untraced runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import TraceEvent
+
+__all__ = ["Sink", "EventBus"]
+
+
+class Sink:
+    """Base class for event consumers.
+
+    Subclasses set :attr:`categories` to the frozenset of categories they
+    want (``None`` subscribes to everything) and implement :meth:`handle`.
+    """
+
+    #: Categories this sink subscribes to; ``None`` means all.
+    categories: Optional[frozenset[str]] = None
+
+    def handle(self, event: "TraceEvent") -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; called by :meth:`EventBus.close`."""
+
+
+class EventBus:
+    """Routes trace events to attached sinks, filtered by category."""
+
+    def __init__(self) -> None:
+        self._sinks: list[Sink] = []
+        self._want_all = False
+        self._wanted: frozenset[str] = frozenset()
+
+    # -------------------------------------------------------------- plumbing
+    def _rebuild(self) -> None:
+        self._want_all = any(s.categories is None for s in self._sinks)
+        wanted: set[str] = set()
+        for s in self._sinks:
+            if s.categories is not None:
+                wanted |= s.categories
+        self._wanted = frozenset(wanted)
+
+    def attach(self, sink: Sink) -> Sink:
+        """Attach a sink; emission order follows attach order."""
+        if sink in self._sinks:
+            raise ObservabilityError("sink already attached")
+        self._sinks.append(sink)
+        self._rebuild()
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        """Detach a previously attached sink (does not close it)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            raise ObservabilityError("sink not attached") from None
+        self._rebuild()
+
+    def close(self) -> None:
+        """Detach and close every sink."""
+        sinks, self._sinks = self._sinks, []
+        self._rebuild()
+        for s in sinks:
+            s.close()
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        """Attached sinks, in attach (= emission) order."""
+        return tuple(self._sinks)
+
+    # -------------------------------------------------------------- emission
+    def wants(self, category: str) -> bool:
+        """Cheap guard: is any sink interested in ``category``?
+
+        Hot paths call this before constructing the event, so tracing that
+        nobody listens to costs one set lookup and zero allocations.
+        """
+        return self._want_all or category in self._wanted
+
+    def emit(self, event: "TraceEvent") -> None:
+        """Deliver ``event`` to every subscribed sink, in attach order."""
+        cat = event.category
+        for s in self._sinks:
+            wanted = s.categories
+            if wanted is None or cat in wanted:
+                s.handle(event)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import CATEGORY_CPU, CpuSpan
 from repro.sim.kernel import EventHandle, Simulator
 
 __all__ = ["CpuBank"]
@@ -31,13 +32,22 @@ class CpuBank:
     cores:
         Number of cores available for application work (the paper reserves
         one core per node for networking; deployments pass ``cores - 1``).
+    owner:
+        Process id stamped on emitted :class:`~repro.obs.events.CpuSpan`
+        trace events (empty for anonymous banks, e.g. in unit tests).
+    name:
+        Bank label in trace events ("app"/"ctrl" for process banks).
     """
 
-    def __init__(self, sim: Simulator, cores: int) -> None:
+    def __init__(
+        self, sim: Simulator, cores: int, owner: str = "", name: str = "cpu"
+    ) -> None:
         if cores < 1:
             raise SimulationError(f"CpuBank needs >=1 core, got {cores}")
         self.sim = sim
         self.cores = cores
+        self.owner = owner
+        self.name = name
         self._free_at = [0.0] * cores
         self.busy_seconds = 0.0
         self._jobs_done = 0
@@ -64,6 +74,13 @@ class CpuBank:
         self._free_at[idx] = end
         self.busy_seconds += cost
         self._jobs_done += 1
+        bus = self.sim.bus
+        if cost > 0 and bus.wants(CATEGORY_CPU):
+            bus.emit(
+                CpuSpan(
+                    time=start, pid=self.owner, bank=self.name, core=idx, end=end
+                )
+            )
         return self.sim.schedule_at(end, on_done, *args)
 
     # ------------------------------------------------------------ inspection

@@ -28,6 +28,8 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.bus import EventBus
+from repro.obs.events import CATEGORY_KERNEL, KernelEventFired
 
 __all__ = ["EventHandle", "Simulator"]
 
@@ -74,10 +76,16 @@ class Simulator:
         Seed for the root RNG.  Every component derives child RNGs via
         :meth:`rng` keyed by a stable name, so adding a new consumer never
         perturbs the random stream of existing ones.
+    bus:
+        Observability bus shared by everything running on this simulator
+        (a fresh one is created when omitted).  Sinks attached to it see
+        trace events from every layer; with no sinks attached, emission
+        sites skip event construction entirely.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, bus: Optional[EventBus] = None) -> None:
         self.now: float = 0.0
+        self.bus = bus if bus is not None else EventBus()
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._seed = seed
@@ -137,6 +145,13 @@ class Simulator:
             ev.handle._alive = False
             self.now = ev.time
             self._events_fired += 1
+            bus = self.bus
+            if bus.wants(CATEGORY_KERNEL):
+                bus.emit(
+                    KernelEventFired(
+                        time=ev.time, pid="kernel", count=self._events_fired
+                    )
+                )
             ev.fn(*ev.args)
             return True
         return False
@@ -146,14 +161,16 @@ class Simulator:
 
         When stopped by ``until``, ``now`` is advanced to exactly ``until``
         and remaining events stay queued, so the run can be resumed.
+        ``max_events`` counts events actually *fired* — the same notion
+        :attr:`events_fired` reports — so the two always agree.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        fired = 0
+        stop_at = None if max_events is None else self._events_fired + max_events
         try:
             while self._queue:
-                if max_events is not None and fired >= max_events:
+                if stop_at is not None and self._events_fired >= stop_at:
                     return
                 head = self._queue[0]
                 if not head.handle._alive:
@@ -163,7 +180,6 @@ class Simulator:
                     self.now = until
                     return
                 self.step()
-                fired += 1
             if until is not None and until > self.now:
                 self.now = until
         finally:

@@ -31,15 +31,20 @@ class SimProcess:
     def __init__(self, sim: Simulator, pid: str, cores: int = 7) -> None:
         self.sim = sim
         self.pid = pid
-        self.cpu = CpuBank(sim, cores)
+        self.cpu = CpuBank(sim, cores, owner=pid, name="app")
         #: control-plane core: the paper dedicates one core per node to
         #: "network operations" (Sec 7); protocol-critical work (consensus
         #: signing, acks) runs here so it never queues behind long
         #: application jobs on the worker cores.
-        self.ctrl = CpuBank(sim, 1)
+        self.ctrl = CpuBank(sim, 1, owner=pid, name="ctrl")
         self.crashed = False
         self.unhandled_messages = 0
         self._timers: dict[str, EventHandle] = {}
+
+    @property
+    def bus(self):
+        """The deployment's observability bus (owned by the simulator)."""
+        return self.sim.bus
 
     # ------------------------------------------------------------- messaging
     def deliver(self, msg: Any) -> None:

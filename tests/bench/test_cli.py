@@ -1,8 +1,10 @@
 """Tests for the interactive figure CLI."""
 
+import json
+
 import pytest
 
-from repro.bench.cli import FIGURES, main
+from repro.bench.cli import FIGURES, TRACE_SCENARIOS, main
 
 
 class TestCli:
@@ -33,4 +35,33 @@ class TestCli:
 
     def test_every_registered_figure_has_runner(self):
         for name, fn in FIGURES.items():
+            assert callable(fn), name
+
+
+class TestTraceSubcommand:
+    def test_trace_writes_jsonl_and_chrome_files(self, tmp_path, capsys):
+        prefix = str(tmp_path / "t")
+        rc = main(
+            [
+                "trace",
+                "--scenario", "synthetic",
+                "--n", "8",
+                "--tasks", "12",
+                "--out", prefix,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        jsonl = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert jsonl and all(json.loads(line)["kind"] for line in jsonl)
+        doc = json.loads((tmp_path / "t.chrome.json").read_text())
+        assert doc["traceEvents"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--scenario", "nope"])
+
+    def test_every_registered_scenario_has_runner(self):
+        for name, fn in TRACE_SCENARIOS.items():
             assert callable(fn), name

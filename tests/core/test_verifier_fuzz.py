@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.synthetic import SyntheticApp, make_compute_task
-from repro.core import MetricsHub, OsirisConfig, Record
+from repro.core import OsirisConfig, Record
 from repro.core.messages import AssignmentMsg, ChunkDigestMsg, ChunkMsg
 from repro.core.tasks import Assignment, Chunk
 from repro.core.verifier import Verifier
@@ -46,7 +46,6 @@ def build_verifier():
         registry.register("v3"),
         app,
         config,
-        MetricsHub(),
         cluster=clusters[1],
     )
     net.register(verifier)

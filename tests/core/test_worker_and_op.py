@@ -35,6 +35,7 @@ def make_env(n_exec=2):
     )
     config = OsirisConfig()
     metrics = MetricsHub()
+    sim.bus.attach(metrics)
     app = SyntheticApp()
     return sim, net, registry, topo, config, metrics, app
 
@@ -42,7 +43,7 @@ def make_env(n_exec=2):
 def make_worker(pid="e0"):
     sim, net, registry, topo, config, metrics, app = make_env()
     worker = WorkerBase(
-        sim, pid, net, topo, registry, registry.register(pid), app, config, metrics
+        sim, pid, net, topo, registry, registry.register(pid), app, config
     )
     net.register(worker)
     signers = {v: registry.register(v) for v in topo.coordinator.members}
@@ -119,7 +120,7 @@ class TestStateUpdateQuorum:
 
 def make_op():
     sim, net, registry, topo, config, metrics, app = make_env()
-    op = OutputProcess(sim, "op0", net, topo, config, metrics)
+    op = OutputProcess(sim, "op0", net, topo, config)
     net.register(op)
     return op, metrics, sim
 

@@ -1,0 +1,37 @@
+"""Shared helpers for observability tests: build a small deployment with
+sinks attached *before* the workload starts."""
+
+from __future__ import annotations
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.core import OsirisConfig, build_osiris_cluster
+
+
+def traced_cluster(
+    sinks=(),
+    n_tasks=8,
+    n_workers=8,
+    k=1,
+    seed=3,
+    until=30.0,
+    config=None,
+    **kwargs,
+):
+    """Build a cluster, attach ``sinks``, stream a compute workload."""
+    app = SyntheticApp(records_per_task=4, compute_cost=5e-3)
+    workload = [(i * 0.01, make_compute_task(i)) for i in range(n_tasks)]
+    cluster = build_osiris_cluster(
+        app,
+        workload=iter(workload),
+        n_workers=n_workers,
+        k=k,
+        seed=seed,
+        config=config
+        or OsirisConfig(suspect_timeout=60.0, chunk_bytes=4096),
+        **kwargs,
+    )
+    for sink in sinks:
+        cluster.bus.attach(sink)
+    cluster.start()
+    cluster.run(until=until)
+    return cluster

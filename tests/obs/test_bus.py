@@ -1,0 +1,157 @@
+"""Unit tests for the event bus: attach/detach semantics, category
+filtering, the ``wants`` fast-path guard, and event serialization."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    CATEGORY_CPU,
+    CATEGORY_FAULT,
+    CATEGORY_TASK,
+    CollectorSink,
+    EventBus,
+    FaultDetected,
+    Sink,
+    TaskSubmitted,
+)
+
+
+def submitted(t=1.0, task_id="t0"):
+    return TaskSubmitted(time=t, pid="ip0", task_id=task_id)
+
+
+def fault(t=2.0):
+    return FaultDetected(time=t, pid="v0", reason="corrupt", culprit="e0")
+
+
+class ClosableSink(CollectorSink):
+    def __init__(self, categories=None):
+        super().__init__(categories)
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestAttachDetach:
+    def test_attach_returns_sink(self):
+        bus = EventBus()
+        sink = CollectorSink()
+        assert bus.attach(sink) is sink
+        assert bus.sinks == (sink,)
+
+    def test_double_attach_rejected(self):
+        bus = EventBus()
+        sink = CollectorSink()
+        bus.attach(sink)
+        with pytest.raises(ObservabilityError):
+            bus.attach(sink)
+
+    def test_detach_unattached_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ObservabilityError):
+            bus.detach(CollectorSink())
+
+    def test_detach_stops_delivery(self):
+        bus = EventBus()
+        sink = CollectorSink()
+        bus.attach(sink)
+        bus.emit(submitted())
+        bus.detach(sink)
+        bus.emit(submitted())
+        assert len(sink.events) == 1
+
+    def test_close_detaches_and_closes_all(self):
+        bus = EventBus()
+        a, b = ClosableSink(), ClosableSink()
+        bus.attach(a)
+        bus.attach(b)
+        bus.close()
+        assert a.closed and b.closed
+        assert bus.sinks == ()
+        assert not bus.wants(CATEGORY_TASK)
+
+    def test_emission_follows_attach_order(self):
+        bus = EventBus()
+        order = []
+
+        class Tagged(Sink):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def handle(self, event):
+                order.append(self.tag)
+
+        bus.attach(Tagged("first"))
+        bus.attach(Tagged("second"))
+        bus.emit(submitted())
+        assert order == ["first", "second"]
+
+
+class TestCategoryFiltering:
+    def test_no_sinks_wants_nothing(self):
+        bus = EventBus()
+        assert not bus.wants(CATEGORY_TASK)
+        assert not bus.wants(CATEGORY_CPU)
+
+    def test_none_categories_subscribes_all(self):
+        bus = EventBus()
+        bus.attach(CollectorSink())
+        assert bus.wants(CATEGORY_TASK)
+        assert bus.wants(CATEGORY_CPU)
+
+    def test_scoped_sink_scopes_wants(self):
+        bus = EventBus()
+        bus.attach(CollectorSink(frozenset({CATEGORY_TASK})))
+        assert bus.wants(CATEGORY_TASK)
+        assert not bus.wants(CATEGORY_CPU)
+
+    def test_emit_filters_per_sink(self):
+        bus = EventBus()
+        tasks = CollectorSink(frozenset({CATEGORY_TASK}))
+        faults = CollectorSink(frozenset({CATEGORY_FAULT}))
+        everything = CollectorSink()
+        for s in (tasks, faults, everything):
+            bus.attach(s)
+        bus.emit(submitted())
+        bus.emit(fault())
+        assert [e.kind for e in tasks.events] == ["task-submitted"]
+        assert [e.kind for e in faults.events] == ["fault-detected"]
+        assert len(everything.events) == 2
+
+    def test_wants_updates_on_detach(self):
+        bus = EventBus()
+        sink = CollectorSink(frozenset({CATEGORY_TASK}))
+        bus.attach(sink)
+        assert bus.wants(CATEGORY_TASK)
+        bus.detach(sink)
+        assert not bus.wants(CATEGORY_TASK)
+
+    def test_collector_of_filters_by_type(self):
+        bus = EventBus()
+        sink = CollectorSink()
+        bus.attach(sink)
+        bus.emit(submitted())
+        bus.emit(fault())
+        assert [type(e) for e in sink.of(TaskSubmitted)] == [TaskSubmitted]
+
+
+class TestEventModel:
+    def test_as_dict_carries_kind_and_category(self):
+        d = submitted(t=1.5, task_id="t9").as_dict()
+        assert d == {
+            "kind": "task-submitted",
+            "cat": "task",
+            "time": 1.5,
+            "pid": "ip0",
+            "task_id": "t9",
+        }
+
+    def test_events_are_immutable(self):
+        event = submitted()
+        with pytest.raises(AttributeError):
+            event.time = 99.0
+
+    def test_base_sink_handle_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Sink().handle(submitted())
