@@ -6,7 +6,6 @@ sub-clusters), chunked streaming verification, and speculative
 reassignment.
 """
 
-import pytest
 
 from repro.bench import print_table, run_osiris, synthetic_bench
 from repro.core import OsirisConfig

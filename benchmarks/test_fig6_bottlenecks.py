@@ -16,7 +16,6 @@ from repro.bench import (
     print_table,
     run_osiris,
     run_zft,
-    synthetic_bench,
 )
 from repro.core import OsirisConfig
 

@@ -7,7 +7,6 @@ measured communication fan-out must match the claimed communication
 replication.
 """
 
-import pytest
 
 from repro.apps.synthetic import SyntheticApp, make_compute_task
 from repro.baselines import build_rcp_cluster, build_zft_cluster

@@ -13,7 +13,7 @@ network (Fig 1).  The verification operators are exactly Algorithm 2:
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from repro.apps.anomaly.graph import GraphView, MultiVersionGraph
 from repro.apps.anomaly.matcher import EdgeAnchoredMatcher

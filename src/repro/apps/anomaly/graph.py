@@ -17,7 +17,7 @@ system.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator
 
 import numpy as np
 

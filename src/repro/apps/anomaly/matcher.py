@@ -17,7 +17,6 @@ the heterogeneity the paper's timeout calibration responds to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 
 import numpy as np
 

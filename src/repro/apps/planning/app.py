@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-import numpy as np
 
 from repro.apps.planning.branch_bound import BranchAndBoundSolver, CertNode
 from repro.apps.planning.certificates import CertificateVerifier

@@ -21,7 +21,7 @@ asymmetry the paper's Motion Planning application relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -14,7 +14,6 @@ deterministic per-task seed makes the honest output unique in practice.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Optional
 
 import numpy as np
 

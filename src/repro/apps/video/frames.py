@@ -15,7 +15,7 @@ frames stream in.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 

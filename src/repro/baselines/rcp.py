@@ -9,6 +9,10 @@ only with f+1 matching copies from the same sub-cluster.
 
 Computation scalability is therefore ⌊n/(2f+1)⌋ (Fig 2a) — the
 bottleneck OsirisBFT removes.
+
+Roles are :class:`~repro.runtime.core.ProtocolCore` state machines; the
+builder binds each one to the DES via
+:class:`~repro.runtime.des.DesHost`.
 """
 
 from __future__ import annotations
@@ -34,11 +38,24 @@ from repro.obs.events import (
     TaskCompleted,
     TaskSubmitted,
 )
+from repro.runtime.core import ProtocolCore
+from repro.runtime.des import DesHost
 from repro.sim.kernel import Simulator
-from repro.sim.process import SimProcess
 from repro.store.mvstore import MultiVersionStore
 
-__all__ = ["RcpCluster", "build_rcp_cluster", "rcp_parallel_tasks"]
+__all__ = [
+    "RcpUpdate",
+    "RcpAssign",
+    "RcpRecords",
+    "RcpDigest",
+    "RcpWorker",
+    "RcpCoordinator",
+    "RcpInput",
+    "RcpOutput",
+    "RcpCluster",
+    "build_rcp_cluster",
+    "rcp_parallel_tasks",
+]
 
 
 def rcp_parallel_tasks(n: int, f: int) -> int:
@@ -100,14 +117,16 @@ class RcpDigest(Message):
         return 96
 
 
-class RcpWorker(SimProcess):
+def _noop() -> None:
+    return None
+
+
+class RcpWorker(ProtocolCore):
     """A sub-cluster member: replicated state + replicated execution."""
 
     def __init__(
         self,
-        sim,
         pid,
-        net,
         registry: KeyRegistry,
         signer: Signer,
         app,
@@ -115,10 +134,8 @@ class RcpWorker(SimProcess):
         coordinator: SubCluster,
         output_pids,
         chunk_bytes,
-        cores,
     ):
-        super().__init__(sim, pid, cores=cores)
-        self.net = net
+        super().__init__(pid)
         self.registry = registry
         self.signer = signer
         self.app = app
@@ -155,12 +172,12 @@ class RcpWorker(SimProcess):
                 msg.task.timestamp, msg.task.update_payload
             )
             if cost > 0:
-                self.run_job(cost, lambda: None)
+                self.run_job(cost, _noop)
 
     def apply_update_locally(self, task: Task) -> None:
         cost = self.store.submit(task.timestamp, task.update_payload)
         if cost > 0:
-            self.run_job(cost, lambda: None)
+            self.run_job(cost, _noop)
 
     # -------------------------------------------------------------- compute
     def on_RcpAssign(self, msg: RcpAssign) -> None:
@@ -199,11 +216,15 @@ class RcpWorker(SimProcess):
         chunks = chunk_records(
             task.task_id, list(result.records), self.chunk_bytes
         )
-        handle = self.cpu.submit(result.cost, lambda: None)
-        start = handle.time - result.cost
-        for i, chunk in enumerate(chunks):
-            emit_at = start + result.cost * (i + 1) / len(chunks)
-            self.sim.schedule_at(emit_at, self._emit, chunk)
+        k = len(chunks)
+        self.run_raw_job(
+            result.cost,
+            _noop,
+            milestones=tuple(
+                (result.cost * (i + 1) / k, self._emit, (chunk,))
+                for i, chunk in enumerate(chunks)
+            ),
+        )
 
     def _emit(self, chunk: Chunk) -> None:
         if self.crashed:
@@ -211,8 +232,7 @@ class RcpWorker(SimProcess):
         sigma = digest(chunk)
         for op in self.output_pids:
             if self.is_primary:
-                self.net.send(
-                    self.pid,
+                self.send(
                     op,
                     RcpRecords(
                         cluster_index=self.cluster.index,
@@ -221,8 +241,7 @@ class RcpWorker(SimProcess):
                     ),
                 )
             else:
-                self.net.send(
-                    self.pid,
+                self.send(
                     op,
                     RcpDigest(
                         cluster_index=self.cluster.index,
@@ -245,7 +264,6 @@ class RcpCoordinator(RcpWorker):
         self._rr = 0
         self.consensus = ConsensusMember(
             host=self,
-            net=self.net,
             registry=self.registry,
             signer=self.signer,
             group=self.coordinator_cluster,
@@ -272,9 +290,7 @@ class RcpCoordinator(RcpWorker):
                 if targets:
                     self.run_job(
                         sign_cost(1),
-                        lambda m=msg, t=tuple(targets): self.net.multicast(
-                            self.pid, t, m
-                        ),
+                        lambda m=msg, t=tuple(targets): self.multicast(t, m),
                     )
             if task.opcode.has_compute:
                 target = self.clusters[self._rr % len(self.clusters)]
@@ -286,9 +302,7 @@ class RcpCoordinator(RcpWorker):
                     msg.sig = self.signer.sign(msg.signed_payload())
                     self.run_job(
                         sign_cost(1),
-                        lambda m=msg, t=target.members: self.net.multicast(
-                            self.pid, t, m
-                        ),
+                        lambda m=msg, t=target.members: self.multicast(t, m),
                     )
 
 
@@ -299,11 +313,11 @@ class _OutSlot:
     accepted: bool = False
 
 
-class RcpOutput(SimProcess):
+class RcpOutput(ProtocolCore):
     """Accepts a chunk once f+1 members of one sub-cluster agree on it."""
 
-    def __init__(self, sim, pid, clusters: list[SubCluster]):
-        super().__init__(sim, pid, cores=2)
+    def __init__(self, pid, clusters: list[SubCluster]):
+        super().__init__(pid)
         self.clusters = {c.index: c for c in clusters}
         self._slots: dict[tuple[str, int], _OutSlot] = {}
         self._final: dict[str, int] = {}
@@ -330,10 +344,10 @@ class RcpOutput(SimProcess):
                 slot.accepted = True
                 accepted_chunk = slot.data[sig]
                 self.records_accepted += len(accepted_chunk.records)
-                if self.bus.wants(CATEGORY_TASK):
-                    self.bus.emit(
+                if self.wants(CATEGORY_TASK):
+                    self.emit(
                         RecordsAccepted(
-                            time=self.sim.now,
+                            time=self.now,
                             pid=self.pid,
                             task_id=task_id,
                             count=len(accepted_chunk.records),
@@ -346,10 +360,10 @@ class RcpOutput(SimProcess):
                     i in done for i in range(fin + 1)
                 ):
                     self._completed.add(task_id)
-                    if self.bus.wants(CATEGORY_TASK):
-                        self.bus.emit(
+                    if self.wants(CATEGORY_TASK):
+                        self.emit(
                             TaskCompleted(
-                                time=self.sim.now,
+                                time=self.now,
                                 pid=self.pid,
                                 task_id=task_id,
                             )
@@ -374,10 +388,10 @@ class RcpOutput(SimProcess):
         )
 
 
-class RcpInput(SimProcess):
-    def __init__(self, sim, pid, net, coordinator: SubCluster, workload):
-        super().__init__(sim, pid, cores=2)
-        self.client = ConsensusClient(self, net, coordinator)
+class RcpInput(ProtocolCore):
+    def __init__(self, pid, coordinator: SubCluster, workload):
+        super().__init__(pid)
+        self.client = ConsensusClient(self, coordinator)
         self._workload = iter(workload)
 
     def start(self) -> None:
@@ -388,14 +402,14 @@ class RcpInput(SimProcess):
             at, task = next(self._workload)
         except StopIteration:
             return
-        self.sim.schedule(max(0.0, at - self.sim.now), self._fire, task)
+        self.schedule(max(0.0, at - self.now), self._fire, task)
 
     def _fire(self, task: Task) -> None:
         if not self.crashed:
-            if self.bus.wants(CATEGORY_TASK):
-                self.bus.emit(
+            if self.wants(CATEGORY_TASK):
+                self.emit(
                     TaskSubmitted(
-                        time=self.sim.now, pid=self.pid, task_id=task.task_id
+                        time=self.now, pid=self.pid, task_id=task.task_id
                     )
                 )
             self.client.submit(task, size=task.size_bytes)
@@ -447,6 +461,11 @@ def build_rcp_cluster(
     registry = KeyRegistry()
     metrics = MetricsHub()
     sim.bus.attach(metrics)
+
+    def deploy(core, cores):
+        net.register(DesHost(sim, net, core, cores=cores))
+        return core
+
     clusters = [
         SubCluster(
             index=i,
@@ -462,9 +481,7 @@ def build_rcp_cluster(
             cls = RcpCoordinator if cluster.index == 0 else RcpWorker
             kwargs = dict(clusters=clusters) if cluster.index == 0 else {}
             w = cls(
-                sim,
                 pid,
-                net,
                 registry,
                 registry.register(pid),
                 app,
@@ -472,18 +489,17 @@ def build_rcp_cluster(
                 coordinator,
                 ("op0",),
                 chunk_bytes,
-                cores_per_node,
                 **kwargs,
             )
-            net.register(w)
+            deploy(w, cores_per_node)
             workers.append(w)
     ip = RcpInput(
-        sim, "ip0", net, coordinator,
+        "ip0", coordinator,
         workload if workload is not None else iter(()),
     )
-    net.register(ip)
-    op = RcpOutput(sim, "op0", clusters)
-    net.register(op)
+    deploy(ip, 2)
+    op = RcpOutput("op0", clusters)
+    deploy(op, 2)
     return RcpCluster(
         sim=sim,
         net=net,

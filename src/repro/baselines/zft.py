@@ -5,11 +5,15 @@ tasks to other workers who execute A and simply forward the results."
 No signatures, no replication, no verification: the performance ceiling
 every BFT system is measured against.  The coordinator participates in
 execution too, so computation scalability is |WP| (Table 1).
+
+Roles are :class:`~repro.runtime.core.ProtocolCore` state machines; the
+builder binds each one to the DES via
+:class:`~repro.runtime.des.DesHost`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.core.api import VerifiableApplication
@@ -26,11 +30,23 @@ from repro.obs.events import (
     TaskCompleted,
     TaskSubmitted,
 )
+from repro.runtime.core import ProtocolCore
+from repro.runtime.des import DesHost
 from repro.sim.kernel import Simulator
-from repro.sim.process import SimProcess
 from repro.store.mvstore import MultiVersionStore
 
-__all__ = ["ZftCluster", "build_zft_cluster"]
+__all__ = [
+    "ZftSubmit",
+    "ZftUpdate",
+    "ZftAssign",
+    "ZftRecords",
+    "ZftWorker",
+    "ZftCoordinator",
+    "ZftInput",
+    "ZftOutput",
+    "ZftCluster",
+    "build_zft_cluster",
+]
 
 
 @dataclass
@@ -65,12 +81,15 @@ class ZftRecords(Message):
         return self.chunk.payload_bytes()
 
 
-class ZftWorker(SimProcess):
+def _noop() -> None:
+    return None
+
+
+class ZftWorker(ProtocolCore):
     """Executes tasks on its state replica and forwards records to OP."""
 
-    def __init__(self, sim, pid, net, app, output_pids, chunk_bytes, cores):
-        super().__init__(sim, pid, cores=cores)
-        self.net = net
+    def __init__(self, pid, app, output_pids, chunk_bytes):
+        super().__init__(pid)
         self.app = app
         self.output_pids = output_pids
         self.chunk_bytes = chunk_bytes
@@ -80,7 +99,7 @@ class ZftWorker(SimProcess):
     def on_ZftUpdate(self, msg: ZftUpdate) -> None:
         cost = self.store.submit(msg.task.timestamp, msg.task.update_payload)
         if cost > 0:
-            self.run_job(cost, lambda: None)
+            self.run_job(cost, _noop)
 
     def on_ZftAssign(self, msg: ZftAssign) -> None:
         task = msg.task
@@ -95,17 +114,21 @@ class ZftWorker(SimProcess):
         chunks = chunk_records(
             task.task_id, list(result.records), self.chunk_bytes
         )
-        handle = self.cpu.submit(result.cost, lambda: None)
-        start = handle.time - result.cost
-        for i, chunk in enumerate(chunks):
-            emit_at = start + result.cost * (i + 1) / len(chunks)
-            self.sim.schedule_at(emit_at, self._emit, chunk)
+        k = len(chunks)
+        self.run_raw_job(
+            result.cost,
+            _noop,
+            milestones=tuple(
+                (result.cost * (i + 1) / k, self._emit, (chunk,))
+                for i, chunk in enumerate(chunks)
+            ),
+        )
 
     def _emit(self, chunk: Chunk) -> None:
         if self.crashed:
             return
         for op in self.output_pids:
-            self.net.send(self.pid, op, ZftRecords(chunk=chunk))
+            self.send(op, ZftRecords(chunk=chunk))
 
 
 class ZftCoordinator(ZftWorker):
@@ -129,20 +152,19 @@ class ZftCoordinator(ZftWorker):
                 if pid == self.pid:
                     self.on_ZftUpdate(ZftUpdate(task=stamped))
                 else:
-                    self.net.send(self.pid, pid, ZftUpdate(task=stamped))
+                    self.send(pid, ZftUpdate(task=stamped))
         if task.opcode.has_compute:
             target = self.worker_pids[self._rr % len(self.worker_pids)]
             self._rr += 1
             if target == self.pid:
                 self.on_ZftAssign(ZftAssign(task=stamped))
             else:
-                self.net.send(self.pid, target, ZftAssign(task=stamped))
+                self.send(target, ZftAssign(task=stamped))
 
 
-class ZftInput(SimProcess):
-    def __init__(self, sim, pid, net, coordinator_pid, workload):
-        super().__init__(sim, pid, cores=2)
-        self.net = net
+class ZftInput(ProtocolCore):
+    def __init__(self, pid, coordinator_pid, workload):
+        super().__init__(pid)
         self.coordinator_pid = coordinator_pid
         self._workload = iter(workload)
 
@@ -154,41 +176,41 @@ class ZftInput(SimProcess):
             at, task = next(self._workload)
         except StopIteration:
             return
-        self.sim.schedule(max(0.0, at - self.sim.now), self._fire, task)
+        self.schedule(max(0.0, at - self.now), self._fire, task)
 
     def _fire(self, task: Task) -> None:
         if not self.crashed:
-            if self.bus.wants(CATEGORY_TASK):
-                self.bus.emit(
+            if self.wants(CATEGORY_TASK):
+                self.emit(
                     TaskSubmitted(
-                        time=self.sim.now, pid=self.pid, task_id=task.task_id
+                        time=self.now, pid=self.pid, task_id=task.task_id
                     )
                 )
-            self.net.send(self.pid, self.coordinator_pid, ZftSubmit(task=task))
+            self.send(self.coordinator_pid, ZftSubmit(task=task))
         self._next()
 
 
-class ZftOutput(SimProcess):
-    def __init__(self, sim, pid):
-        super().__init__(sim, pid, cores=2)
+class ZftOutput(ProtocolCore):
+    def __init__(self, pid):
+        super().__init__(pid)
         self.records_accepted = 0
 
     def on_ZftRecords(self, msg: ZftRecords) -> None:
         chunk = msg.chunk
         self.records_accepted += len(chunk.records)
-        if self.bus.wants(CATEGORY_TASK):
-            self.bus.emit(
+        if self.wants(CATEGORY_TASK):
+            self.emit(
                 RecordsAccepted(
-                    time=self.sim.now,
+                    time=self.now,
                     pid=self.pid,
                     task_id=chunk.task_id,
                     count=len(chunk.records),
                 )
             )
             if chunk.final:
-                self.bus.emit(
+                self.emit(
                     TaskCompleted(
-                        time=self.sim.now, pid=self.pid, task_id=chunk.task_id
+                        time=self.now, pid=self.pid, task_id=chunk.task_id
                     )
                 )
 
@@ -232,32 +254,31 @@ def build_zft_cluster(
     net = Network(sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth)
     metrics = MetricsHub()
     sim.bus.attach(metrics)
+
+    def deploy(core, cores):
+        net.register(DesHost(sim, net, core, cores=cores))
+        return core
+
     worker_pids = [f"w{i}" for i in range(n_workers)]
     coordinator = ZftCoordinator(
-        sim,
         "w0",
-        net,
         app,
         ("op0",),
         chunk_bytes,
-        cores_per_node,
         worker_pids=worker_pids,
     )
-    net.register(coordinator)
+    deploy(coordinator, cores_per_node)
     workers: list[ZftWorker] = [coordinator]
     for pid in worker_pids[1:]:
-        w = ZftWorker(
-            sim, pid, net, app, ("op0",), chunk_bytes, cores_per_node
-        )
-        net.register(w)
+        w = ZftWorker(pid, app, ("op0",), chunk_bytes)
+        deploy(w, cores_per_node)
         workers.append(w)
     ip = ZftInput(
-        sim, "ip0", net, "w0",
-        workload if workload is not None else iter(()),
+        "ip0", "w0", workload if workload is not None else iter(())
     )
-    net.register(ip)
-    op = ZftOutput(sim, "op0")
-    net.register(op)
+    deploy(ip, 2)
+    op = ZftOutput("op0")
+    deploy(op, 2)
     return ZftCluster(
         sim=sim,
         net=net,

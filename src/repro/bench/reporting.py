@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import sys
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.bench.scenarios import ScenarioResult
 

@@ -18,7 +18,7 @@ the paper's figures plot — without per-run rate calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.apps.anomaly import AnomalyApp, anomaly_workload, link_update_stream
 from repro.apps.planning import PlanningApp, instance_suite, make_planning_task

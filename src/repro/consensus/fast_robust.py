@@ -39,11 +39,10 @@ from typing import Any, Callable, Optional
 from repro.crypto.digest import digest
 from repro.crypto.signatures import KeyRegistry, Signer, sign_cost, verify_cost
 from repro.errors import ConsensusError
-from repro.net.links import Network
 from repro.net.topology import SubCluster
 from repro.consensus.messages import CsAck, CsPropose, CsRequest, CsViewChange
 from repro.obs.events import CATEGORY_CONSENSUS, ConsensusCommit, ViewChange
-from repro.sim.process import SimProcess
+from repro.runtime.core import ProtocolCore
 
 __all__ = ["ConsensusMember", "ConsensusClient"]
 
@@ -63,8 +62,9 @@ class ConsensusMember:
     Parameters
     ----------
     host:
-        The simulated process embedding this member; handlers are
-        installed as ``host.on_CsRequest`` etc.
+        The protocol core embedding this member; handlers are registered
+        on the host's dispatch table (``CsRequest`` etc.) and every
+        effect the engine performs routes through the host's runtime.
     on_commit:
         ``on_commit(seq, batch)`` invoked in strict slot order; ``batch``
         is a tuple of ``(request_id, payload, payload_size)`` containing
@@ -77,8 +77,7 @@ class ConsensusMember:
 
     def __init__(
         self,
-        host: SimProcess,
-        net: Network,
+        host: ProtocolCore,
         registry: KeyRegistry,
         signer: Signer,
         group: SubCluster,
@@ -93,7 +92,6 @@ class ConsensusMember:
         if host.pid not in group.members:
             raise ConsensusError(f"{host.pid} is not a member of the group")
         self.host = host
-        self.net = net
         self.registry = registry
         self.signer = signer
         self.group = group
@@ -114,8 +112,10 @@ class ConsensusMember:
         self._flush_armed = False
         self.commits = 0
 
-        for name in ("CsRequest", "CsPropose", "CsAck", "CsViewChange"):
-            setattr(host, "on_" + name, getattr(self, "_on_" + name.lower()))
+        for cls in (CsRequest, CsPropose, CsAck, CsViewChange):
+            host.register_handler(
+                cls.__name__, getattr(self, "_on_" + cls.__name__.lower())
+            )
 
     # ------------------------------------------------------------ utilities
     @property
@@ -135,7 +135,7 @@ class ConsensusMember:
     def _multicast(self, msg) -> None:
         for pid in self.group.members:
             if pid != self.host.pid:
-                self.net.send(self.host.pid, pid, msg)
+                self.host.send(pid, msg)
 
     # -------------------------------------------------------------- requests
     def submit_local(self, request_id: str, payload: Any, size: int = 0) -> None:
@@ -206,7 +206,7 @@ class ConsensusMember:
             # deposed while the signing job was queued: reclaim the batch
             self._reclaim(msg.batch)
             return
-        self.net.neq_multicast(self.host.pid, self.group.members, msg)
+        self.host.neq_multicast(self.group.members, msg)
 
     # -------------------------------------------------------------- proposal
     def _on_cspropose(self, msg: CsPropose) -> None:
@@ -303,11 +303,10 @@ class ConsensusMember:
                 self._pending.pop(rid, None)
                 self._proposed_ids.discard(rid)
             self._arm_progress_timer()
-            bus = self.host.sim.bus
-            if bus.wants(CATEGORY_CONSENSUS):
-                bus.emit(
+            if self.host.wants(CATEGORY_CONSENSUS):
+                self.host.emit(
                     ConsensusCommit(
-                        time=self.host.sim.now,
+                        time=self.host.now,
                         pid=self.host.pid,
                         seq=self.committed_seq,
                         batch=len(slot.batch),
@@ -384,11 +383,10 @@ class ConsensusMember:
     def _enter_view(self, new_view: int) -> None:
         self._merge_reported_slots(new_view)
         self.view = new_view
-        bus = self.host.sim.bus
-        if bus.wants(CATEGORY_CONSENSUS):
-            bus.emit(
+        if self.host.wants(CATEGORY_CONSENSUS):
+            self.host.emit(
                 ViewChange(
-                    time=self.host.sim.now, pid=self.host.pid, view=new_view
+                    time=self.host.now, pid=self.host.pid, view=new_view
                 )
             )
         self._vc_votes = {v: p for v, p in self._vc_votes.items() if v > new_view}
@@ -424,11 +422,8 @@ class ConsensusMember:
 class ConsensusClient:
     """Client-side stub: submit requests to every group member."""
 
-    def __init__(
-        self, host: SimProcess, net: Network, group: SubCluster
-    ) -> None:
+    def __init__(self, host: ProtocolCore, group: SubCluster) -> None:
         self.host = host
-        self.net = net
         self.group = group
         self._counter = 0
 
@@ -437,8 +432,7 @@ class ConsensusClient:
         self._counter += 1
         rid = f"{self.host.pid}#{self._counter}"
         for pid in self.group.members:
-            self.net.send(
-                self.host.pid,
+            self.host.send(
                 pid,
                 CsRequest(request_id=rid, payload=payload, payload_size=size),
             )

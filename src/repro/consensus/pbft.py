@@ -23,11 +23,10 @@ from repro.consensus.messages import CsRequest, CsViewChange
 from repro.crypto.digest import digest
 from repro.crypto.signatures import KeyRegistry, Signer, sign_cost, verify_cost
 from repro.errors import ConsensusError
-from repro.net.links import Network
 from repro.net.message import Message
 from repro.net.topology import SubCluster
 from repro.obs.events import CATEGORY_CONSENSUS, ConsensusCommit, ViewChange
-from repro.sim.process import SimProcess
+from repro.runtime.core import ProtocolCore
 
 __all__ = ["PbftMember", "PbftPrePrepare", "PbftPrepare", "PbftCommit"]
 
@@ -94,8 +93,7 @@ class PbftMember:
 
     def __init__(
         self,
-        host: SimProcess,
-        net: Network,
+        host: ProtocolCore,
         registry: KeyRegistry,
         signer: Signer,
         group: SubCluster,
@@ -112,7 +110,6 @@ class PbftMember:
         if host.pid not in group.members:
             raise ConsensusError(f"{host.pid} not in group")
         self.host = host
-        self.net = net
         self.registry = registry
         self.signer = signer
         self.group = group
@@ -133,11 +130,11 @@ class PbftMember:
         self._flush_armed = False
         self.commits = 0
 
-        host.on_CsRequest = self._on_csrequest
-        host.on_PbftPrePrepare = self._on_preprepare
-        host.on_PbftPrepare = self._on_prepare
-        host.on_PbftCommit = self._on_commit_msg
-        host.on_CsViewChange = self._on_viewchange
+        host.register_handler("CsRequest", self._on_csrequest)
+        host.register_handler("PbftPrePrepare", self._on_preprepare)
+        host.register_handler("PbftPrepare", self._on_prepare)
+        host.register_handler("PbftCommit", self._on_commit_msg)
+        host.register_handler("CsViewChange", self._on_viewchange)
 
     # ----------------------------------------------------------- quorums
     @property
@@ -163,7 +160,7 @@ class PbftMember:
     def _multicast(self, msg) -> None:
         for pid in self.group.members:
             if pid != self.host.pid:
-                self.net.send(self.host.pid, pid, msg)
+                self.host.send(pid, msg)
 
     # ----------------------------------------------------------- requests
     def submit_local(self, request_id: str, payload: Any, size: int = 0) -> None:
@@ -347,11 +344,10 @@ class PbftMember:
                 self._pending.pop(rid, None)
                 self._proposed_ids.discard(rid)
             self._arm_progress_timer()
-            bus = self.host.sim.bus
-            if bus.wants(CATEGORY_CONSENSUS):
-                bus.emit(
+            if self.host.wants(CATEGORY_CONSENSUS):
+                self.host.emit(
                     ConsensusCommit(
-                        time=self.host.sim.now,
+                        time=self.host.now,
                         pid=self.host.pid,
                         seq=self.committed_seq,
                         batch=len(slot.batch),
@@ -425,11 +421,10 @@ class PbftMember:
                     self._reclaim(mine.batch)
                 self._slots[seq] = _Slot(view=view, batch=batch, batch_digest=bd)
         self.view = new_view
-        bus = self.host.sim.bus
-        if bus.wants(CATEGORY_CONSENSUS):
-            bus.emit(
+        if self.host.wants(CATEGORY_CONSENSUS):
+            self.host.emit(
                 ViewChange(
-                    time=self.host.sim.now, pid=self.host.pid, view=new_view
+                    time=self.host.now, pid=self.host.pid, view=new_view
                 )
             )
         self._vc_votes = {v: p for v, p in self._vc_votes.items() if v > new_view}

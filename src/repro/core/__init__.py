@@ -11,7 +11,6 @@ Public surface:
 """
 
 from repro.core.api import ComputeResult, CountResult, VerifiableApplication
-from repro.core.cluster import OsirisCluster, build_osiris_cluster, default_cluster_count
 from repro.core.config import OsirisConfig
 from repro.core.coordinator import Coordinator
 from repro.core.executor import ExecutionEngine, Executor
@@ -20,6 +19,20 @@ from repro.core.input_output import InputProcess, OutputProcess
 from repro.core.metrics import MetricsHub
 from repro.core.tasks import Assignment, Chunk, Opcode, Record, Task, chunk_records
 from repro.core.verifier import Verifier
+
+_DEPLOY_NAMES = ("OsirisCluster", "build_osiris_cluster", "default_cluster_count")
+
+
+def __getattr__(name: str):
+    # The deployment builder lives in repro.runtime.deploy (it binds
+    # cores to the DES backend); resolving it lazily keeps this package
+    # import-light and cycle-free.
+    if name in _DEPLOY_NAMES:
+        import repro.runtime.deploy as deploy
+
+        return getattr(deploy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Assignment",

@@ -1,220 +1,20 @@
-"""Deployment builder: wire a full OsirisBFT cluster on the simulator.
+"""Compatibility shim: the deployment builder moved to
+:mod:`repro.runtime.deploy`.
 
-Maps the paper's Sec 7 setup onto the substrate: ``n_workers`` worker
-processes are split into ``k`` verifier sub-clusters of 2f+1 (the first
-being VP_CO) and a pool of executors; one node acts as IP and one as OP
-unless told otherwise.  The paper starts runs with |WP|/(2f+1) verifier
-sub-clusters and lets role-switching converge; we default to the
-converged ballpark ``max(1, n // (2 · (2f+1)))`` so short simulations
-measure steady state, and expose ``k`` for the Fig 6d experiment that
-studies convergence itself.
+The builder is where pure cores meet the DES backend, so it lives with
+the runtime layer now.  Names are re-exported lazily (PEP 562) — an
+eager import would cycle through ``repro.runtime.des`` while the core
+package is still initializing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
-
-from repro.core.api import VerifiableApplication
-from repro.core.config import OsirisConfig
-from repro.core.coordinator import Coordinator
-from repro.core.executor import Executor
-from repro.core.faults import ExecutorFault, OutputFault, VerifierFault
-from repro.core.input_output import InputProcess, OutputProcess
-from repro.core.metrics import MetricsHub
-from repro.core.tasks import Task
-from repro.core.verifier import Verifier
-from repro.crypto.signatures import KeyRegistry
-from repro.errors import ProtocolError
-from repro.net.links import DEFAULT_BANDWIDTH, Network
-from repro.net.partial_synchrony import SynchronyModel
-from repro.net.topology import SubCluster, Topology
-from repro.obs.bus import EventBus
-from repro.sim.kernel import Simulator
-
-__all__ = ["OsirisCluster", "build_osiris_cluster"]
+__all__ = ["OsirisCluster", "build_osiris_cluster", "default_cluster_count"]
 
 
-@dataclass
-class OsirisCluster:
-    """Handles to a wired deployment."""
+def __getattr__(name: str):
+    if name in __all__:
+        import repro.runtime.deploy as deploy
 
-    sim: Simulator
-    net: Network
-    topo: Topology
-    registry: KeyRegistry
-    metrics: MetricsHub
-    bus: EventBus
-    config: OsirisConfig
-    app: VerifiableApplication
-    inputs: list[InputProcess]
-    outputs: list[OutputProcess]
-    executors: list[Executor]
-    verifiers: list[Verifier] = field(default_factory=list)
-    coordinators: list[Coordinator] = field(default_factory=list)
-
-    def start(self) -> None:
-        """Begin streaming the workload."""
-        for ip in self.inputs:
-            ip.start()
-
-    def run(self, until: float) -> None:
-        """Advance simulated time (resumable)."""
-        self.sim.run(until=until)
-
-    def worker(self, pid: str):
-        """Look up any worker process by pid."""
-        return self.net.process(pid)
-
-    @property
-    def all_verifiers(self) -> list[Verifier]:
-        """Coordinators + plain verifiers."""
-        return list(self.coordinators) + list(self.verifiers)
-
-
-def default_cluster_count(n_workers: int, config: OsirisConfig) -> int:
-    """Steady-state verifier sub-cluster count heuristic (see module doc)."""
-    return max(1, n_workers // (2 * config.subcluster_size))
-
-
-def build_osiris_cluster(
-    app: VerifiableApplication,
-    workload: Optional[Iterator[tuple[float, Task]]] = None,
-    n_workers: int = 8,
-    config: Optional[OsirisConfig] = None,
-    k: Optional[int] = None,
-    seed: int = 0,
-    synchrony: Optional[SynchronyModel] = None,
-    bandwidth: float = DEFAULT_BANDWIDTH,
-    n_inputs: int = 1,
-    n_outputs: int = 1,
-    executor_faults: Optional[dict[str, ExecutorFault]] = None,
-    verifier_faults: Optional[dict[str, VerifierFault]] = None,
-    output_faults: Optional[dict[str, OutputFault]] = None,
-) -> OsirisCluster:
-    """Build and wire an OsirisBFT deployment.
-
-    Parameters
-    ----------
-    app:
-        The verifiable application.
-    workload:
-        Iterator of (time, Task) pairs fed by IP (may be None for manual
-        driving in tests).
-    n_workers:
-        |WP| — worker processes, split into verifiers and executors.
-    k:
-        Verifier sub-cluster count (first cluster is VP_CO).  Default:
-        ``max(1, n_workers // (2·(2f+1)))``.
-    executor_faults / verifier_faults / output_faults:
-        pid → fault-strategy maps for Byzantine runs.
-    """
-    config = config or OsirisConfig()
-    size = config.subcluster_size
-    if k is None:
-        k = default_cluster_count(n_workers, config)
-    if k < 1:
-        raise ProtocolError("need at least one verifier sub-cluster")
-    if n_workers < k * size:
-        raise ProtocolError(
-            f"n_workers={n_workers} cannot host {k} sub-clusters of {size}"
-        )
-    n_exec = n_workers - k * size
-
-    clusters = []
-    vpid = 0
-    for idx in range(k):
-        members = tuple(f"v{vpid + j}" for j in range(size))
-        clusters.append(SubCluster(index=idx, members=members, f=config.f))
-        vpid += size
-    topo = Topology(
-        input_pids=tuple(f"ip{i}" for i in range(n_inputs)),
-        output_pids=tuple(f"op{i}" for i in range(n_outputs)),
-        executor_pids=tuple(f"e{i}" for i in range(n_exec)),
-        verifier_clusters=tuple(clusters),
-        f=config.f,
-    )
-
-    sim = Simulator(seed=seed)
-    net = Network(
-        sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth
-    )
-    registry = KeyRegistry()
-    metrics = MetricsHub()
-    sim.bus.attach(metrics)
-    executor_faults = executor_faults or {}
-    verifier_faults = verifier_faults or {}
-    output_faults = output_faults or {}
-
-    coordinators: list[Coordinator] = []
-    verifiers: list[Verifier] = []
-    for cluster in topo.verifier_clusters:
-        for pid in cluster.members:
-            cls = Coordinator if cluster.index == 0 else Verifier
-            proc = cls(
-                sim,
-                pid,
-                net,
-                topo,
-                registry,
-                registry.register(pid),
-                app,
-                config,
-                cluster=cluster,
-                fault=verifier_faults.get(pid),
-            )
-            net.register(proc)
-            (coordinators if cluster.index == 0 else verifiers).append(proc)
-
-    executors: list[Executor] = []
-    for pid in topo.executor_pids:
-        proc = Executor(
-            sim,
-            pid,
-            net,
-            topo,
-            registry,
-            registry.register(pid),
-            app,
-            config,
-            fault=executor_faults.get(pid),
-        )
-        net.register(proc)
-        executors.append(proc)
-
-    inputs = []
-    for i, pid in enumerate(topo.input_pids):
-        ip = InputProcess(
-            sim,
-            pid,
-            net,
-            topo,
-            workload if (i == 0 and workload is not None) else iter(()),
-        )
-        net.register(ip)
-        inputs.append(ip)
-
-    outputs = []
-    for pid in topo.output_pids:
-        op = OutputProcess(
-            sim, pid, net, topo, config,
-            fault=output_faults.get(pid),
-        )
-        net.register(op)
-        outputs.append(op)
-
-    return OsirisCluster(
-        sim=sim,
-        net=net,
-        topo=topo,
-        registry=registry,
-        metrics=metrics,
-        bus=sim.bus,
-        config=config,
-        app=app,
-        inputs=inputs,
-        outputs=outputs,
-        executors=executors,
-        verifiers=verifiers,
-        coordinators=coordinators,
-    )
+        return getattr(deploy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,7 +21,7 @@ record chunks itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.consensus.fast_robust import ConsensusMember
@@ -84,7 +84,6 @@ class Coordinator(Verifier):
         )
         self.consensus = member_cls(
             host=self,
-            net=self.net,
             registry=self.registry,
             signer=self.signer,
             group=self.topo.coordinator,
@@ -114,6 +113,9 @@ class Coordinator(Verifier):
         self._in_streak = 0
         self._switch_cooldown = 0
         self.tasks_linearized = 0
+
+    def on_bind(self) -> None:
+        super().on_bind()
         if self.config.role_switching:
             self.set_timer(
                 "role-policy",
@@ -150,7 +152,7 @@ class Coordinator(Verifier):
     def _report(self, event) -> None:
         """Emit a cluster-level event, deduplicated to the reporter."""
         if self._reporter:
-            self.bus.emit(event)
+            self.emit(event)
 
     # ---------------------------------------------------------------- pools
     def _executor_pool(self) -> list[str]:
@@ -184,10 +186,10 @@ class Coordinator(Verifier):
         if task.opcode.has_update:
             self.ts_counter += 1
         stamped = task.with_timestamp(self.ts_counter)
-        if self.bus.wants(CATEGORY_TASK):
+        if self.wants(CATEGORY_TASK):
             self._report(
                 TaskLinearized(
-                    time=self.sim.now,
+                    time=self.now,
                     pid=self.pid,
                     task_id=task.task_id,
                     timestamp=self.ts_counter,
@@ -205,9 +207,7 @@ class Coordinator(Verifier):
             if targets:
                 self.run_ctrl_job(
                     sign_cost(1),
-                    lambda m=msg, t=tuple(targets): self.net.multicast(
-                        self.pid, t, m
-                    ),
+                    lambda m=msg, t=tuple(targets): self.multicast(t, m),
                 )
         if task.opcode.has_compute:
             self.task_seq += 1
@@ -231,10 +231,10 @@ class Coordinator(Verifier):
         prev_executor = entry.executor
         entry.executor = pool[(entry.seq + entry.attempt) % len(pool)]
         entry.vp_index = vps[entry.seq % len(vps)]
-        if self.bus.wants(CATEGORY_TASK):
+        if self.wants(CATEGORY_TASK):
             self._report(
                 TaskAssigned(
-                    time=self.sim.now,
+                    time=self.now,
                     pid=self.pid,
                     task_id=entry.task.task_id,
                     executor=entry.executor,
@@ -258,7 +258,7 @@ class Coordinator(Verifier):
             targets.append(prev_executor)
         self.run_ctrl_job(
             sign_cost(1),
-            lambda m=msg, t=tuple(targets): self.net.multicast(self.pid, t, m),
+            lambda m=msg, t=tuple(targets): self.multicast(t, m),
         )
 
     def _drain_unassigned(self) -> None:
@@ -279,8 +279,7 @@ class Coordinator(Verifier):
             if pid == self.pid:
                 self.consensus._admit(rid, ctl, 128)
             else:
-                self.net.send(
-                    self.pid,
+                self.send(
                     pid,
                     CsRequest(request_id=rid, payload=ctl, payload_size=128),
                 )
@@ -306,7 +305,7 @@ class Coordinator(Verifier):
             return
         self._report(
             TaskReassigned(
-                time=self.sim.now,
+                time=self.now,
                 pid=self.pid,
                 task_id=task_id,
                 attempt=entry.attempt,
@@ -327,7 +326,7 @@ class Coordinator(Verifier):
                 else:
                     self._report(
                         TaskReassigned(
-                            time=self.sim.now,
+                            time=self.now,
                             pid=self.pid,
                             task_id=entry.task.task_id,
                             attempt=entry.attempt,
@@ -354,7 +353,7 @@ class Coordinator(Verifier):
         self.ctl_epoch = epoch
         self._report(
             RoleSwitch(
-                time=self.sim.now,
+                time=self.now,
                 pid=self.pid,
                 vp_index=vp_index,
                 to_executor=to_executor,
@@ -364,9 +363,7 @@ class Coordinator(Verifier):
             vp_index=vp_index, epoch=epoch, to_executor=to_executor
         )
         msg.sig = self.signer.sign(msg.signed_payload())
-        self.net.multicast(
-            self.pid, self.topo.cluster(vp_index).members, msg
-        )
+        self.multicast(self.topo.cluster(vp_index).members, msg)
         self._drain_unassigned()
         if to_executor:
             self._rebalance_to(set(self.topo.cluster(vp_index).members))
@@ -397,14 +394,12 @@ class Coordinator(Verifier):
         vp_index = vps[entry.seq % len(vps)]
         self._report(
             TaskFallback(
-                time=self.sim.now, pid=self.pid, task_id=entry.task.task_id
+                time=self.now, pid=self.pid, task_id=entry.task.task_id
             )
         )
         msg = FallbackExecuteMsg(task=entry.task, vp_index=vp_index)
         msg.sig = self.signer.sign(msg.signed_payload())
-        self.net.multicast(
-            self.pid, self.topo.cluster(vp_index).members, msg
-        )
+        self.multicast(self.topo.cluster(vp_index).members, msg)
 
     # ----------------------------------------------------- verifier reports
     def on_SuspectExecutorMsg(self, msg: SuspectExecutorMsg) -> None:

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.config import OsirisConfig
 from repro.core.faults import ExecutorFault
 from repro.core.messages import AssignmentMsg, ChunkDigestMsg, ChunkMsg
 from repro.core.tasks import Assignment, Chunk, Record, chunk_records
@@ -146,19 +145,25 @@ class ExecutionEngine:
             chunks = fault.transform_chunks(a.task, chunks)
         # Occupy a core for the full compute duration; stream chunk i at the
         # (i+1)/k fraction of the job so verification overlaps execution.
-        handle = host.cpu.submit(cost, self._task_done)
-        start = handle.time - cost
+        # The completion callback is *unguarded* — slot accounting must run
+        # even on a crashed host — and the milestone callbacks re-check
+        # ``crashed`` themselves, exactly like the raw pre-refactor path.
         k = len(chunks)
-        for i, chunk in enumerate(chunks):
-            emit_at = start + cost * (i + 1) / k
-            host.sim.schedule_at(emit_at, self._emit, a, sigs, chunk, fault)
+        host.run_raw_job(
+            cost,
+            self._task_done,
+            milestones=tuple(
+                (cost * (i + 1) / k, self._emit, (a, sigs, chunk, fault))
+                for i, chunk in enumerate(chunks)
+            ),
+        )
 
     def _task_done(self) -> None:
         self._in_flight -= 1
         self._try_start()
 
     def _fault_active(self) -> bool:
-        return self.fault is not None and self.fault.active(self.host.sim.now)
+        return self.fault is not None and self.fault.active(self.host.now)
 
     # ----------------------------------------------------------------- emit
     def _emit(
@@ -175,11 +180,10 @@ class ExecutionEngine:
             return
         members = host.topo.cluster(a.vp_index).members
         sigma = digest(chunk)
-        bus = host.sim.bus
-        if bus.wants(CATEGORY_CHUNK):
-            bus.emit(
+        if host.wants(CATEGORY_CHUNK):
+            host.emit(
                 ChunkEmitted(
-                    time=host.sim.now,
+                    time=host.now,
                     pid=host.pid,
                     task_id=chunk.task_id,
                     index=chunk.index,
@@ -200,16 +204,14 @@ class ExecutionEngine:
                         for r in chunk.records
                     )
                     variant = Chunk(chunk.task_id, chunk.index, tampered, chunk.final)
-                host.net.send(
-                    host.pid,
+                host.send(
                     pid,
                     ChunkMsg(chunk=variant, assignment=a, assignment_sigs=sigs),
                 )
         else:
             msg = ChunkMsg(chunk=chunk, assignment=a, assignment_sigs=sigs)
-            host.net.multicast(host.pid, members, msg)
-        host.net.neq_multicast(
-            host.pid,
+            host.multicast(members, msg)
+        host.neq_multicast(
             members,
             ChunkDigestMsg(
                 task_id=a.task.task_id,

@@ -18,8 +18,7 @@ substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.core.tasks import Record, Task
 

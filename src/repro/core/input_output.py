@@ -7,6 +7,9 @@ equivocation-report machinery of Sec 5.2.2.  The paper makes *no*
 assumption about failures in IP or OP — Byzantine variants are expressed
 through :class:`~repro.core.faults.OutputFault` and by submitting
 invalid tasks.
+
+Both endpoints are pure :class:`~repro.runtime.core.ProtocolCore` state
+machines; scheduling and transmission happen through typed effects.
 """
 
 from __future__ import annotations
@@ -33,15 +36,13 @@ from repro.obs.events import (
     TaskCompleted,
     TaskSubmitted,
 )
-from repro.net.links import Network
 from repro.net.topology import Topology
-from repro.sim.kernel import Simulator
-from repro.sim.process import SimProcess
+from repro.runtime.core import ProtocolCore
 
 __all__ = ["InputProcess", "OutputProcess"]
 
 
-class InputProcess(SimProcess):
+class InputProcess(ProtocolCore):
     """Streams a task workload into the coordinator.
 
     ``workload`` is a lazy iterator of ``(submit_time, Task)`` pairs in
@@ -51,17 +52,14 @@ class InputProcess(SimProcess):
 
     def __init__(
         self,
-        sim: Simulator,
         pid: str,
-        net: Network,
         topo: Topology,
         workload: Iterator[tuple[float, Task]],
     ) -> None:
-        super().__init__(sim, pid, cores=2)
-        self.net = net
+        super().__init__(pid)
         self.topo = topo
         self._workload = iter(workload)
-        self.client = ConsensusClient(self, net, topo.coordinator)
+        self.client = ConsensusClient(self, topo.coordinator)
         self.tasks_submitted = 0
 
     def start(self) -> None:
@@ -73,8 +71,8 @@ class InputProcess(SimProcess):
             at, task = next(self._workload)
         except StopIteration:
             return
-        delay = max(0.0, at - self.sim.now)
-        self.sim.schedule(delay, self._submit, task)
+        delay = max(0.0, at - self.now)
+        self.schedule(delay, self._submit, task)
 
     def _submit(self, task: Task) -> None:
         if not self.crashed:
@@ -84,13 +82,13 @@ class InputProcess(SimProcess):
                 update_payload=task.update_payload,
                 compute_payload=task.compute_payload,
                 timestamp=task.timestamp,
-                submitted_at=self.sim.now,
+                submitted_at=self.now,
                 size_bytes=task.size_bytes,
             )
-            if self.bus.wants(CATEGORY_TASK):
-                self.bus.emit(
+            if self.wants(CATEGORY_TASK):
+                self.emit(
                     TaskSubmitted(
-                        time=self.sim.now, pid=self.pid, task_id=task.task_id
+                        time=self.now, pid=self.pid, task_id=task.task_id
                     )
                 )
             self.client.submit(stamped, size=task.size_bytes)
@@ -116,20 +114,17 @@ class _OutTask:
     neg_terms: int = 0
 
 
-class OutputProcess(SimProcess):
+class OutputProcess(ProtocolCore):
     """Receives verified chunks; the downstream consumer of Fig 3."""
 
     def __init__(
         self,
-        sim: Simulator,
         pid: str,
-        net: Network,
         topo: Topology,
         config: OsirisConfig,
         fault: Optional[OutputFault] = None,
     ) -> None:
-        super().__init__(sim, pid, cores=2)
-        self.net = net
+        super().__init__(pid)
         self.topo = topo
         self.config = config
         self.fault = fault
@@ -186,19 +181,19 @@ class OutputProcess(SimProcess):
                 self.cancel_timer(f"op-wait-{task_id}-{index}")
                 self.chunks_accepted += 1
                 self.records_accepted += len(chunk.records)
-                if self.bus.wants(CATEGORY_TASK):
-                    self.bus.emit(
+                if self.wants(CATEGORY_TASK):
+                    self.emit(
                         RecordsAccepted(
-                            time=self.sim.now,
+                            time=self.now,
                             pid=self.pid,
                             task_id=task_id,
                             count=len(chunk.records),
                         )
                     )
-                if self.bus.wants(CATEGORY_CHUNK):
-                    self.bus.emit(
+                if self.wants(CATEGORY_CHUNK):
+                    self.emit(
                         ChunkAccepted(
-                            time=self.sim.now,
+                            time=self.now,
                             pid=self.pid,
                             task_id=task_id,
                             index=index,
@@ -217,10 +212,10 @@ class OutputProcess(SimProcess):
             ot.completed = True
             for index in list(ot.slots):
                 self.cancel_timer(f"op-wait-{task_id}-{index}")
-            if self.bus.wants(CATEGORY_TASK):
-                self.bus.emit(
+            if self.wants(CATEGORY_TASK):
+                self.emit(
                     TaskCompleted(
-                        time=self.sim.now, pid=self.pid, task_id=task_id
+                        time=self.now, pid=self.pid, task_id=task_id
                     )
                 )
 
@@ -255,7 +250,7 @@ class OutputProcess(SimProcess):
                 index=index,
             )
             ot.neg_terms += 1
-            self.net.multicast(self.pid, members, report)
+            self.multicast(members, report)
         else:
             # at least one but fewer than f+1 digests: equivocation path
             report = EquivocationReport(
@@ -264,7 +259,7 @@ class OutputProcess(SimProcess):
                 index=index,
                 digest=sigma,
             )
-            self.net.multicast(self.pid, members, report)
+            self.multicast(members, report)
         self._arm_wait_timer(task_id, index)  # exponential backoff re-arm
 
     # ------------------------------------------------------- Byzantine OP
@@ -285,9 +280,7 @@ class OutputProcess(SimProcess):
                 index=0,
             )
             term[0] += 1
-            self.net.multicast(
-                self.pid, self.topo.cluster(vp_index).members, report
-            )
+            self.multicast(self.topo.cluster(vp_index).members, report)
             self.set_timer("spurious", period, fire)
 
         self.set_timer("spurious", period, fire)

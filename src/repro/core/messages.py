@@ -9,8 +9,8 @@ role-switching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.tasks import Assignment, Chunk, Task
 from repro.crypto.signatures import Signature

@@ -17,8 +17,7 @@ query API is unchanged.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.errors import BenchmarkError
 from repro.obs.bus import Sink

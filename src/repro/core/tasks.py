@@ -16,10 +16,9 @@ Batches & Record Chunks").
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
-from repro.crypto.signatures import Signature
 from repro.errors import ProtocolError
 
 __all__ = ["Opcode", "Task", "Record", "Assignment", "Chunk", "chunk_records"]

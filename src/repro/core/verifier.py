@@ -109,6 +109,10 @@ class Verifier(WorkerBase):
         self.chunks_verified = 0
         self.failures_detected = 0
         self._last_busy_snapshot = 0.0
+
+    def on_bind(self) -> None:
+        # timers arm at bind time, never in __init__: an unbound core has
+        # no clock to arm against
         if self.config.role_switching:
             self.set_timer(
                 "load-report",
@@ -120,7 +124,7 @@ class Verifier(WorkerBase):
     def _faulty(self, attr: str) -> bool:
         return (
             self.fault is not None
-            and self.fault.active(self.sim.now)
+            and self.fault.active(self.now)
             and getattr(self.fault, attr)
         )
 
@@ -192,7 +196,7 @@ class Verifier(WorkerBase):
         st.count = count
         # report back for workload balancing (Algorithm 3 line 21)
         report = OutputSizeReport(task_id=key[0], count=count)
-        self.net.multicast(self.pid, self.topo.coordinator.members, report)
+        self.multicast(self.topo.coordinator.members, report)
         self._maybe_finalize(key)
 
     # -------------------------------------------------------------- chunks
@@ -313,10 +317,10 @@ class Verifier(WorkerBase):
         st.verified.append((chunk, sigma))
         st.next_index += 1
         self.chunks_verified += 1
-        if self.bus.wants(CATEGORY_CHUNK):
-            self.bus.emit(
+        if self.wants(CATEGORY_CHUNK):
+            self.emit(
                 ChunkVerified(
-                    time=self.sim.now,
+                    time=self.now,
                     pid=self.pid,
                     task_id=chunk.task_id,
                     index=chunk.index,
@@ -362,9 +366,9 @@ class Verifier(WorkerBase):
         self.failures_detected += 1
         self.cancel_timer(self._suspect_timer_name(key))
         executor = st.assignment.executor if st.assignment else "?"
-        self.bus.emit(
+        self.emit(
             FaultDetected(
-                time=self.sim.now, pid=self.pid, reason=reason, culprit=executor
+                time=self.now, pid=self.pid, reason=reason, culprit=executor
             )
         )
         self._accuse(key, byzantine=True)
@@ -381,9 +385,7 @@ class Verifier(WorkerBase):
         payload_msg.sig = self.signer.sign(payload_msg.signed_payload())
         self.run_ctrl_job(
             sign_cost(1),
-            lambda: self.net.multicast(
-                self.pid, self.topo.coordinator.members, payload_msg
-            ),
+            lambda: self.multicast(self.topo.coordinator.members, payload_msg),
         )
 
     def _complete(self, key: tuple[str, int]) -> None:
@@ -398,7 +400,7 @@ class Verifier(WorkerBase):
             task_id=task_id, attempt=key[1], count=st.seen_records
         )
         done.sig = self.signer.sign(done.signed_payload())
-        self.net.multicast(self.pid, self.topo.coordinator.members, done)
+        self.multicast(self.topo.coordinator.members, done)
         # drop sibling attempts: first finished attempt wins
         for other_key, other in list(self._tasks.items()):
             if other_key[0] == task_id and other_key != key:
@@ -426,8 +428,7 @@ class Verifier(WorkerBase):
                 sigma = digest(["bogus", chunk.task_id, chunk.index])
             for op in self.topo.output_pids:
                 if leader:
-                    self.net.send(
-                        self.pid,
+                    self.send(
                         op,
                         VerifiedChunkMsg(
                             vp_index=self.cluster.index,
@@ -440,8 +441,7 @@ class Verifier(WorkerBase):
                         ),
                     )
                 else:
-                    self.net.send(
-                        self.pid,
+                    self.send(
                         op,
                         VerifiedDigestMsg(
                             vp_index=self.cluster.index,
@@ -499,7 +499,7 @@ class Verifier(WorkerBase):
     def _vote_elect(self, new_term: int) -> None:
         vote = LeaderElectMsg(vp_index=self.cluster.index, new_term=new_term)
         vote.sig = self.signer.sign(vote.signed_payload())
-        self.net.multicast(self.pid, self.cluster.members, vote)
+        self.multicast(self.cluster.members, vote)
         self._record_elect(self.pid, new_term)
 
     def on_LeaderElectMsg(self, msg: LeaderElectMsg) -> None:
@@ -523,9 +523,9 @@ class Verifier(WorkerBase):
             self._elect_votes = {
                 t: v for t, v in self._elect_votes.items() if t > new_term
             }
-            self.bus.emit(
+            self.emit(
                 LeaderElection(
-                    time=self.sim.now,
+                    time=self.now,
                     pid=self.pid,
                     vp_index=self.cluster.index,
                     term=new_term,
@@ -545,9 +545,9 @@ class Verifier(WorkerBase):
         """OP saw ≥1 but <f+1 digests: re-share the chunk (Sec 5.2.2)."""
         if msg.vp_index != self.cluster.index or self._faulty("silent"):
             return
-        self.bus.emit(
+        self.emit(
             EquivocationReported(
-                time=self.sim.now,
+                time=self.now,
                 pid=self.pid,
                 task_id=msg.task_id,
                 index=msg.index,
@@ -575,7 +575,7 @@ class Verifier(WorkerBase):
                         p for p in self.cluster.members if p != self.pid
                     ]
                     if others:
-                        self.net.multicast(self.pid, others, share)
+                        self.multicast(others, share)
                     return
 
     def on_ChunkShareMsg(self, msg: ChunkShareMsg) -> None:
@@ -666,7 +666,7 @@ class Verifier(WorkerBase):
             utilization=util,
             pending_chunks=pending,
         )
-        self.net.multicast(self.pid, self.topo.coordinator.members, report)
+        self.multicast(self.topo.coordinator.members, report)
 
     def on_RoleSwitchMsg(self, msg: RoleSwitchMsg) -> None:
         if msg.vp_index != self.cluster.index:

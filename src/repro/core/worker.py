@@ -7,42 +7,39 @@ after linearization; a replica applies an update only after receiving
 f+1 signed copies with identical (timestamp, task id) from *distinct*
 coordinator members — a Byzantine minority of VP_CO therefore cannot
 poison replicas, and duplicate copies are idempotent.
+
+All WP roles are pure :class:`~repro.runtime.core.ProtocolCore` state
+machines: they emit typed effects and never touch a simulator or a
+network directly.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from repro.core.api import VerifiableApplication
 from repro.core.config import OsirisConfig
 from repro.core.messages import StateUpdateMsg
 from repro.core.tasks import Task
 from repro.crypto.signatures import KeyRegistry, Signer, verify_cost
-from repro.net.links import Network
 from repro.net.topology import Topology
-from repro.sim.kernel import Simulator
-from repro.sim.process import SimProcess
+from repro.runtime.core import ProtocolCore
 from repro.store.mvstore import MultiVersionStore
 
 __all__ = ["WorkerBase"]
 
 
-class WorkerBase(SimProcess):
+class WorkerBase(ProtocolCore):
     """Base for all WP processes: hosts the multiversioned state replica."""
 
     def __init__(
         self,
-        sim: Simulator,
         pid: str,
-        net: Network,
         topo: Topology,
         registry: KeyRegistry,
         signer: Signer,
         app: VerifiableApplication,
         config: OsirisConfig,
     ) -> None:
-        super().__init__(sim, pid, cores=config.cores_per_node)
-        self.net = net
+        super().__init__(pid)
         self.topo = topo
         self.registry = registry
         self.signer = signer
@@ -83,4 +80,4 @@ class WorkerBase(SimProcess):
         cost = self.store.submit(task.timestamp, task.update_payload)
         cost += verify_cost(1)
         if cost > 0:
-            self.run_job(cost, lambda: None)
+            self.apply_update(cost)

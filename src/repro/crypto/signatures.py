@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-import os
 from dataclasses import dataclass
 from typing import Any
 

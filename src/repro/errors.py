@@ -56,3 +56,8 @@ class BenchmarkError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid use of the trace-event bus or one of its sinks."""
+
+
+class ReplayError(ReproError):
+    """A captured inbox log cannot be replayed against the given core
+    (missing continuation, malformed log line, undecodable message)."""

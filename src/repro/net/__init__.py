@@ -1,7 +1,11 @@
 """Simulated network substrate: reliable FIFO links, NIC bandwidth model,
-partial synchrony, non-equivocating multicast, topology descriptions."""
+partial synchrony, non-equivocating multicast, topology descriptions.
 
-from repro.net.links import DEFAULT_BANDWIDTH, ByteMeter, Network, Nic
+The link layer (and through it the DES kernel) loads lazily: protocol
+modules import :mod:`repro.net.topology` / :mod:`repro.net.message`
+without dragging the simulation substrate into their import graph.
+"""
+
 from repro.net.message import HEADER_BYTES, Message
 from repro.net.partial_synchrony import SynchronyModel
 from repro.net.topology import SubCluster, Topology
@@ -17,3 +21,13 @@ __all__ = [
     "SynchronyModel",
     "Topology",
 ]
+
+_LINK_NAMES = ("ByteMeter", "DEFAULT_BANDWIDTH", "Network", "Nic")
+
+
+def __getattr__(name: str):
+    if name in _LINK_NAMES:
+        from repro.net import links
+
+        return getattr(links, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,7 +10,7 @@ knowledge — matching the paper's static membership assumption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import NetworkError

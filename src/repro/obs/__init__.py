@@ -17,6 +17,7 @@ from repro.obs.events import (
     CATEGORY_FAULT,
     CATEGORY_KERNEL,
     CATEGORY_NET,
+    CATEGORY_REPLAY,
     CATEGORY_TASK,
     ChunkAccepted,
     ChunkEmitted,
@@ -29,6 +30,8 @@ from repro.obs.events import (
     LeaderElection,
     LinkTransfer,
     RecordsAccepted,
+    ReplayEffect,
+    ReplayInput,
     RoleSwitch,
     TaskAssigned,
     TaskCompleted,
@@ -56,6 +59,7 @@ __all__ = [
     "CATEGORY_CPU",
     "CATEGORY_NET",
     "CATEGORY_KERNEL",
+    "CATEGORY_REPLAY",
     "TaskSubmitted",
     "TaskLinearized",
     "TaskAssigned",
@@ -75,4 +79,6 @@ __all__ = [
     "CpuSpan",
     "LinkTransfer",
     "KernelEventFired",
+    "ReplayInput",
+    "ReplayEffect",
 ]

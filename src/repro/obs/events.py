@@ -16,6 +16,7 @@ fault      FaultDetected, RoleSwitch, LeaderElection, EquivocationReported
 cpu        CpuSpan
 net        LinkTransfer
 kernel     KernelEventFired
+replay     ReplayInput, ReplayEffect
 ========== ==================================================================
 
 Events are plain frozen dataclasses of JSON-serializable primitives, so
@@ -37,6 +38,7 @@ __all__ = [
     "CATEGORY_CPU",
     "CATEGORY_NET",
     "CATEGORY_KERNEL",
+    "CATEGORY_REPLAY",
     "ALL_CATEGORIES",
     "TraceEvent",
     "TaskSubmitted",
@@ -58,6 +60,8 @@ __all__ = [
     "CpuSpan",
     "LinkTransfer",
     "KernelEventFired",
+    "ReplayInput",
+    "ReplayEffect",
 ]
 
 CATEGORY_TASK = "task"
@@ -67,6 +71,7 @@ CATEGORY_FAULT = "fault"
 CATEGORY_CPU = "cpu"
 CATEGORY_NET = "net"
 CATEGORY_KERNEL = "kernel"
+CATEGORY_REPLAY = "replay"
 
 ALL_CATEGORIES = frozenset(
     {
@@ -77,6 +82,7 @@ ALL_CATEGORIES = frozenset(
         CATEGORY_CPU,
         CATEGORY_NET,
         CATEGORY_KERNEL,
+        CATEGORY_REPLAY,
     }
 )
 
@@ -318,3 +324,30 @@ class KernelEventFired(TraceEvent):
     kind: ClassVar[str] = "kernel-event-fired"
 
     count: int
+
+
+# ---------------------------------------------------------------- replay
+@dataclass(frozen=True, slots=True)
+class ReplayInput(TraceEvent):
+    """One input consumed by a capture-enabled core (see
+    :mod:`repro.runtime.replay`): a delivered message (``ref`` holds the
+    codec-encoded wire form), a timer fire (``ref`` is the timer name),
+    a job/ctrl-job completion (``ref`` is the core-assigned job id), a
+    streaming milestone (``"jobid:index"``) or a raw scheduled callback
+    (``ref`` is the sched id)."""
+
+    category: ClassVar[str] = CATEGORY_REPLAY
+    kind: ClassVar[str] = "replay-input"
+
+    input_kind: str
+    ref: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayEffect(TraceEvent):
+    """Signature of one effect a capture-enabled core performed."""
+
+    category: ClassVar[str] = CATEGORY_REPLAY
+    kind: ClassVar[str] = "replay-effect"
+
+    signature: str

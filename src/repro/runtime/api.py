@@ -1,0 +1,63 @@
+"""Backend contract between a :class:`ProtocolCore` and its host.
+
+A runtime provides exactly four read-side services (clock, trace-filter
+predicate, timer introspection, CPU-bank view) plus one write-side
+entrypoint, :meth:`Runtime.perform`.  Effects are performed *immediately
+and in emission order* — the core calls ``perform`` as it goes rather
+than returning a batch — so an interpreting backend executes the exact
+call sequence the pre-refactor inline code did (this is what keeps DES
+traces bit-identical), while recording backends still observe the full
+effect stream of each handler invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.effects import Effect
+
+__all__ = ["Runtime", "StubCpu"]
+
+
+class Runtime:
+    """Interface every backend implements."""
+
+    def perform(self, effect: Effect) -> None:
+        """Realise one effect (send / arm timer / burn CPU / …)."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> float:
+        """Current time on the backend's clock."""
+        raise NotImplementedError
+
+    def wants(self, category: str) -> bool:
+        """Whether any trace sink subscribes to ``category`` — lets the
+        core skip building event payloads nobody will see."""
+        raise NotImplementedError
+
+    def timer_armed(self, name: str) -> bool:
+        """Whether the named timer is currently pending."""
+        raise NotImplementedError
+
+    @property
+    def app_cpu(self) -> Any:
+        """View of the app-compute bank (``cores``, ``busy_seconds``,
+        ``earliest_free()``); backends without real CPU accounting
+        return a :class:`StubCpu`."""
+        raise NotImplementedError
+
+
+class StubCpu:
+    """Inert CPU-bank stand-in for non-simulating backends."""
+
+    def __init__(self, cores: int = 1) -> None:
+        self.cores = cores
+        self.busy_seconds = 0.0
+        self.jobs_done = 0
+
+    def earliest_free(self) -> float:
+        return 0.0
+
+    def backlog_seconds(self, now: float = 0.0) -> float:
+        return 0.0

@@ -1,0 +1,140 @@
+"""JSON round-tripping of protocol messages for capture logs.
+
+A captured inbox must survive a process boundary (JSONL file → later
+debugging session), so delivered messages are encoded structurally:
+every registered dataclass (wire messages, ``Task``/``Assignment``/
+``Chunk``/``Record``/``Signature``) becomes a tagged object, bytes
+become hex, tuples are distinguished from lists, and the ``Opcode``
+enum round-trips by value.  Closures are never serialized — callback
+continuations are captured *by identifier* (see
+:mod:`repro.runtime.replay`), which is what keeps the log format this
+small.
+
+The class registry is built lazily on first use: the message modules of
+the baselines import their deployment builders, which import the DES
+backend, so an import-time registry would be cyclic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, is_dataclass
+from typing import Any, Optional
+
+from repro.errors import ReplayError
+
+__all__ = ["encode", "decode", "encode_json", "decode_json"]
+
+_REGISTRY: Optional[dict[str, type]] = None
+
+
+def _registry() -> dict[str, type]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        import repro.baselines.rcp as rcp
+        import repro.baselines.zft as zft
+        import repro.consensus.messages as cs_messages
+        import repro.consensus.pbft as pbft
+        import repro.core.messages as core_messages
+        from repro.core.tasks import Assignment, Chunk, Record, Task
+        from repro.crypto.signatures import Signature
+
+        reg: dict[str, type] = {}
+        for mod in (core_messages, cs_messages):
+            for name in mod.__all__:
+                reg[name] = getattr(mod, name)
+        for mod in (zft, rcp, pbft):
+            for name in mod.__all__:
+                cls = getattr(mod, name)
+                if is_dataclass(cls):
+                    reg[name] = cls
+        for cls in (Task, Record, Assignment, Chunk, Signature):
+            reg[cls.__name__] = cls
+        _REGISTRY = reg
+    return _REGISTRY
+
+
+def encode(value: Any, with_sender: bool = True) -> Any:
+    """Lower ``value`` to JSON-compatible structures (tagged)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, bytes):
+        return {"__b": value.hex()}
+    if isinstance(value, tuple):
+        return {"__t": [encode(v, with_sender) for v in value]}
+    if isinstance(value, list):
+        return [encode(v, with_sender) for v in value]
+    if isinstance(value, dict):
+        return {
+            "__d": [
+                [encode(k, with_sender), encode(v, with_sender)]
+                for k, v in value.items()
+            ]
+        }
+    cls = type(value)
+    from enum import Enum
+
+    if isinstance(value, Enum):
+        return {"__e": cls.__name__, "v": value.value}
+    if is_dataclass(value) and cls.__name__ in _registry():
+        body = {
+            f.name: encode(getattr(value, f.name), with_sender)
+            for f in fields(value)
+            if f.init
+        }
+        out: dict[str, Any] = {"__c": cls.__name__, "f": body}
+        # sender and the non-equivocation marker are stamped by the
+        # transport on delivered copies, not constructor fields; both are
+        # part of the inbox (with_sender=True) but not of outgoing content
+        sender = getattr(value, "sender", None)
+        if with_sender and sender is not None:
+            out["s"] = sender
+        if with_sender and getattr(value, "_neq", False):
+            out["q"] = True
+        return out
+    raise ReplayError(f"cannot encode {cls.__name__}: {value!r}")
+
+
+def decode(value: Any) -> Any:
+    """Invert :func:`encode`."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, list):
+        return [decode(v) for v in value]
+    if isinstance(value, dict):
+        if "__b" in value:
+            return bytes.fromhex(value["__b"])
+        if "__t" in value:
+            return tuple(decode(v) for v in value["__t"])
+        if "__d" in value:
+            return {decode(k): decode(v) for k, v in value["__d"]}
+        if "__e" in value:
+            from repro.core.tasks import Opcode
+
+            if value["__e"] != "Opcode":
+                raise ReplayError(f"unknown enum {value['__e']!r}")
+            return Opcode(value["v"])
+        if "__c" in value:
+            cls = _registry().get(value["__c"])
+            if cls is None:
+                raise ReplayError(f"unknown class {value['__c']!r}")
+            kwargs = {k: decode(v) for k, v in value["f"].items()}
+            obj = cls(**kwargs)
+            if "s" in value:
+                obj.sender = value["s"]
+            if value.get("q"):
+                obj._neq = True
+            return obj
+        raise ReplayError(f"unrecognized tagged object {value!r}")
+    raise ReplayError(f"cannot decode {type(value).__name__}: {value!r}")
+
+
+def encode_json(value: Any, with_sender: bool = True) -> str:
+    """Compact deterministic JSON string of :func:`encode`."""
+    return json.dumps(
+        encode(value, with_sender), sort_keys=True, separators=(",", ":")
+    )
+
+
+def decode_json(text: str) -> Any:
+    return decode(json.loads(text))

@@ -1,0 +1,245 @@
+"""Deployment builder: bind protocol cores to the DES backend.
+
+Maps the paper's Sec 7 setup onto the substrate: ``n_workers`` worker
+processes are split into ``k`` verifier sub-clusters of 2f+1 (the first
+being VP_CO) and a pool of executors; one node acts as IP and one as OP
+unless told otherwise.  The paper starts runs with |WP|/(2f+1) verifier
+sub-clusters and lets role-switching converge; we default to the
+converged ballpark ``max(1, n // (2 · (2f+1)))`` so short simulations
+measure steady state, and expose ``k`` for the Fig 6d experiment that
+studies convergence itself.
+
+Every role is a pure :class:`~repro.runtime.core.ProtocolCore`; this
+module is the only place where cores meet the simulator — each one is
+wrapped in a :class:`~repro.runtime.des.DesHost` immediately after
+construction (preserving the pre-refactor event-seq order of initial
+timers) and registered on the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.api import VerifiableApplication
+from repro.core.config import OsirisConfig
+from repro.core.coordinator import Coordinator
+from repro.core.executor import Executor
+from repro.core.faults import ExecutorFault, OutputFault, VerifierFault
+from repro.core.input_output import InputProcess, OutputProcess
+from repro.core.metrics import MetricsHub
+from repro.core.tasks import Task
+from repro.core.verifier import Verifier
+from repro.crypto.signatures import KeyRegistry
+from repro.errors import ProtocolError
+from repro.net.links import DEFAULT_BANDWIDTH, Network
+from repro.net.partial_synchrony import SynchronyModel
+from repro.net.topology import SubCluster, Topology
+from repro.obs.bus import EventBus
+from repro.runtime.des import DesHost
+from repro.sim.kernel import Simulator
+
+__all__ = ["OsirisCluster", "build_osiris_cluster", "default_cluster_count"]
+
+
+@dataclass
+class OsirisCluster:
+    """Handles to a wired deployment (role lists hold the *cores*)."""
+
+    sim: Simulator
+    net: Network
+    topo: Topology
+    registry: KeyRegistry
+    metrics: MetricsHub
+    bus: EventBus
+    config: OsirisConfig
+    app: VerifiableApplication
+    inputs: list[InputProcess]
+    outputs: list[OutputProcess]
+    executors: list[Executor]
+    verifiers: list[Verifier] = field(default_factory=list)
+    coordinators: list[Coordinator] = field(default_factory=list)
+    hosts: dict[str, DesHost] = field(default_factory=dict)
+
+    def start(self) -> None:
+        """Begin streaming the workload."""
+        for ip in self.inputs:
+            ip.start()
+
+    def run(self, until: float) -> None:
+        """Advance simulated time (resumable)."""
+        self.sim.run(until=until)
+
+    def worker(self, pid: str):
+        """Look up any role's protocol core by pid."""
+        return self.hosts[pid].core
+
+    def host(self, pid: str) -> DesHost:
+        """The simulated node hosting ``pid`` (timers, CPU banks,
+        replay capture flag)."""
+        return self.hosts[pid]
+
+    @property
+    def all_verifiers(self) -> list[Verifier]:
+        """Coordinators + plain verifiers."""
+        return list(self.coordinators) + list(self.verifiers)
+
+
+def default_cluster_count(n_workers: int, config: OsirisConfig) -> int:
+    """Steady-state verifier sub-cluster count heuristic (see module doc)."""
+    return max(1, n_workers // (2 * config.subcluster_size))
+
+
+def build_osiris_cluster(
+    app: VerifiableApplication,
+    workload: Optional[Iterator[tuple[float, Task]]] = None,
+    n_workers: int = 8,
+    config: Optional[OsirisConfig] = None,
+    k: Optional[int] = None,
+    seed: int = 0,
+    synchrony: Optional[SynchronyModel] = None,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    n_inputs: int = 1,
+    n_outputs: int = 1,
+    executor_faults: Optional[dict[str, ExecutorFault]] = None,
+    verifier_faults: Optional[dict[str, VerifierFault]] = None,
+    output_faults: Optional[dict[str, OutputFault]] = None,
+    sinks: Iterable = (),
+    capture: Iterable[str] = (),
+) -> OsirisCluster:
+    """Build and wire an OsirisBFT deployment.
+
+    Parameters
+    ----------
+    app:
+        The verifiable application.
+    workload:
+        Iterator of (time, Task) pairs fed by IP (may be None for manual
+        driving in tests).
+    n_workers:
+        |WP| — worker processes, split into verifiers and executors.
+    k:
+        Verifier sub-cluster count (first cluster is VP_CO).  Default:
+        ``max(1, n_workers // (2·(2f+1)))``.
+    executor_faults / verifier_faults / output_faults:
+        pid → fault-strategy maps for Byzantine runs.
+    sinks:
+        Event sinks attached to the bus *before* any core is built, so
+        they observe construction-time events too.
+    capture:
+        pids whose hosts record replay inputs/effects from birth (see
+        :class:`~repro.runtime.des.DesHost`); combine with a
+        ``CATEGORY_REPLAY``-filtered sink in ``sinks`` to produce a
+        standalone re-runnable log.
+    """
+    config = config or OsirisConfig()
+    size = config.subcluster_size
+    if k is None:
+        k = default_cluster_count(n_workers, config)
+    if k < 1:
+        raise ProtocolError("need at least one verifier sub-cluster")
+    if n_workers < k * size:
+        raise ProtocolError(
+            f"n_workers={n_workers} cannot host {k} sub-clusters of {size}"
+        )
+    n_exec = n_workers - k * size
+
+    clusters = []
+    vpid = 0
+    for idx in range(k):
+        members = tuple(f"v{vpid + j}" for j in range(size))
+        clusters.append(SubCluster(index=idx, members=members, f=config.f))
+        vpid += size
+    topo = Topology(
+        input_pids=tuple(f"ip{i}" for i in range(n_inputs)),
+        output_pids=tuple(f"op{i}" for i in range(n_outputs)),
+        executor_pids=tuple(f"e{i}" for i in range(n_exec)),
+        verifier_clusters=tuple(clusters),
+        f=config.f,
+    )
+
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth
+    )
+    registry = KeyRegistry()
+    metrics = MetricsHub()
+    sim.bus.attach(metrics)
+    for sink in sinks:
+        sim.bus.attach(sink)
+    executor_faults = executor_faults or {}
+    verifier_faults = verifier_faults or {}
+    output_faults = output_faults or {}
+    captured = frozenset(capture)
+    hosts: dict[str, DesHost] = {}
+
+    def deploy(core, cores: int) -> DesHost:
+        host = DesHost(sim, net, core, cores=cores, capture=core.pid in captured)
+        net.register(host)
+        hosts[core.pid] = host
+        return host
+
+    coordinators: list[Coordinator] = []
+    verifiers: list[Verifier] = []
+    for cluster in topo.verifier_clusters:
+        for pid in cluster.members:
+            cls = Coordinator if cluster.index == 0 else Verifier
+            core = cls(
+                pid,
+                topo,
+                registry,
+                registry.register(pid),
+                app,
+                config,
+                cluster=cluster,
+                fault=verifier_faults.get(pid),
+            )
+            deploy(core, config.cores_per_node)
+            (coordinators if cluster.index == 0 else verifiers).append(core)
+
+    executors: list[Executor] = []
+    for pid in topo.executor_pids:
+        core = Executor(
+            pid,
+            topo,
+            registry,
+            registry.register(pid),
+            app,
+            config,
+            fault=executor_faults.get(pid),
+        )
+        deploy(core, config.cores_per_node)
+        executors.append(core)
+
+    inputs = []
+    for i, pid in enumerate(topo.input_pids):
+        ip = InputProcess(
+            pid,
+            topo,
+            workload if (i == 0 and workload is not None) else iter(()),
+        )
+        deploy(ip, 2)
+        inputs.append(ip)
+
+    outputs = []
+    for pid in topo.output_pids:
+        op = OutputProcess(pid, topo, config, fault=output_faults.get(pid))
+        deploy(op, 2)
+        outputs.append(op)
+
+    return OsirisCluster(
+        sim=sim,
+        net=net,
+        topo=topo,
+        registry=registry,
+        metrics=metrics,
+        bus=sim.bus,
+        config=config,
+        app=app,
+        inputs=inputs,
+        outputs=outputs,
+        executors=executors,
+        verifiers=verifiers,
+        coordinators=coordinators,
+        hosts=hosts,
+    )

@@ -1,0 +1,178 @@
+"""Discrete-event backend: hosts one :class:`ProtocolCore` on the DES.
+
+A :class:`DesHost` is the glue between a pure core and the simulated
+substrate.  It interprets every effect with exactly the calls the
+pre-refactor inline role code made — same ``Network.send`` order, same
+``CpuBank.submit`` / ``Simulator.schedule_at`` sequence, same guard
+closures — so same-seed traces are bit-identical across the refactor.
+
+With :attr:`capture` enabled the host additionally publishes
+:class:`~repro.obs.events.ReplayInput` / ``ReplayEffect`` events on the
+bus: the core's full inbox (messages, timer fires, job and milestone
+completions) and its full effect stream.  A :class:`JsonlTraceSink`
+subscribed to ``CATEGORY_REPLAY`` then yields a standalone re-runnable
+log for :mod:`repro.runtime.replay`.  Capture is an explicit opt-in
+flag — not a ``bus.wants`` query — because all-category sinks must keep
+seeing the exact pre-capture event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.events import ReplayEffect, ReplayInput
+from repro.runtime.core import ProtocolCore
+from repro.runtime.effects import (
+    ApplyUpdate,
+    CancelTimer,
+    CtrlJob,
+    Emit,
+    Halt,
+    Job,
+    Multicast,
+    NeqMulticast,
+    Schedule,
+    Send,
+    SetTimer,
+)
+from repro.runtime.replay import effect_signature, encode_message
+from repro.sim.process import SimProcess
+
+__all__ = ["DesHost"]
+
+
+def _noop() -> None:
+    return None
+
+
+class DesHost(SimProcess):
+    """One simulated node running one protocol core."""
+
+    def __init__(
+        self,
+        sim,
+        net,
+        core: ProtocolCore,
+        cores: int = 7,
+        capture: bool = False,
+    ) -> None:
+        super().__init__(sim, core.pid, cores=cores)
+        self.net = net
+        self.core = core
+        #: opt-in replay capture (see module docstring).  Pass it at
+        #: construction to also capture the core's birth effects (the
+        #: initial timers performed during ``bind``) — a replayed core
+        #: re-performs those, so a from-birth log is what byte-compares.
+        self.capture = capture
+        core.bind(self)
+
+    # --------------------------------------------------- runtime interface
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def wants(self, category: str) -> bool:
+        return self.sim.bus.wants(category)
+
+    @property
+    def app_cpu(self):
+        return self.cpu
+
+    # SimProcess already provides timer_armed()
+
+    def perform(self, effect) -> None:
+        if self.capture:
+            self.sim.bus.emit(
+                ReplayEffect(
+                    time=self.sim.now,
+                    pid=self.pid,
+                    signature=effect_signature(effect),
+                )
+            )
+        if type(effect) is Send:
+            self.net.send(self.pid, effect.dst, effect.msg)
+        elif type(effect) is Multicast:
+            self.net.multicast(self.pid, effect.dsts, effect.msg)
+        elif type(effect) is NeqMulticast:
+            self.net.neq_multicast(self.pid, effect.dsts, effect.msg)
+        elif type(effect) is SetTimer:
+            self.set_timer(
+                effect.name, effect.delay, self._fire_timer, effect
+            )
+        elif type(effect) is CancelTimer:
+            self.cancel_timer(effect.name)
+        elif type(effect) is Schedule:
+            self.sim.schedule(effect.delay, self._fire_sched, effect)
+        elif type(effect) is Job:
+            run = self._job_thunk(effect)
+            handle = self.cpu.submit(
+                effect.cost, self._guard(run) if effect.guarded else run
+            )
+            start = handle.time - effect.cost
+            for idx in range(len(effect.milestones)):
+                offset = effect.milestones[idx][0]
+                self.sim.schedule_at(
+                    start + offset,
+                    self._fire_milestone,
+                    effect,
+                    idx,
+                )
+        elif type(effect) is CtrlJob:
+            self.ctrl.submit(effect.cost, self._guard(self._job_thunk(effect)))
+        elif type(effect) is ApplyUpdate:
+            self.cpu.submit(effect.cost, self._guard(_noop))
+        elif type(effect) is Emit:
+            self.sim.bus.emit(effect.event)
+        elif type(effect) is Halt:
+            self.crash()
+        else:  # pragma: no cover - vocabulary is closed
+            raise TypeError(f"unknown effect {effect!r}")
+
+    # -------------------------------------------------------- continuations
+    def _record_input(self, kind: str, ref: str) -> None:
+        self.sim.bus.emit(
+            ReplayInput(
+                time=self.sim.now, pid=self.pid, input_kind=kind, ref=ref
+            )
+        )
+
+    def _fire_timer(self, effect: SetTimer) -> None:
+        if self.capture:
+            self._record_input("timer", effect.name)
+        effect.fn(*effect.args)
+
+    def _fire_sched(self, effect: Schedule) -> None:
+        if self.capture:
+            self._record_input("sched", str(effect.sched_id))
+        effect.fn(*effect.args)
+
+    def _job_thunk(self, effect):
+        def run() -> None:
+            if self.capture:
+                self._record_input("job", str(effect.job_id))
+            effect.fn(*effect.args)
+
+        return run
+
+    def _fire_milestone(self, effect: Job, idx: int) -> None:
+        if self.capture:
+            self._record_input("milestone", f"{effect.job_id}:{idx}")
+        _, fn, args = effect.milestones[idx]
+        fn(*args)
+
+    # ------------------------------------------------------------ messaging
+    def deliver(self, msg: Any) -> None:
+        if self.crashed:
+            return
+        if self.capture:
+            self._record_input("msg", encode_message(msg))
+        self.core.handle(msg)
+        self.unhandled_messages = self.core.unhandled_messages
+
+    # ---------------------------------------------------------------- crash
+    def crash(self) -> None:
+        self.core.crashed = True
+        super().crash()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DesHost {type(self.core).__name__} {self.pid}>"

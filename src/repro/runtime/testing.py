@@ -1,0 +1,150 @@
+"""In-memory backend for driving protocol cores in unit tests.
+
+No Simulator, no Network: a :class:`TestRuntime` records every effect a
+core performs and keeps just enough state (armed timers, pending jobs)
+to let a test fire continuations by hand or drain them synchronously.
+This is what makes adversarial input orderings *surgical*: a test
+constructs a Verifier or Coordinator core, feeds hand-crafted messages
+in any order, and asserts directly on state and on the typed effect
+stream — without racing a whole simulated deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.runtime.api import Runtime, StubCpu
+from repro.runtime.core import ProtocolCore
+from repro.runtime.effects import (
+    ApplyUpdate,
+    CancelTimer,
+    CtrlJob,
+    Effect,
+    Emit,
+    Halt,
+    Job,
+    Multicast,
+    NeqMulticast,
+    Schedule,
+    Send,
+    SetTimer,
+)
+
+__all__ = ["TestRuntime", "sent_messages"]
+
+
+class TestRuntime(Runtime):
+    """Inert effect recorder with manual continuation control."""
+
+    def __init__(
+        self,
+        core: ProtocolCore,
+        cores: int = 7,
+        wanted: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.core = core
+        self.clock = 0.0
+        self._wanted = wanted or (lambda category: True)
+        self._cpu = StubCpu(cores)
+        self.effects: list[Effect] = []
+        self.timers: dict[str, SetTimer] = {}
+        self.pending: list[Effect] = []  # jobs/ctrl-jobs/scheds, FIFO
+        core.bind(self)
+
+    # --------------------------------------------------- runtime interface
+    @property
+    def now(self) -> float:
+        return self.clock
+
+    def wants(self, category: str) -> bool:
+        return self._wanted(category)
+
+    def timer_armed(self, name: str) -> bool:
+        return name in self.timers
+
+    @property
+    def app_cpu(self):
+        return self._cpu
+
+    def perform(self, effect) -> None:
+        self.effects.append(effect)
+        t = type(effect)
+        if t is SetTimer:
+            self.timers[effect.name] = effect
+        elif t is CancelTimer:
+            self.timers.pop(effect.name, None)
+        elif t in (Job, CtrlJob, Schedule):
+            if t is Job:
+                self._cpu.busy_seconds += effect.cost
+            self.pending.append(effect)
+        elif t is ApplyUpdate:
+            self._cpu.busy_seconds += effect.cost
+        elif t is Halt:
+            self.timers.clear()
+
+    # ------------------------------------------------------- test controls
+    def deliver(self, msg: Any, sender: Optional[str] = None) -> None:
+        """Hand a message to the core, stamping ``sender`` like the
+        authenticated transport would."""
+        if sender is not None:
+            msg.sender = sender
+        self.core.handle(msg)
+
+    def fire_timer(self, name: str) -> None:
+        """Fire an armed timer immediately (crash-guarded, like the DES)."""
+        effect = self.timers.pop(name)
+        if not self.core.crashed:
+            effect.fn(*effect.args)
+
+    def drain(self, max_rounds: int = 1000) -> None:
+        """Run queued jobs/scheds (and any they enqueue) to quiescence.
+
+        Costs are ignored — the test backend has no clock to advance —
+        but crash-guarding matches the DES: guarded work is skipped once
+        the core crashed, while unguarded work still runs.
+        """
+        rounds = 0
+        while self.pending:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("TestRuntime.drain did not quiesce")
+            effect = self.pending.pop(0)
+            if type(effect) is Job:
+                for _, fn, args in effect.milestones:
+                    fn(*args)
+                if effect.guarded and self.core.crashed:
+                    continue
+                effect.fn(*effect.args)
+            elif type(effect) is CtrlJob:
+                if self.core.crashed:
+                    continue
+                effect.fn(*effect.args)
+            else:  # Schedule — never guarded
+                effect.fn(*effect.args)
+
+    # ------------------------------------------------------------ querying
+    def of(self, effect_type: type) -> list[Effect]:
+        """Recorded effects of one concrete type, in perform order."""
+        return [e for e in self.effects if type(e) is effect_type]
+
+    def clear(self) -> None:
+        self.effects.clear()
+
+    def emitted(self, event_type: type) -> list[Any]:
+        """Trace events the core emitted, filtered by event class."""
+        return [
+            e.event
+            for e in self.effects
+            if type(e) is Emit and type(e.event) is event_type
+        ]
+
+
+def sent_messages(rt: TestRuntime, msg_type: Optional[type] = None) -> list:
+    """All messages the core sent (point-to-point or multicast), in
+    order, optionally filtered by message class."""
+    out = []
+    for effect in rt.effects:
+        if type(effect) in (Send, Multicast, NeqMulticast):
+            if msg_type is None or type(effect.msg) is msg_type:
+                out.append(effect.msg)
+    return out

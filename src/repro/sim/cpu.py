@@ -13,7 +13,7 @@ Utilization accounting feeds the Sec 7.2 bottleneck-profiling bench
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.obs.events import CATEGORY_CPU, CpuSpan

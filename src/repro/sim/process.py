@@ -1,17 +1,17 @@
 """Base class for simulated processes.
 
-Every actor in the system — input processes, executors, verifiers, output
-processes, baseline workers — derives from :class:`SimProcess`.  A process
-owns a CPU bank, receives messages dispatched by type, and can arm
-cancellable timers (the building block for reassignment timeouts,
-negligent-leader timeouts, and role-switching control loops).
+Every actor bound to the DES — protocol cores via
+:class:`repro.runtime.des.DesHost`, plus bare processes in unit tests —
+derives from :class:`SimProcess`.  A process owns a CPU bank, receives
+messages dispatched by type, and can arm cancellable timers (the
+building block for reassignment timeouts, negligent-leader timeouts,
+and role-switching control loops).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.errors import SimulationError
 from repro.sim.cpu import CpuBank
 from repro.sim.kernel import EventHandle, Simulator
 
@@ -22,10 +22,12 @@ class SimProcess:
     """A named simulated process with CPU and message dispatch.
 
     Subclasses implement handlers named ``on_<MessageType>`` (matching the
-    message class name, see :mod:`repro.net.message`); :meth:`deliver`
-    routes incoming messages to them.  Unknown message types are counted
-    and dropped — a correct process must tolerate garbage from Byzantine
-    peers, so an unexpected type is never an error.
+    message class name, see :mod:`repro.net.message`); they are collected
+    into a dispatch table once at construction and :meth:`deliver` routes
+    incoming messages through it — no per-delivery string ``getattr``.
+    Unknown message types are counted and dropped — a correct process must
+    tolerate garbage from Byzantine peers, so an unexpected type is never
+    an error.
     """
 
     def __init__(self, sim: Simulator, pid: str, cores: int = 7) -> None:
@@ -40,6 +42,11 @@ class SimProcess:
         self.crashed = False
         self.unhandled_messages = 0
         self._timers: dict[str, EventHandle] = {}
+        handlers: dict[str, Callable[..., None]] = {}
+        for name in dir(type(self)):
+            if name.startswith("on_"):
+                handlers[name[3:]] = getattr(self, name)
+        self._handlers = handlers
 
     @property
     def bus(self):
@@ -51,7 +58,7 @@ class SimProcess:
         """Entry point the network calls when a message arrives."""
         if self.crashed:
             return
-        handler = getattr(self, "on_" + type(msg).__name__, None)
+        handler = self._handlers.get(type(msg).__name__)
         if handler is None:
             self.unhandled_messages += 1
             return
@@ -60,16 +67,32 @@ class SimProcess:
     # ---------------------------------------------------------------- timers
     def set_timer(
         self, name: str, delay: float, fn: Callable[..., None], *args: Any
-    ) -> EventHandle:
-        """Arm (or re-arm) a named timer.  Re-arming cancels the old one."""
+    ) -> Optional[EventHandle]:
+        """Arm (or re-arm) a named timer.  Re-arming cancels the old one.
+
+        A crashed process cannot arm timers (returns ``None``): a crash
+        must permanently silence the process even if some stale callback
+        still holds a reference to it.  Fired timers remove themselves
+        from the table, so long-lived processes don't accumulate dead
+        handles and ``cancel_timer`` after the fire is a clean no-op.
+        """
         self.cancel_timer(name)
-        guarded = self._guard(fn)
-        handle = self.sim.schedule(delay, guarded, *args)
+        if self.crashed:
+            return None
+
+        def fire(*fire_args: Any) -> None:
+            if self._timers.get(name) is handle:
+                del self._timers[name]
+            if not self.crashed:
+                fn(*fire_args)
+
+        handle = self.sim.schedule(delay, fire, *args)
         self._timers[name] = handle
         return handle
 
     def cancel_timer(self, name: str) -> None:
-        """Cancel a named timer if armed; no-op otherwise."""
+        """Cancel a named timer if armed; no-op otherwise (including for
+        timers that already fired or were never armed)."""
         handle = self._timers.pop(name, None)
         if handle is not None:
             handle.cancel()

@@ -8,11 +8,10 @@ from repro.apps.anomaly import (
     clique,
     link_update_stream,
     make_link_task,
-    path,
     power_law_graph,
 )
 from repro.core import Opcode, Task, build_osiris_cluster
-from repro.core.faults import CorruptRecordFault, OmitRecordFault
+from repro.core.faults import OmitRecordFault
 from tests.core.helpers import fast_config
 
 

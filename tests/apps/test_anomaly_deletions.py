@@ -1,7 +1,6 @@
 """Anomaly Detection with link deletions: snapshot correctness for
 matching over shrinking graphs and delete-task handling in the cluster."""
 
-import pytest
 
 from repro.apps.anomaly import (
     AnomalyApp,

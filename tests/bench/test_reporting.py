@@ -1,6 +1,5 @@
 """Tests for benchmark reporting utilities."""
 
-import pytest
 
 from repro.bench import print_figure, print_series, print_table, ratio
 from repro.bench.reporting import get_buffer

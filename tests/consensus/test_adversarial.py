@@ -9,12 +9,14 @@ from repro.crypto import KeyRegistry
 from repro.crypto.digest import digest
 from repro.crypto.signatures import Signature
 from repro.net import Network, SubCluster, SynchronyModel
-from repro.sim import Simulator, SimProcess
+from repro.runtime.core import ProtocolCore
+from repro.runtime.des import DesHost
+from repro.sim import Simulator
 
 
-class Host(SimProcess):
-    def __init__(self, sim, pid):
-        super().__init__(sim, pid, cores=1)
+class Host(ProtocolCore):
+    def __init__(self, pid):
+        super().__init__(pid)
         self.delivered = []
 
     def record(self, seq, batch):
@@ -31,18 +33,18 @@ def make_group(f=1, seed=21):
     )
     hosts, members = [], []
     for pid in group.members:
-        host = Host(sim, pid)
-        net.register(host)
+        host = Host(pid)
+        net.register(DesHost(sim, net, host, cores=1))
         members.append(
             ConsensusMember(
-                host, net, registry, registry.register(pid), group,
+                host, registry, registry.register(pid), group,
                 on_commit=host.record,
             )
         )
         hosts.append(host)
-    client_host = Host(sim, "client")
-    net.register(client_host)
-    return sim, net, hosts, members, ConsensusClient(client_host, net, group)
+    client_core = Host("client")
+    net.register(DesHost(sim, net, client_core, cores=1))
+    return sim, net, hosts, members, ConsensusClient(client_core, group)
 
 
 class TestForgedAcks:
@@ -64,7 +66,7 @@ class TestForgedAcks:
             sig=Signature("v2", b"\x00" * 32),
         )
         fake.sender = "v2"
-        hosts[0].deliver(fake)
+        hosts[0].handle(fake)
         # the forged vote must not have been recorded
         assert "v2" not in m0._slots[1].acks
 
@@ -80,7 +82,7 @@ class TestForgedAcks:
         sig = m1.signer.sign(CsAck.signed_payload(0, 1, wrong))
         msg = CsAck(view=0, seq=1, batch_digest=wrong, sig=sig)
         msg.sender = "v1"
-        hosts[0].deliver(msg)
+        hosts[0].handle(msg)
         assert "v1" not in slot.acks or slot.batch_digest == wrong
 
 
@@ -91,7 +93,7 @@ class TestBogusViewChanges:
         sig = m1.signer.sign(CsViewChange.signed_payload(5, 0))
         msg = CsViewChange(new_view=5, committed_seq=0, slots=(), sig=sig)
         msg.sender = "v1"
-        hosts[0].deliver(msg)
+        hosts[0].handle(msg)
         assert members[0].view == 0
 
     def test_outsider_view_change_ignored(self):
@@ -100,7 +102,7 @@ class TestBogusViewChanges:
         sig = registry_outsider.sign(CsViewChange.signed_payload(1, 0))
         msg = CsViewChange(new_view=1, committed_seq=0, slots=(), sig=sig)
         msg.sender = "v9"
-        hosts[0].deliver(msg)
+        hosts[0].handle(msg)
         assert members[0].view == 0
 
     def test_view_change_slots_cannot_forge_commits(self):
@@ -119,7 +121,7 @@ class TestBogusViewChanges:
                 sig=sig,
             )
             msg.sender = pid
-            hosts[0].deliver(msg)
+            hosts[0].handle(msg)
         # view adopted (quorum of votes)…
         assert members[0].view == 1
         sim.run(until=0.5)
@@ -145,7 +147,7 @@ class TestReplay:
         replay = CsPropose(view=0, seq=1, batch=slot.batch, sig=sig)
         replay.sender = "v0"
         replay._neq = True
-        hosts[1].deliver(replay)
+        hosts[1].handle(replay)
         sim.run(until=2.0)
         assert hosts[1].delivered == before
 

@@ -1,25 +1,26 @@
 """Tests for the 2f+1 consensus protocol: safety, liveness, view changes."""
 
-import pytest
 
 from repro.consensus import ConsensusClient, ConsensusMember
 from repro.crypto import KeyRegistry
 from repro.net import Network, SubCluster, SynchronyModel
-from repro.sim import Simulator, SimProcess
+from repro.runtime.core import ProtocolCore
+from repro.runtime.des import DesHost
+from repro.sim import Simulator
 
 
-class Host(SimProcess):
-    """Consensus member host recording its commit sequence."""
+class Host(ProtocolCore):
+    """Consensus member core recording its commit sequence."""
 
-    def __init__(self, sim, pid):
-        super().__init__(sim, pid, cores=2)
+    def __init__(self, pid):
+        super().__init__(pid)
         self.committed = []  # (seq, batch)
 
     def record(self, seq, batch):
         self.committed.append((seq, batch))
 
 
-class Client(SimProcess):
+class Client(ProtocolCore):
     pass
 
 
@@ -31,18 +32,18 @@ def make_group(f=1, n_members=None, validate=None, seed=3, **member_kwargs):
     group = SubCluster(index=0, members=tuple(f"v{i}" for i in range(n)), f=f)
     hosts, members = [], []
     for pid in group.members:
-        host = Host(sim, pid)
-        net.register(host)
+        host = Host(pid)
+        net.register(DesHost(sim, net, host, cores=2))
         signer = registry.register(pid)
         member = ConsensusMember(
-            host, net, registry, signer, group,
+            host, registry, signer, group,
             on_commit=host.record, validate=validate, **member_kwargs,
         )
         hosts.append(host)
         members.append(member)
-    client_proc = Client(sim, "client")
-    net.register(client_proc)
-    client = ConsensusClient(client_proc, net, group)
+    client_core = Client("client")
+    net.register(DesHost(sim, net, client_core, cores=2))
+    client = ConsensusClient(client_core, group)
     return sim, net, hosts, members, client
 
 
@@ -104,9 +105,9 @@ class TestGracefulCommit:
 
     def test_requests_from_two_clients_all_commit(self):
         sim, net, hosts, members, client = make_group()
-        client2_proc = Client(sim, "client2")
-        net.register(client2_proc)
-        client2 = ConsensusClient(client2_proc, net, client.group)
+        client2_core = Client("client2")
+        net.register(DesHost(sim, net, client2_core, cores=2))
+        client2 = ConsensusClient(client2_core, client.group)
         client.submit({"op": "a"})
         client2.submit({"op": "b"})
         sim.run(until=1.0)
@@ -192,11 +193,9 @@ class TestSafetyUnderEquivocationAttempts:
 
     def test_forged_leader_signature_rejected(self):
         from repro.consensus.messages import CsPropose
-        from repro.crypto.digest import digest
         from repro.crypto.signatures import Signature
 
         sim, net, hosts, members, client = make_group()
-        bd = digest(["evil"])
         msg = CsPropose(
             view=0, seq=1, batch=(("evil", {"op": 666}, 0),),
             sig=Signature("v0", b"\x00" * 32),
@@ -229,16 +228,16 @@ class TestPartialSynchrony:
         group = SubCluster(index=0, members=("v0", "v1", "v2"), f=1)
         hosts = []
         for pid in group.members:
-            host = Host(sim, pid)
-            net.register(host)
+            host = Host(pid)
+            net.register(DesHost(sim, net, host, cores=2))
             ConsensusMember(
-                host, net, registry, registry.register(pid), group,
+                host, registry, registry.register(pid), group,
                 on_commit=host.record,
             )
             hosts.append(host)
-        cproc = Client(sim, "client")
-        net.register(cproc)
-        client = ConsensusClient(cproc, net, group)
+        client_core = Client("client")
+        net.register(DesHost(sim, net, client_core, cores=2))
+        client = ConsensusClient(client_core, group)
         client.submit({"op": 1})
         sim.run(until=10.0)
         for host in hosts:

@@ -6,12 +6,14 @@ from repro.consensus import ConsensusClient, PbftMember
 from repro.crypto import KeyRegistry
 from repro.errors import ConsensusError
 from repro.net import Network, SubCluster, SynchronyModel
-from repro.sim import Simulator, SimProcess
+from repro.runtime.core import ProtocolCore
+from repro.runtime.des import DesHost
+from repro.sim import Simulator
 
 
-class Host(SimProcess):
-    def __init__(self, sim, pid):
-        super().__init__(sim, pid, cores=1)
+class Host(ProtocolCore):
+    def __init__(self, pid):
+        super().__init__(pid)
         self.delivered = []
 
     def record(self, seq, batch):
@@ -27,18 +29,18 @@ def make_group(f=1, seed=6, **kwargs):
     group = SubCluster(index=0, members=tuple(f"v{i}" for i in range(n)), f=f)
     hosts, members = [], []
     for pid in group.members:
-        host = Host(sim, pid)
-        net.register(host)
+        host = Host(pid)
+        net.register(DesHost(sim, net, host, cores=1))
         members.append(
             PbftMember(
-                host, net, registry, registry.register(pid), group,
+                host, registry, registry.register(pid), group,
                 on_commit=host.record, **kwargs,
             )
         )
         hosts.append(host)
-    cp = Host(sim, "client")
-    net.register(cp)
-    return sim, net, hosts, members, ConsensusClient(cp, net, group)
+    cp = Host("client")
+    net.register(DesHost(sim, net, cp, cores=1))
+    return sim, net, hosts, members, ConsensusClient(cp, group)
 
 
 class TestGraceful:
@@ -63,11 +65,11 @@ class TestGraceful:
         net = Network(sim)
         registry = KeyRegistry()
         group = SubCluster(index=0, members=("a", "b", "c"), f=1)
-        host = Host(sim, "a")
-        net.register(host)
+        host = Host("a")
+        net.register(DesHost(sim, net, host, cores=1))
         with pytest.raises(ConsensusError):
             PbftMember(
-                host, net, registry, registry.register("a"), group,
+                host, registry, registry.register("a"), group,
                 on_commit=host.record,
             )
 

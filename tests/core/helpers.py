@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
+from repro.apps.synthetic import SyntheticApp, make_compute_task
 from repro.core import OsirisConfig, build_osiris_cluster
 
 

@@ -3,12 +3,11 @@ must not be able to activate verification for a task that was never
 linearized (found by audit; activation now always requires the f+1
 signature quorum on every path)."""
 
-import pytest
 
 from repro.apps.synthetic import SyntheticApp, make_compute_task
 from repro.core import build_osiris_cluster
 from repro.core.messages import AssignmentMsg, ChunkDigestMsg, ChunkMsg
-from repro.core.tasks import Assignment, Chunk, chunk_records
+from repro.core.tasks import Assignment, chunk_records
 from repro.crypto.digest import digest
 from tests.core.helpers import fast_config
 
@@ -46,7 +45,7 @@ class TestForgedAssignment:
         # step 1: traitor sends its (valid!) single assignment copy
         amsg = AssignmentMsg(assignment=a, sig=sig)
         amsg.sender = traitor_pid
-        verifier.deliver(amsg)
+        verifier.handle(amsg)
         assert not any(st.activated for st in verifier._tasks.values())
 
         # step 2: colluding executor streams a perfectly plausible output
@@ -55,13 +54,13 @@ class TestForgedAssignment:
         chunk = chunk_records(a.task.task_id, records, 10**6)[0]
         cmsg = ChunkMsg(chunk=chunk, assignment=a, assignment_sigs=(sig,))
         cmsg.sender = "e0"
-        verifier.deliver(cmsg)
+        verifier.handle(cmsg)
         dmsg = ChunkDigestMsg(
             task_id=a.task.task_id, attempt=0, index=0, digest=digest(chunk)
         )
         dmsg.sender = "e0"
         dmsg._neq = True
-        verifier.deliver(dmsg)
+        verifier.handle(dmsg)
         cluster.sim.run(until=5.0)
 
         # the verifier never activated, verified, or forwarded anything
@@ -85,13 +84,13 @@ class TestForgedAssignment:
         chunk = chunk_records(a.task.task_id, records, 10**6)[0]
         cmsg = ChunkMsg(chunk=chunk, assignment=a, assignment_sigs=sigs)
         cmsg.sender = "e0"
-        verifier.deliver(cmsg)
+        verifier.handle(cmsg)
         dmsg = ChunkDigestMsg(
             task_id=a.task.task_id, attempt=0, index=0, digest=digest(chunk)
         )
         dmsg.sender = "e0"
         dmsg._neq = True
-        verifier.deliver(dmsg)
+        verifier.handle(dmsg)
         cluster.sim.run(until=5.0)
         st = verifier._tasks.get(a.key)
         assert st is not None and st.activated

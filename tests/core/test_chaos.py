@@ -8,11 +8,10 @@ This is the paper's full fault model (Sec 3) exercised in one property:
 "at most f processes in VP_i fail".
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.apps.synthetic import SyntheticApp
 from repro.core import build_osiris_cluster
 from repro.core.faults import (
     BogusDigestFault,

@@ -3,7 +3,7 @@ quorums, and deterministic assignment state across members."""
 
 import pytest
 
-from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.apps.synthetic import SyntheticApp
 from repro.core import build_osiris_cluster
 from repro.core.coordinator import _ctl_signed_payload
 from repro.core.messages import SuspectExecutorMsg, TaskCompleteMsg

@@ -1,13 +1,12 @@
 """Unit tests for the execution engine: queueing, cancellation, and the
 coordination-free signature quorum."""
 
-import pytest
 
 from repro.apps.synthetic import SyntheticApp, make_compute_task
 from repro.core import build_osiris_cluster
 from repro.core.messages import AssignmentMsg
 from repro.core.tasks import Assignment
-from tests.core.helpers import compute_workload, fast_config
+from tests.core.helpers import fast_config
 
 
 def deploy(**kwargs):
@@ -36,7 +35,7 @@ def send_assignment(cluster, executor_pid, task, attempt=0, vp_index=1,
     for coord in cluster.coordinators[:n_sigs]:
         msg = AssignmentMsg(assignment=a, sig=coord.signer.sign(a.signed_payload()))
         msg.sender = coord.pid
-        target.deliver(msg)
+        target.handle(msg)
 
 
 class TestQuorum:
@@ -65,7 +64,7 @@ class TestQuorum:
                 assignment=a, sig=coord.signer.sign(a.signed_payload())
             )
             msg.sender = coord.pid
-            e0.deliver(msg)
+            e0.handle(msg)
         cluster.sim.run(until=1.0)
         assert e0.engine.tasks_executed == 0
 

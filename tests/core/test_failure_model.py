@@ -2,7 +2,6 @@
 complete, correct executions are failure-free, and the verification
 operators accept exactly the correct output."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.synthetic import SyntheticApp, make_compute_task, make_update_task
-from repro.core import Opcode, Task, build_osiris_cluster
+from repro.core import Opcode, Task
 from tests.core.helpers import compute_workload, fast_config, run_cluster
 
 

@@ -1,10 +1,8 @@
 """Tests for protocol message sizing and signed payload binding."""
 
-import pytest
 
 from repro.core import Opcode, Record, Task
 from repro.core.messages import (
-    AssignmentMsg,
     ChunkDigestMsg,
     ChunkMsg,
     ChunkShareMsg,

@@ -1,9 +1,8 @@
 """Edge-case protocol tests: role switching, fallback, partial synchrony,
 equivocation recovery, and liveness under adversarial timing."""
 
-import pytest
 
-from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.apps.synthetic import SyntheticApp
 from repro.core import build_osiris_cluster
 from repro.core.faults import EquivocateChunksFault, SilentFault
 from repro.net import SynchronyModel

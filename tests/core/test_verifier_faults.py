@@ -1,6 +1,5 @@
 """Byzantine verifier and output-process tests (Sec 5.2.2 machinery)."""
 
-import pytest
 
 from repro.apps.synthetic import SyntheticApp
 from repro.core.faults import (

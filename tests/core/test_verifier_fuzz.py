@@ -6,7 +6,6 @@ This is the safety core of the paper (Lemma 6.2 / Corollary 6.1) tested
 at the unit level, complementing the end-to-end Byzantine runs.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,6 +16,7 @@ from repro.core.tasks import Assignment, Chunk
 from repro.core.verifier import Verifier
 from repro.crypto import KeyRegistry, digest
 from repro.net import Network, SubCluster, SynchronyModel, Topology
+from repro.runtime.des import DesHost
 from repro.sim import Simulator
 
 
@@ -38,9 +38,7 @@ def build_verifier():
     config = OsirisConfig(suspect_timeout=1000.0, role_switching=False)
     app = SyntheticApp(records_per_task=4, compute_cost=1e-3)
     verifier = Verifier(
-        sim,
         "v3",
-        net,
         topo,
         registry,
         registry.register("v3"),
@@ -48,7 +46,7 @@ def build_verifier():
         config,
         cluster=clusters[1],
     )
-    net.register(verifier)
+    net.register(DesHost(sim, net, verifier, cores=config.cores_per_node))
     coord_signers = [registry.register(pid) for pid in clusters[0].members]
 
     from repro.sim.process import SimProcess
@@ -80,14 +78,14 @@ def activate(verifier, coord_signers, task, attempt=0):
     for signer in coord_signers[:2]:
         msg = AssignmentMsg(assignment=a, sig=signer.sign(a.signed_payload()))
         msg.sender = signer.pid
-        verifier.deliver(msg)
+        verifier.handle(msg)
     return a
 
 
 def feed_chunk(verifier, a, chunk, digest_value=None, sender="e0"):
     msg = ChunkMsg(chunk=chunk, assignment=a)
     msg.sender = sender
-    verifier.deliver(msg)
+    verifier.handle(msg)
     dmsg = ChunkDigestMsg(
         task_id=a.task.task_id,
         attempt=a.attempt,
@@ -96,7 +94,7 @@ def feed_chunk(verifier, a, chunk, digest_value=None, sender="e0"):
     )
     dmsg.sender = sender
     dmsg._neq = True
-    verifier.deliver(dmsg)
+    verifier.handle(dmsg)
 
 
 # The honest output of SyntheticApp task "c0" with n=4: keys (0,),..,(3,)

@@ -2,7 +2,6 @@
 digest gating, out-of-order chunk buffering, count deferral, retained
 output resends, and role-switch epochs."""
 
-import pytest
 
 from repro.apps.synthetic import SyntheticApp, make_compute_task
 from repro.core import build_osiris_cluster
@@ -39,7 +38,6 @@ class TestDigestGating:
         chunk = Chunk("c99", 0, (Record(key=(0,)),), final=True)
         msg = ChunkMsg(chunk=chunk, assignment=a)
         msg.sender = "e0"
-        before = verifier.chunks_verified
         verifier.on_ChunkMsg(msg)
         cluster.run(until=5.0)
         # the injected chunk never got verified (no quorum sigs AND no digest)

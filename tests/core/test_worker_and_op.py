@@ -1,7 +1,6 @@
 """Unit-level tests for WorkerBase's f+1 state-update rule and the
 OutputProcess acceptance logic (driven directly, no full pipeline)."""
 
-import pytest
 
 from repro.apps.synthetic import SyntheticApp
 from repro.core import MetricsHub, Opcode, OsirisConfig, Record, Task
@@ -15,6 +14,7 @@ from repro.core.input_output import OutputProcess
 from repro.core.worker import WorkerBase
 from repro.crypto import KeyRegistry, digest
 from repro.net import Network, SubCluster, SynchronyModel, Topology
+from repro.runtime.des import DesHost
 from repro.sim import Simulator
 
 
@@ -43,9 +43,9 @@ def make_env(n_exec=2):
 def make_worker(pid="e0"):
     sim, net, registry, topo, config, metrics, app = make_env()
     worker = WorkerBase(
-        sim, pid, net, topo, registry, registry.register(pid), app, config
+        pid, topo, registry, registry.register(pid), app, config
     )
-    net.register(worker)
+    net.register(DesHost(sim, net, worker, cores=config.cores_per_node))
     signers = {v: registry.register(v) for v in topo.coordinator.members}
     return worker, signers, registry
 
@@ -120,8 +120,8 @@ class TestStateUpdateQuorum:
 
 def make_op():
     sim, net, registry, topo, config, metrics, app = make_env()
-    op = OutputProcess(sim, "op0", net, topo, config)
-    net.register(op)
+    op = OutputProcess("op0", topo, config)
+    net.register(DesHost(sim, net, op, cores=2))
     return op, metrics, sim
 
 

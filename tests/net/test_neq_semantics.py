@@ -3,7 +3,6 @@ the 2f+1 bound rests on (Sec 3, [23])."""
 
 from dataclasses import dataclass
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -94,7 +94,7 @@ class TestTraceFormat:
     def test_write_idempotent(self, tmp_path):
         path = str(tmp_path / "t.json")
         sink = ChromeTraceSink(path)
-        cluster = traced_cluster(sinks=[sink])
+        traced_cluster(sinks=[sink])
         sink.write()
         sink.close()  # second write must be a no-op, not a duplicate
         with open(path) as fh:

@@ -2,7 +2,10 @@
 the simulation.  Same-seed runs yield byte-identical JSONL traces, and a
 fully-instrumented run measures exactly what an uninstrumented one does."""
 
+import hashlib
 import io
+import json
+import pathlib
 
 from repro.obs import (
     CATEGORY_CPU,
@@ -46,6 +49,36 @@ class TestByteIdenticalTraces:
         assert "cpu-span" in kinds
         assert "link-transfer" in kinds
         assert "consensus-commit" in kinds
+
+
+class TestGoldenTrace:
+    """Cross-session determinism: the fig5 MM n=8 trace is pinned to a
+    committed fingerprint, so any refactor that silently perturbs event
+    order, float formatting, or scheduling shows up as a digest change
+    — not just as a same-process equality that both runs could share."""
+
+    FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "fig5_mm_n8.json"
+
+    def test_fig5_mm_n8_trace_matches_committed_fingerprint(self):
+        from repro.bench import anomaly_bench, run_osiris
+
+        expected = json.loads(self.FIXTURE.read_text())
+        buf = io.StringIO()
+        run_osiris(
+            anomaly_bench("MM", n_tasks=expected["n_tasks"],
+                          seed=expected["seed"]),
+            n=8,
+            seed=expected["seed"],
+            sinks=[JsonlTraceSink(buf)],
+        )
+        text = buf.getvalue()
+        assert len(text.splitlines()) == expected["lines"]
+        assert (
+            hashlib.sha256(text.encode()).hexdigest() == expected["sha256"]
+        ), (
+            "same-seed trace diverged from the committed golden "
+            "fingerprint — a refactor changed observable behaviour"
+        )
 
 
 class TestInstrumentationNeutrality:

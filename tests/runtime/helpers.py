@@ -1,0 +1,132 @@
+"""Helpers for driving protocol cores on the in-memory test runtime.
+
+No Simulator, no Network anywhere in this package: cores are bound to a
+:class:`~repro.runtime.testing.TestRuntime` and fed hand-crafted
+messages, which is exactly what makes adversarial orderings precise.
+"""
+
+from __future__ import annotations
+
+from repro.apps.synthetic import SyntheticApp, make_compute_task
+from repro.core.config import OsirisConfig
+from repro.core.coordinator import Coordinator
+from repro.core.messages import AssignmentMsg, ChunkDigestMsg, ChunkMsg
+from repro.core.tasks import Assignment, chunk_records
+from repro.core.verifier import Verifier
+from repro.crypto import KeyRegistry
+from repro.crypto.digest import digest
+from repro.net.topology import SubCluster, Topology
+from repro.runtime.testing import TestRuntime
+
+__all__ = [
+    "make_topo",
+    "make_verifier",
+    "make_coordinator",
+    "activate_assignment",
+    "honest_chunks",
+    "feed_chunk",
+    "make_compute_task",
+]
+
+COORD = ("v0", "v1", "v2")
+VP1 = ("v3", "v4", "v5")
+
+
+def make_topo():
+    clusters = (
+        SubCluster(index=0, members=COORD, f=1),
+        SubCluster(index=1, members=VP1, f=1),
+    )
+    return Topology(
+        input_pids=("ip0",),
+        output_pids=("op0",),
+        executor_pids=("e0", "e1"),
+        verifier_clusters=clusters,
+        f=1,
+    )
+
+
+def make_verifier(pid="v3", app=None, **config_overrides):
+    """A Verifier core on a TestRuntime, plus the shared key registry."""
+    topo = make_topo()
+    registry = KeyRegistry()
+    signers = {p: registry.register(p) for p in COORD + VP1 + ("e0", "e1")}
+    config = OsirisConfig(role_switching=False, **config_overrides)
+    app = app or SyntheticApp(records_per_task=4, compute_cost=1e-3)
+    verifier = Verifier(
+        pid,
+        topo,
+        registry,
+        signers[pid],
+        app,
+        config,
+        cluster=topo.cluster(1),
+    )
+    rt = TestRuntime(verifier, cores=config.cores_per_node)
+    return verifier, rt, registry, signers
+
+
+def make_coordinator(pid="v0", app=None, **config_overrides):
+    """A Coordinator core (VP_CO member) on a TestRuntime."""
+    topo = make_topo()
+    registry = KeyRegistry()
+    signers = {p: registry.register(p) for p in COORD + VP1 + ("e0", "e1")}
+    config = OsirisConfig(role_switching=False, **config_overrides)
+    app = app or SyntheticApp(records_per_task=4, compute_cost=1e-3)
+    coordinator = Coordinator(
+        pid,
+        topo,
+        registry,
+        signers[pid],
+        app,
+        config,
+        cluster=topo.cluster(0),
+    )
+    rt = TestRuntime(coordinator, cores=config.cores_per_node)
+    return coordinator, rt, registry, signers
+
+
+def signed_assignment_msgs(signers, assignment, senders):
+    """One AssignmentMsg per sender, each carrying that member's valid
+    signature over the assignment tuple."""
+    out = []
+    for sender in senders:
+        msg = AssignmentMsg(
+            assignment=assignment,
+            sig=signers[sender].sign(assignment.signed_payload()),
+        )
+        msg.sender = sender
+        out.append(msg)
+    return out
+
+
+def activate_assignment(rt, signers, task=None, executor="e0", attempt=0,
+                        senders=("v0", "v1")):
+    """Activate a task at the verifier via f+1 distinct AssignmentMsg."""
+    task = (task or make_compute_task(0)).with_timestamp(0)
+    a = Assignment(task=task, executor=executor, vp_index=1, attempt=attempt)
+    for msg in signed_assignment_msgs(signers, a, senders):
+        rt.deliver(msg)
+    return a
+
+
+def honest_chunks(app, a, chunk_bytes=10**6):
+    view = app.initial_state().snapshot(0)
+    records = list(app.compute(view, a.task).records)
+    return chunk_records(a.task.task_id, records, chunk_bytes)
+
+
+def feed_chunk(rt, a, chunk, sigma=None, sender="e0", sigs=()):
+    """Deliver one chunk + its (possibly lying) neq digest."""
+    cmsg = ChunkMsg(chunk=chunk, assignment=a, assignment_sigs=tuple(sigs))
+    cmsg.sender = sender
+    rt.deliver(cmsg)
+    dmsg = ChunkDigestMsg(
+        task_id=a.task.task_id,
+        attempt=a.attempt,
+        index=chunk.index,
+        digest=sigma if sigma is not None else digest(chunk),
+    )
+    dmsg.sender = sender
+    dmsg._neq = True
+    rt.deliver(dmsg)

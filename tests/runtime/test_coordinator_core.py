@@ -1,0 +1,199 @@
+"""Coordinator core (VP_CO member) driven directly on the test runtime.
+
+Drives a full consensus round by hand — request, flush timer, proposal
+loop-back, acks — then exercises the quorum-counting surfaces with
+duplicate and forged votes.  No Simulator, no Network.
+"""
+
+from repro.consensus.messages import CsAck, CsPropose, CsRequest
+from repro.core.messages import (
+    AssignmentMsg,
+    SuspectExecutorMsg,
+    VerifierLoadReport,
+)
+from repro.crypto.digest import digest
+from repro.runtime.effects import Multicast
+from repro.runtime.testing import sent_messages
+
+from .helpers import make_compute_task, make_coordinator
+
+
+def commit_task(coordinator, rt, signers, task, rid=None):
+    """Drive one request through consensus to commit on this member.
+
+    v0 leads view 0: the request arms the flush timer, flushing proposes
+    via the neq primitive, the proposal is looped back to the proposer
+    (as the primitive would), and one more member's ack completes the
+    f+1 quorum.
+    """
+    req = CsRequest(request_id=rid or f"r-{task.task_id}", payload=task,
+                    payload_size=task.size_bytes)
+    rt.deliver(req, sender="ip0")
+    rt.fire_timer("cs-flush")
+    rt.drain()  # sign + broadcast the proposal
+    proposal = sent_messages(rt, CsPropose)[-1]
+    proposal._neq = True
+    rt.deliver(proposal, sender="v0")
+    rt.drain()  # verify + sign + send own ack
+    ack = CsAck(
+        view=proposal.view,
+        seq=proposal.seq,
+        batch_digest=digest([r for r, _, _ in proposal.batch]),
+        sig=signers["v1"].sign(
+            CsAck.signed_payload(
+                proposal.view,
+                proposal.seq,
+                digest([r for r, _, _ in proposal.batch]),
+            )
+        ),
+    )
+    rt.deliver(ack, sender="v1")
+    return proposal
+
+
+class TestCommitPath:
+    def test_committed_task_is_assigned(self):
+        coordinator, rt, registry, signers = make_coordinator()
+        task = make_compute_task(0)
+        commit_task(coordinator, rt, signers, task)
+        assert coordinator.tasks_linearized == 1
+        assert coordinator.outstanding[task.task_id].executor in ("e0", "e1")
+        rt.drain()  # the assignment signing job
+        assignments = sent_messages(rt, AssignmentMsg)
+        assert len(assignments) == 1
+        a = assignments[0].assignment
+        assert a.task.task_id == task.task_id
+        assert a.vp_index == 1  # VP_CO never verifies its own assignments
+
+    def test_assignment_targets_executor_and_cluster(self):
+        coordinator, rt, registry, signers = make_coordinator()
+        commit_task(coordinator, rt, signers, make_compute_task(0))
+        rt.drain()
+        mcasts = [
+            e for e in rt.of(Multicast)
+            if type(e.msg) is AssignmentMsg
+        ]
+        assert len(mcasts) == 1
+        entry = next(iter(coordinator.outstanding.values()))
+        assert set(mcasts[0].dsts) == {entry.executor, "v3", "v4", "v5"}
+
+    def test_duplicate_ack_sender_does_not_commit(self):
+        """One member acking twice is one vote — no commit without its
+        own ack or a second distinct member."""
+        coordinator, rt, registry, signers = make_coordinator()
+        task = make_compute_task(0)
+        req = CsRequest(request_id="r1", payload=task,
+                        payload_size=task.size_bytes)
+        rt.deliver(req, sender="ip0")
+        rt.fire_timer("cs-flush")
+        rt.drain()
+        proposal = sent_messages(rt, CsPropose)[-1]
+        proposal._neq = True
+        rt.deliver(proposal, sender="v0")
+        # do NOT drain: v0's own ack job stays queued, so the slot holds
+        # zero votes.  A duplicate v1 ack must still be a single vote.
+        bd = digest([r for r, _, _ in proposal.batch])
+        ack = CsAck(
+            view=0, seq=proposal.seq, batch_digest=bd,
+            sig=signers["v1"].sign(CsAck.signed_payload(0, proposal.seq, bd)),
+        )
+        rt.deliver(ack, sender="v1")
+        rt.deliver(ack, sender="v1")
+        assert coordinator.tasks_linearized == 0
+        # a second distinct member completes the quorum
+        ack2 = CsAck(
+            view=0, seq=proposal.seq, batch_digest=bd,
+            sig=signers["v2"].sign(CsAck.signed_payload(0, proposal.seq, bd)),
+        )
+        rt.deliver(ack2, sender="v2")
+        assert coordinator.tasks_linearized == 1
+
+    def test_invalid_task_rejected_at_the_door(self):
+        coordinator, rt, registry, signers = make_coordinator()
+        bad = make_compute_task(0, n=-1)  # fails SyntheticApp.valid_task
+        req = CsRequest(request_id="r-bad", payload=bad, payload_size=16)
+        rt.deliver(req, sender="ip0")
+        assert not rt.timer_armed("cs-flush")
+        assert coordinator.tasks_linearized == 0
+
+
+class TestSuspectQuorum:
+    def suspect(self, signers, sender, task_id, attempt, executor,
+                byzantine=True):
+        msg = SuspectExecutorMsg(
+            task_id=task_id, attempt=attempt, executor=executor,
+            byzantine=byzantine,
+        )
+        msg.sig = signers[sender].sign(msg.signed_payload())
+        msg.sender = sender
+        return msg
+
+    def setup_assigned(self):
+        coordinator, rt, registry, signers = make_coordinator()
+        task = make_compute_task(0)
+        commit_task(coordinator, rt, signers, task)
+        rt.drain()
+        entry = coordinator.outstanding[task.task_id]
+        rt.clear()
+        return coordinator, rt, signers, entry
+
+    def test_duplicate_accuser_does_not_blacklist(self):
+        coordinator, rt, signers, entry = self.setup_assigned()
+        msg = self.suspect(
+            signers, "v3", entry.task.task_id, entry.attempt, entry.executor
+        )
+        rt.deliver(msg)
+        rt.deliver(msg)
+        assert coordinator.blacklist == set()
+        assert sent_messages(rt, CsRequest) == []
+
+    def test_f_plus_1_accusers_submit_blacklist_ctl(self):
+        coordinator, rt, signers, entry = self.setup_assigned()
+        for sender in ("v3", "v4"):
+            rt.deliver(self.suspect(
+                signers, sender, entry.task.task_id, entry.attempt,
+                entry.executor,
+            ))
+        # the blacklist decision goes through consensus: a CsRequest to
+        # each peer plus a local admit
+        ctl_requests = sent_messages(rt, CsRequest)
+        assert len(ctl_requests) == 2
+        assert all(r.payload["kind"] == "blacklist" for r in ctl_requests)
+        assert f"ctl:blacklist:{entry.executor}" in coordinator.consensus._pending
+
+    def test_accuser_outside_assigned_cluster_ignored(self):
+        coordinator, rt, signers, entry = self.setup_assigned()
+        for sender in ("v1", "v2"):  # VP_CO members, not VP_1
+            rt.deliver(self.suspect(
+                signers, sender, entry.task.task_id, entry.attempt,
+                entry.executor,
+            ))
+        assert sent_messages(rt, CsRequest) == []
+
+    def test_stale_attempt_accusation_ignored(self):
+        coordinator, rt, signers, entry = self.setup_assigned()
+        for sender in ("v3", "v4"):
+            rt.deliver(self.suspect(
+                signers, sender, entry.task.task_id, entry.attempt + 7,
+                entry.executor,
+            ))
+        assert sent_messages(rt, CsRequest) == []
+
+
+class TestLoadReports:
+    def test_median_utilization_resists_one_liar(self):
+        coordinator, rt, registry, signers = make_coordinator()
+        for sender, util in (("v3", 0.9), ("v4", 0.85), ("v5", 0.0)):
+            msg = VerifierLoadReport(
+                vp_index=1, utilization=util, pending_chunks=0
+            )
+            msg.sender = sender
+            rt.deliver(msg)
+        assert coordinator._cluster_utilization(1) == 0.85
+
+    def test_report_claiming_wrong_cluster_ignored(self):
+        coordinator, rt, registry, signers = make_coordinator()
+        msg = VerifierLoadReport(vp_index=0, utilization=0.5, pending_chunks=0)
+        msg.sender = "v3"  # v3 is in cluster 1, claims cluster 0
+        rt.deliver(msg)
+        assert coordinator._cluster_utilization(0) is None

@@ -1,0 +1,62 @@
+"""Protocol cores are substrate-free: no module under ``repro.core`` or
+``repro.consensus`` may import the DES kernel or the simulated network.
+Binding to a substrate happens exclusively in ``repro.runtime`` (DesHost
+and the deployment builder)."""
+
+import ast
+import pathlib
+
+import repro.consensus
+import repro.core
+
+FORBIDDEN_PREFIXES = ("repro.sim", "repro.net.links")
+
+
+def module_files(package):
+    root = pathlib.Path(package.__file__).parent
+    return sorted(root.glob("*.py"))
+
+
+def imported_names(path):
+    """Names imported anywhere in the module, at any nesting level."""
+    tree = ast.parse(path.read_text())
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            out.append(node.module)
+    return out
+
+
+class TestCorePurity:
+    def test_no_kernel_or_link_imports_in_protocol_modules(self):
+        offenders = []
+        for package in (repro.core, repro.consensus):
+            for path in module_files(package):
+                for name in imported_names(path):
+                    if name.startswith(FORBIDDEN_PREFIXES):
+                        offenders.append(f"{path.name}: {name}")
+        assert offenders == [], (
+            "protocol modules must stay substrate-free; "
+            f"found {offenders}"
+        )
+
+    def test_core_package_imports_without_runtime_backends(self):
+        """Importing the protocol packages must not drag in the DES; the
+        deploy shim resolves lazily on attribute access only."""
+        import importlib
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; import repro.core, repro.consensus; "
+            "assert 'repro.sim.kernel' not in sys.modules, 'kernel leaked'; "
+            "assert 'repro.net.links' not in sys.modules, 'links leaked'"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

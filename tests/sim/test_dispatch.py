@@ -1,0 +1,70 @@
+"""Dispatch-table coverage: every protocol message class is routable.
+
+The handler tables are precomputed at construction (no per-delivery
+``getattr``), which makes an unregistered handler a silent drop.  This
+test pins the contract: for every message class in
+:mod:`repro.core.messages` and :mod:`repro.consensus.messages`, at least
+one role in a standard deployment has a registered handler.
+"""
+
+import inspect
+
+import repro.consensus.messages as consensus_messages
+import repro.core.messages as core_messages
+from repro.apps.synthetic import SyntheticApp
+from repro.core import build_osiris_cluster
+from repro.net.message import Message
+from repro.sim.process import SimProcess
+
+
+def message_classes(module):
+    return [
+        name
+        for name in module.__all__
+        if inspect.isclass(getattr(module, name))
+        and issubclass(getattr(module, name), Message)
+    ]
+
+
+def deployment_handler_names():
+    cluster = build_osiris_cluster(
+        SyntheticApp(), workload=None, n_workers=8, k=2, seed=0
+    )
+    covered = set()
+    for host in cluster.hosts.values():
+        covered.update(host.core.handlers())
+    return covered
+
+
+class TestHandlerCoverage:
+    def test_every_protocol_message_has_a_handler(self):
+        covered = deployment_handler_names()
+        missing = [
+            name
+            for module in (core_messages, consensus_messages)
+            for name in message_classes(module)
+            if name not in covered
+        ]
+        assert missing == [], f"messages no deployed role can handle: {missing}"
+
+    def test_simprocess_table_matches_on_methods(self):
+        """The precomputed SimProcess table equals the on_* scan."""
+
+        class P(SimProcess):
+            def on_Foo(self, msg):
+                pass
+
+            def on_Bar(self, msg):
+                pass
+
+        from repro.sim import Simulator
+
+        p = P(Simulator(seed=0), "p0", cores=1)
+        assert set(p._handlers) >= {"Foo", "Bar"}
+
+    def test_unknown_message_counted_not_raised(self):
+        from repro.sim import Simulator
+
+        p = SimProcess(Simulator(seed=0), "p0", cores=1)
+        p.deliver(object())
+        assert p.unhandled_messages == 1

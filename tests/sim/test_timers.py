@@ -1,0 +1,111 @@
+"""Timer lifecycle on SimProcess: re-arming, cancellation after fire,
+and crash interactions — the edge cases the named-timer table must get
+right for reassignment/negligent-leader timeouts to be trustworthy."""
+
+from repro.sim import Simulator
+from repro.sim.process import SimProcess
+
+
+def make_proc(pid="p0"):
+    sim = Simulator(seed=1)
+    return sim, SimProcess(sim, pid, cores=1)
+
+
+class TestArming:
+    def test_timer_fires_with_args(self):
+        sim, p = make_proc()
+        fired = []
+        p.set_timer("t", 0.5, fired.append, "x")
+        sim.run(until=1.0)
+        assert fired == ["x"]
+
+    def test_rearming_replaces_deadline(self):
+        sim, p = make_proc()
+        fired = []
+        p.set_timer("t", 0.2, fired.append, "early")
+        p.set_timer("t", 0.8, fired.append, "late")
+        sim.run(until=0.5)
+        assert fired == []  # the first deadline was cancelled
+        sim.run(until=1.0)
+        assert fired == ["late"]
+
+    def test_distinct_names_are_independent(self):
+        sim, p = make_proc()
+        fired = []
+        p.set_timer("a", 0.2, fired.append, "a")
+        p.set_timer("b", 0.4, fired.append, "b")
+        p.cancel_timer("a")
+        sim.run(until=1.0)
+        assert fired == ["b"]
+
+
+class TestCancellation:
+    def test_cancel_unarmed_timer_is_noop(self):
+        sim, p = make_proc()
+        p.cancel_timer("never-armed")  # must not raise
+
+    def test_cancel_after_fire_is_noop(self):
+        sim, p = make_proc()
+        fired = []
+        p.set_timer("t", 0.1, fired.append, 1)
+        sim.run(until=1.0)
+        assert fired == [1]
+        p.cancel_timer("t")  # stale cancel of an already-fired timer
+
+    def test_fired_timer_removes_itself_from_table(self):
+        sim, p = make_proc()
+        p.set_timer("t", 0.1, lambda: None)
+        assert p.timer_armed("t")
+        sim.run(until=1.0)
+        assert not p.timer_armed("t")
+        assert "t" not in p._timers  # no dead handle accumulates
+
+    def test_rearm_from_within_fire_callback_sticks(self):
+        """A periodic timer re-arming itself must not be clobbered by the
+        just-fired handle's self-removal."""
+        sim, p = make_proc()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 3:
+                p.set_timer("t", 0.1, tick)
+
+        p.set_timer("t", 0.1, tick)
+        sim.run(until=1.0)
+        assert len(ticks) == 3
+        assert not p.timer_armed("t")
+
+
+class TestCrash:
+    def test_crash_cancels_pending_timers(self):
+        sim, p = make_proc()
+        fired = []
+        p.set_timer("t", 0.5, fired.append, 1)
+        p.crash()
+        assert p._timers == {}
+        sim.run(until=1.0)
+        assert fired == []
+
+    def test_crashed_process_refuses_new_timers(self):
+        sim, p = make_proc()
+        p.crash()
+        fired = []
+        assert p.set_timer("t", 0.1, fired.append, 1) is None
+        assert not p.timer_armed("t")
+        sim.run(until=1.0)
+        assert fired == []
+
+    def test_crash_between_arm_and_fire_suppresses_callback(self):
+        sim, p = make_proc()
+        fired = []
+        p.set_timer("t", 0.5, fired.append, 1)
+        sim.schedule(0.2, p.crash)
+        sim.run(until=1.0)
+        assert fired == []
+
+    def test_crashed_delivery_dropped(self):
+        sim, p = make_proc()
+        p.crash()
+        p.deliver(object())
+        assert p.unhandled_messages == 0  # dropped before dispatch

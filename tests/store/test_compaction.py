@@ -1,6 +1,5 @@
 """Tests for version-history compaction of multiversioned states."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

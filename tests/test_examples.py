@@ -2,7 +2,6 @@
 assertions hold (each example exercises a Byzantine scenario)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
