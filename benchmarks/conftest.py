@@ -32,6 +32,40 @@ def scenario_cache():
     return get
 
 
+@pytest.fixture(scope="session")
+def run_spec():
+    """Execute a SweepSpec once per session, through the result cache.
+
+    The canonical way a benchmark declares its scenarios: build a
+    :class:`repro.exp.SweepSpec`, hand it here, and get the
+    :class:`repro.exp.SweepOutcome` back (memoized by spec name).
+    ``REPRO_BENCH_JOBS=N`` fans points out over a process pool —
+    results are bit-identical to serial.  ``REPRO_BENCH_NO_CACHE=1``
+    bypasses the content-addressed disk cache.  ``live=True`` runs
+    serially, uncached, keeping live cluster handles in result extras
+    (for benchmarks that inspect cluster internals).
+    """
+    from repro.exp import ResultCache, run_sweep
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = (
+        None if os.environ.get("REPRO_BENCH_NO_CACHE") else ResultCache()
+    )
+
+    def run(spec, live=False):
+        key = ("sweep", spec.name, live)
+        if key not in _CACHE:
+            _CACHE[key] = run_sweep(
+                spec,
+                jobs=1 if live else jobs,
+                cache=None if live else cache,
+                live=live,
+            )
+        return _CACHE[key]
+
+    return run
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run a thunk exactly once under pytest-benchmark timing."""

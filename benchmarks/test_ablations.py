@@ -3,62 +3,66 @@
 Not figures from the paper — these quantify the individual mechanisms
 the paper argues for: the non-equivocating multicast (2f+1 vs 3f+1
 sub-clusters), chunked streaming verification, and speculative
-reassignment.
+reassignment.  Each ablation is a two-point sweep spec differing in one
+config knob.
 """
 
 
-from repro.bench import print_table, run_osiris, synthetic_bench
-from repro.core import OsirisConfig
-from repro.core.faults import SilentFault
+import pytest
+
+from repro.bench import print_table
+from repro.exp import Point, SweepSpec
+from repro.exp.spec import kv
 
 SEED = 1
 N = 16
 DEADLINE = 3000.0
 
 
-def _wl(records=10, cost=200e-3, record_bytes=65536, verify_ratio=0.05):
-    return synthetic_bench(
-        200,
-        records_per_task=records,
-        compute_cost=cost,
-        record_bytes=record_bytes,
-        verify_cost_ratio=verify_ratio,
+def _wl_params(records=10, cost=200e-3, record_bytes=65536, verify_ratio=0.05):
+    return kv(
+        {
+            "n_tasks": 200,
+            "records_per_task": records,
+            "compute_cost": cost,
+            "record_bytes": record_bytes,
+            "verify_cost_ratio": verify_ratio,
+        }
     )
 
 
 def _config(**overrides):
-    defaults = dict(
-        chunk_bytes=1_000_000,
-        suspect_timeout=60.0,
-        cores_per_node=1,
-        role_switching=False,
-    )
+    defaults = dict(role_switching=False)
     defaults.update(overrides)
-    return OsirisConfig(**defaults)
+    return kv(defaults)
 
 
 class TestSubclusterSizeAblation:
-    def test_subcluster_size_ablation(self, run_once, scenario_cache):
+    # executor-bound workload: the primitive's extra executors are the
+    # binding resource
+    _WP = _wl_params(records=6, cost=400e-3, record_bytes=2048)
+
+    SPEC = SweepSpec.of(
+        "abl-subcluster",
+        [
+            Point(
+                system="osiris", workload="synthetic", workload_params=_WP,
+                n=N, seed=SEED, deadline=DEADLINE,
+                config=_config(non_equivocation=True), label="with-neq",
+            ),
+            Point(
+                system="osiris", workload="synthetic", workload_params=_WP,
+                n=N, seed=SEED, deadline=DEADLINE,
+                config=_config(non_equivocation=False), label="without-neq",
+            ),
+        ],
+    )
+
+    def test_subcluster_size_ablation(self, run_once, run_spec):
         """2f+1 sub-clusters (with non-equivocation) vs 3f+1 (without):
         the primitive buys strictly more executors for the same n."""
-
-        def build():
-            # executor-bound workload: the primitive's extra executors
-            # are the binding resource
-            wl = lambda: _wl(records=6, cost=400e-3, record_bytes=2048)
-            with_neq = run_osiris(
-                wl(), n=N, seed=SEED, deadline=DEADLINE,
-                config=_config(non_equivocation=True),
-            )
-            without = run_osiris(
-                wl(), n=N, seed=SEED, deadline=DEADLINE,
-                config=_config(non_equivocation=False),
-            )
-            return with_neq, without
-
-        with_neq, without = run_once(
-            lambda: scenario_cache("abl-subcluster", build)
-        )
+        res = run_once(lambda: run_spec(self.SPEC).by(lambda p: p.label))
+        with_neq, without = res["with-neq"], res["without-neq"]
         print_table(
             "Ablation: non-equivocating multicast (n=16, f=1)",
             ["configuration", "sub-cluster size", "records/sec"],
@@ -71,41 +75,44 @@ class TestSubclusterSizeAblation:
 
 
 class TestChunkingAblation:
-    def test_chunking_ablation(self, run_once, scenario_cache):
+    # unsaturated steady stream: the win is verification overlapping
+    # execution within each task, so per-task latency (not capacity) is
+    # the metric — exactly the paper's "verifiers proceed in parallel
+    # instead of waiting for the entire sequence of records"
+    _WP = kv(
+        {
+            "n_tasks": 60,
+            "records_per_task": 64,
+            "compute_cost": 400e-3,
+            "record_bytes": 65536,
+            "rate": 4.0,
+            "verify_cost_ratio": 0.3,
+        }
+    )
+
+    SPEC = SweepSpec.of(
+        "abl-chunking",
+        [
+            Point(
+                system="osiris", workload="synthetic", workload_params=_WP,
+                n=N, seed=SEED, deadline=DEADLINE, bandwidth=1e9,
+                config=_config(chunk_bytes=256 * 1024, op_timeout=2.0),
+                label="streamed",
+            ),
+            Point(
+                system="osiris", workload="synthetic", workload_params=_WP,
+                n=N, seed=SEED, deadline=DEADLINE, bandwidth=1e9,
+                config=_config(chunk_bytes=10**9, op_timeout=2.0),
+                label="monolithic",
+            ),
+        ],
+    )
+
+    def test_chunking_ablation(self, run_once, run_spec):
         """Streaming chunks overlap verification with execution; one
         giant chunk per task serializes them and inflates latency."""
-
-        def build():
-            # unsaturated steady stream: the win is verification
-            # overlapping execution within each task, so per-task latency
-            # (not capacity) is the metric — exactly the paper's
-            # "verifiers proceed in parallel instead of waiting for the
-            # entire sequence of records"
-            def wl():
-                return synthetic_bench(
-                    60,
-                    records_per_task=64,
-                    compute_cost=400e-3,
-                    record_bytes=65536,
-                    rate=4.0,
-                    verify_cost_ratio=0.3,
-                )
-
-            streamed = run_osiris(
-                wl(), n=N, seed=SEED, deadline=DEADLINE,
-                config=_config(chunk_bytes=256 * 1024, op_timeout=2.0),
-                bandwidth=1e9,
-            )
-            monolithic = run_osiris(
-                wl(), n=N, seed=SEED, deadline=DEADLINE,
-                config=_config(chunk_bytes=10**9, op_timeout=2.0),
-                bandwidth=1e9,
-            )
-            return streamed, monolithic
-
-        streamed, monolithic = run_once(
-            lambda: scenario_cache("abl-chunking", build)
-        )
+        res = run_once(lambda: run_spec(self.SPEC).by(lambda p: p.label))
+        streamed, monolithic = res["streamed"], res["monolithic"]
         print_table(
             "Ablation: chunked streaming verification",
             ["configuration", "mean latency", "records/sec"],
@@ -126,27 +133,32 @@ class TestChunkingAblation:
 
 
 class TestReassignmentAblation:
-    def test_reassignment_ablation(self, run_once, scenario_cache):
+    _WP = _wl_params(cost=100e-3)
+    _FAULTS = (("e0", "silent", ()),)
+
+    SPEC = SweepSpec.of(
+        "abl-reassign",
+        [
+            Point(
+                system="osiris", workload="synthetic", workload_params=_WP,
+                n=10, k=2, seed=SEED, deadline=DEADLINE,
+                config=_config(suspect_timeout=0.5),
+                executor_faults=_FAULTS, label="with-spec",
+            ),
+            Point(
+                system="osiris", workload="synthetic", workload_params=_WP,
+                n=10, k=2, seed=SEED, deadline=DEADLINE,
+                config=_config(suspect_timeout=200.0),
+                executor_faults=_FAULTS, label="without",
+            ),
+        ],
+    )
+
+    def test_reassignment_ablation(self, run_once, run_spec):
         """Speculative reassignment bounds the damage of a silent
         executor; without it (huge timeout) tasks stall until fallback."""
-
-        def build():
-            faults = {"e0": SilentFault()}
-            with_spec = run_osiris(
-                _wl(cost=100e-3), n=10, k=2, seed=SEED, deadline=DEADLINE,
-                config=_config(suspect_timeout=0.5),
-                executor_faults=faults,
-            )
-            without = run_osiris(
-                _wl(cost=100e-3), n=10, k=2, seed=SEED, deadline=DEADLINE,
-                config=_config(suspect_timeout=200.0),
-                executor_faults=faults,
-            )
-            return with_spec, without
-
-        with_spec, without = run_once(
-            lambda: scenario_cache("abl-reassign", build)
-        )
+        res = run_once(lambda: run_spec(self.SPEC).by(lambda p: p.label))
+        with_spec, without = res["with-spec"], res["without"]
         print_table(
             "Ablation: speculative reassignment under a silent executor",
             ["configuration", "p99 latency", "reassignments"],
@@ -168,34 +180,41 @@ class TestReassignmentAblation:
 
 
 class TestAssignmentSchemeAblation:
-    def test_assignment_scheme_ablation(self, run_once, scenario_cache):
+    SPEC = SweepSpec.of(
+        "abl-assign",
+        [
+            Point(
+                system="osiris", workload="synthetic",
+                workload_params=_wl_params(
+                    records=4, cost=20e-3, record_bytes=1024
+                ),
+                n=N, seed=SEED, deadline=DEADLINE,
+                config=_config(), label="assign",
+            )
+        ],
+    )
+
+    @pytest.fixture(scope="class")
+    def measured(self, run_spec):
+        # live: counts chunk-borne-signature activations on the cluster
+        result = run_spec(self.SPEC, live=True).results[0]
+        cluster = result.extra["cluster"]
+        early = sum(
+            1
+            for v in cluster.all_verifiers
+            for st in v._tasks.values()
+            if st.assignment is not None and len(st.sigs) == 0
+        )
+        total = sum(len(v._tasks) for v in cluster.all_verifiers)
+        return result, early, total
+
+    def test_assignment_scheme_ablation(self, run_once, measured):
         """Coordination-free assignment: chunks carry the f+1 coordinator
         signatures, so a verifier can authenticate output that arrives
         before its own assignment copies.  We measure how often that path
         fired — with a two-phase scheme each such chunk would have waited
         a full extra round trip."""
-
-        def build():
-            result = run_osiris(
-                _wl(records=4, cost=20e-3, record_bytes=1024),
-                n=N,
-                seed=SEED,
-                deadline=DEADLINE,
-                config=_config(),
-            )
-            cluster = result.extra["cluster"]
-            early = sum(
-                1
-                for v in cluster.all_verifiers
-                for st in v._tasks.values()
-                if st.assignment is not None and len(st.sigs) == 0
-            )
-            total = sum(len(v._tasks) for v in cluster.all_verifiers)
-            return result, early, total
-
-        result, early, total = run_once(
-            lambda: scenario_cache("abl-assign", build)
-        )
+        result, early, total = run_once(lambda: measured)
         print_table(
             "Ablation: coordination-free task assignment",
             ["metric", "value"],

@@ -13,42 +13,25 @@ cluster sizes.  The claims reproduced in *shape*:
 import pytest
 
 from repro.bench import (
-    anomaly_bench,
     basil_updates_per_sec,
     kauri_updates_per_sec,
-    planning_bench,
     print_figure,
     print_table,
-    run_osiris,
-    run_rcp,
-    run_zft,
     update_only_bench,
-    video_bench,
 )
 from repro.core import OsirisConfig, build_osiris_cluster
+from repro.exp import SweepSpec
 
 NS = (4, 8, 16, 32)
 SEED = 1
 DEADLINE = 3000.0
 
 
-def _sweep(cache, key, workload_factory, ns=NS, **osiris_kwargs):
-    def build():
-        out = {}
-        for n in ns:
-            out[("zft", n)] = run_zft(
-                workload_factory(), n=n, deadline=DEADLINE
-            )
-            out[("osiris", n)] = run_osiris(
-                workload_factory(), n=n, seed=SEED, deadline=DEADLINE,
-                **osiris_kwargs,
-            )
-            out[("rcp", n)] = run_rcp(
-                workload_factory(), n=n, deadline=DEADLINE
-            )
-        return out
-
-    return cache(key, build)
+def _grid(name, workload, params):
+    """Declare the standard fig5 sweep: all three systems across NS."""
+    return SweepSpec.grid(
+        name, workload, params, sizes=NS, seed=SEED, deadline=DEADLINE
+    )
 
 
 def _assert_fig5_shape(results, rcp_factor=1.0, ns=NS):
@@ -129,13 +112,13 @@ class TestFig5aStateUpdates:
 
 
 class TestFig5bAnomaly:
+    SPEC = _grid(
+        "fig5b", "anomaly", {"profile": "fig5b", "n_tasks": 240, "seed": SEED}
+    )
+
     @pytest.fixture(scope="class")
-    def results(self, scenario_cache):
-        return _sweep(
-            scenario_cache,
-            "fig5b",
-            lambda: anomaly_bench("fig5b", n_tasks=240, seed=SEED),
-        )
+    def results(self, run_spec):
+        return run_spec(self.SPEC).by()
 
     def test_fig5b_anomaly(self, run_once, results):
         res = run_once(lambda: results)
@@ -147,13 +130,11 @@ class TestFig5bAnomaly:
 
 
 class TestFig5cPlanning:
+    SPEC = _grid("fig5c", "planning", {"n_tasks": 214, "seed": SEED})
+
     @pytest.fixture(scope="class")
-    def results(self, scenario_cache):
-        return _sweep(
-            scenario_cache,
-            "fig5c",
-            lambda: planning_bench(n_tasks=214, seed=SEED),
-        )
+    def results(self, run_spec):
+        return run_spec(self.SPEC).by()
 
     def test_fig5c_planning(self, run_once, results):
         res = run_once(lambda: results)
@@ -162,13 +143,11 @@ class TestFig5cPlanning:
 
 
 class TestFig5dVideo:
+    SPEC = _grid("fig5d", "video", {"n_compute": 120, "seed": SEED})
+
     @pytest.fixture(scope="class")
-    def results(self, scenario_cache):
-        return _sweep(
-            scenario_cache,
-            "fig5d",
-            lambda: video_bench(n_compute=120, seed=SEED),
-        )
+    def results(self, run_spec):
+        return run_spec(self.SPEC).by()
 
     def test_fig5d_video(self, run_once, results):
         res = run_once(lambda: results)

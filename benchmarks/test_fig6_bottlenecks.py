@@ -9,32 +9,26 @@ submission rate sweeps from light to overload.
 
 import pytest
 
-from repro.bench import (
-    anomaly_bench,
-    print_figure,
-    print_series,
-    print_table,
-    run_osiris,
-    run_zft,
-)
-from repro.core import OsirisConfig
+from repro.bench import print_figure, print_series, print_table
+from repro.exp import Point, SweepSpec
+from repro.exp.spec import kv
 
 NS = (4, 8, 16, 32)
 SEED = 1
 DEADLINE = 3000.0
 
 
-def _pair_sweep(cache, key, workload_factory):
-    def build():
-        out = {}
-        for n in NS:
-            out[("zft", n)] = run_zft(workload_factory(), n=n, deadline=DEADLINE)
-            out[("osiris", n)] = run_osiris(
-                workload_factory(), n=n, seed=SEED, deadline=DEADLINE
-            )
-        return out
-
-    return cache(key, build)
+def _pair_grid(name, profile, n_tasks=240):
+    """ZFT vs OsirisBFT across NS for one anomaly profile."""
+    return SweepSpec.grid(
+        name,
+        "anomaly",
+        {"profile": profile, "n_tasks": n_tasks, "seed": SEED},
+        sizes=NS,
+        systems=("zft", "osiris"),
+        seed=SEED,
+        deadline=DEADLINE,
+    )
 
 
 def _assert_gap_narrows(res):
@@ -46,12 +40,11 @@ def _assert_gap_narrows(res):
 
 
 class TestFig6aLh:
+    SPEC = _pair_grid("fig6a", "LH")
+
     @pytest.fixture(scope="class")
-    def res(self, scenario_cache):
-        return _pair_sweep(
-            scenario_cache, "fig6a",
-            lambda: anomaly_bench("LH", n_tasks=240, seed=SEED),
-        )
+    def res(self, run_spec):
+        return run_spec(self.SPEC).by()
 
     def test_fig6a_lh(self, run_once, res):
         results = run_once(lambda: res)
@@ -63,12 +56,11 @@ class TestFig6aLh:
 
 
 class TestFig6bHl:
+    SPEC = _pair_grid("fig6b", "HL")
+
     @pytest.fixture(scope="class")
-    def res(self, scenario_cache):
-        return _pair_sweep(
-            scenario_cache, "fig6b",
-            lambda: anomaly_bench("HL", n_tasks=240, seed=SEED),
-        )
+    def res(self, run_spec):
+        return run_spec(self.SPEC).by()
 
     def test_fig6b_hl(self, run_once, res):
         results = run_once(lambda: res)
@@ -80,12 +72,11 @@ class TestFig6bHl:
 
 
 class TestFig6cMm:
+    SPEC = _pair_grid("fig6c", "MM")
+
     @pytest.fixture(scope="class")
-    def res(self, scenario_cache):
-        return _pair_sweep(
-            scenario_cache, "fig6c",
-            lambda: anomaly_bench("MM", n_tasks=240, seed=SEED),
-        )
+    def res(self, run_spec):
+        return run_spec(self.SPEC).by()
 
     def test_fig6c_mm(self, run_once, res):
         results = run_once(lambda: res)
@@ -99,27 +90,34 @@ class TestFig6cMm:
 class TestSec72Profiles:
     """Sec 7.2: per-workload CPU vs network profiles at n=32."""
 
-    @pytest.fixture(scope="class")
-    def profiles(self, scenario_cache, request):
-        def build():
-            out = {}
-            for wl in ("LH", "HL", "MM"):
-                out[wl] = {
-                    "zft": run_zft(
-                        anomaly_bench(wl, n_tasks=240, seed=SEED),
-                        n=32,
-                        deadline=DEADLINE,
-                    ),
-                    "osiris": run_osiris(
-                        anomaly_bench(wl, n_tasks=240, seed=SEED),
-                        n=32,
-                        seed=SEED,
-                        deadline=DEADLINE,
-                    ),
-                }
-            return out
+    SPEC = SweepSpec.of(
+        "sec72",
+        [
+            Point(
+                system=system,
+                workload="anomaly",
+                workload_params=kv(
+                    {"profile": wl, "n_tasks": 240, "seed": SEED}
+                ),
+                n=32,
+                seed=SEED,
+                deadline=DEADLINE,
+                label=f"{wl}-{system}",
+            )
+            for wl in ("LH", "HL", "MM")
+            for system in ("zft", "osiris")
+        ],
+    )
 
-        return scenario_cache("sec72", build)
+    @pytest.fixture(scope="class")
+    def profiles(self, run_spec):
+        flat = run_spec(self.SPEC).by(
+            lambda p: (dict(p.workload_params)["profile"], p.system)
+        )
+        return {
+            wl: {"zft": flat[(wl, "zft")], "osiris": flat[(wl, "osiris")]}
+            for wl in ("LH", "HL", "MM")
+        }
 
     def test_sec72_profiles(self, run_once, profiles):
         prof = run_once(lambda: profiles)
@@ -155,6 +153,29 @@ class TestSec72Profiles:
         )
 
 
+def _fig6d_point(label, k, dynamic):
+    return Point(
+        system="osiris",
+        workload="two_phase",
+        workload_params=kv(
+            {"n_tasks": 400, "records_light": 2, "records_heavy": 40}
+        ),
+        n=14,
+        k=k,
+        seed=SEED,
+        deadline=DEADLINE,
+        config=kv(
+            {
+                "role_switching": dynamic,
+                "role_switch_interval": 0.5,
+                "switch_patience": 2,
+                "switch_cooldown": 3,
+            }
+        ),
+        label=label,
+    )
+
+
 class TestFig6dRoleSwitching:
     """Dynamic role-switching vs static sub-cluster counts (n=14).
 
@@ -170,49 +191,19 @@ class TestFig6dRoleSwitching:
     N = 14
     TASKS = 400
 
-    def _workload(self):
-        from repro.apps.synthetic import SyntheticApp, make_compute_task
-        from repro.bench import BenchWorkload
-
-        app = SyntheticApp(
-            records_per_task=12,
-            compute_cost=120e-3,
-            record_bytes=2048,
-            verify_cost_ratio=0.4,
-        )
-        tasks = []
-        half = self.TASKS // 2
-        for i in range(half):  # phase A: cheap verification
-            tasks.append((i / 2000.0, make_compute_task(i, n=2)))
-        for i in range(half, self.TASKS):  # phase B: heavy verification
-            tasks.append((10.0 + (i - half) / 2000.0, make_compute_task(i, n=40)))
-        return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=self.TASKS)
-
-    def _run(self, k, dynamic):
-        config = OsirisConfig(
-            chunk_bytes=1_000_000,
-            suspect_timeout=60.0,
-            cores_per_node=1,
-            role_switching=dynamic,
-            role_switch_interval=0.5,
-            switch_patience=2,
-            switch_cooldown=3,
-        )
-        return run_osiris(
-            self._workload(), n=self.N, k=k, seed=SEED,
-            deadline=DEADLINE, config=config,
-        )
+    SPEC = SweepSpec.of(
+        "fig6d",
+        [
+            _fig6d_point(f"static k={k}", k, dynamic=False)
+            for k in (1, 2, 3, 4)
+        ] + [_fig6d_point("dynamic", 4, dynamic=True)],
+    )
 
     @pytest.fixture(scope="class")
-    def res(self, scenario_cache):
-        def build():
-            out = {}
-            for k in (1, 2, 3, 4):
-                out[f"static k={k}"] = self._run(k, dynamic=False)
-            out["dynamic"] = self._run(4, dynamic=True)
-            return out
-
-        return scenario_cache("fig6d", build)
+    def res(self, run_spec):
+        # live: the dynamic point's cluster is inspected for the
+        # role-switch timeline below
+        return run_spec(self.SPEC, live=True).by(lambda p: p.label)
 
     def test_fig6d_role_switching(self, run_once, res):
         results = run_once(lambda: res)
@@ -246,21 +237,40 @@ class TestFig6eThroughputLatency:
 
     RATES = (5.0, 20.0, 80.0)
 
-    @pytest.fixture(scope="class")
-    def res(self, scenario_cache):
-        def build():
-            out = {}
-            for wl in ("LH", "HL", "MM"):
-                for rate in self.RATES:
-                    # same task set at every rate: only arrival intensity
-                    # changes, like the paper's 100→100K tasks/sec sweep
-                    bench = anomaly_bench(wl, n_tasks=300, rate=rate, seed=SEED)
-                    out[(wl, rate)] = run_osiris(
-                        bench, n=32, seed=SEED, deadline=DEADLINE
-                    )
-            return out
+    # same task set at every rate: only arrival intensity changes, like
+    # the paper's 100→100K tasks/sec sweep
+    SPEC = SweepSpec.of(
+        "fig6e",
+        [
+            Point(
+                system="osiris",
+                workload="anomaly",
+                workload_params=kv(
+                    {
+                        "profile": wl,
+                        "n_tasks": 300,
+                        "rate": rate,
+                        "seed": SEED,
+                    }
+                ),
+                n=32,
+                seed=SEED,
+                deadline=DEADLINE,
+                label=f"{wl}@{rate}",
+            )
+            for wl in ("LH", "HL", "MM")
+            for rate in (5.0, 20.0, 80.0)
+        ],
+    )
 
-        return scenario_cache("fig6e", build)
+    @pytest.fixture(scope="class")
+    def res(self, run_spec):
+        return run_spec(self.SPEC).by(
+            lambda p: (
+                dict(p.workload_params)["profile"],
+                dict(p.workload_params)["rate"],
+            )
+        )
 
     def test_fig6e_throughput_latency(self, run_once, res):
         results = run_once(lambda: res)

@@ -11,9 +11,11 @@ f=1..2 on n=32).
 
 import pytest
 
-from repro.bench import print_figure, print_series, print_table, run_rcp, synthetic_bench
+from repro.bench import print_figure, print_series, print_table, synthetic_bench
 from repro.core import OsirisConfig, build_osiris_cluster
 from repro.core.faults import CorruptRecordFault, NegligentLeaderFault
+from repro.exp import Point, SweepSpec
+from repro.exp.spec import kv
 
 SEED = 1
 FAIL_AT = 45.0
@@ -150,40 +152,40 @@ class TestFig7VerifierFailures:
         )
 
 
+_FIG7B_WP = kv(
+    {
+        "n_tasks": 240,
+        "records_per_task": 10,
+        "compute_cost": 300e-3,
+        "record_bytes": 4096,
+        "verify_cost_ratio": 0.05,
+    }
+)
+
+
 class TestFig7bFaultScalability:
     N = 32
 
+    SPEC = SweepSpec.of(
+        "fig7b",
+        [
+            Point(
+                system="osiris", workload="synthetic", workload_params=_FIG7B_WP,
+                n=32, f=f, seed=SEED, deadline=3000.0, label=f"osiris-f{f}",
+            )
+            for f in (1, 2, 3, 4)
+        ] + [
+            Point(
+                system="rcp", workload="synthetic", workload_params=_FIG7B_WP,
+                n=32, f=f, seed=SEED, deadline=3000.0, label=f"rcp-f{f}",
+            )
+            for f in (1, 2)
+        ],
+    )
+
     @pytest.fixture(scope="class")
-    def res(self, scenario_cache):
-        def build():
-            from repro.bench import run_osiris
-
-            out = {}
-            for f in (1, 2, 3, 4):
-                wl = synthetic_bench(
-                    240,
-                    records_per_task=10,
-                    compute_cost=300e-3,
-                    record_bytes=4096,
-                    verify_cost_ratio=0.05,
-                )
-                out[("osiris", f)] = run_osiris(
-                    wl, n=self.N, f=f, seed=SEED, deadline=3000.0
-                )
-            for f in (1, 2):
-                wl = synthetic_bench(
-                    240,
-                    records_per_task=10,
-                    compute_cost=300e-3,
-                    record_bytes=4096,
-                    verify_cost_ratio=0.05,
-                )
-                out[("rcp", f)] = run_rcp(
-                    wl, n=self.N, f=f, deadline=3000.0
-                )
-            return out
-
-        return scenario_cache("fig7b", build)
+    def res(self, run_spec):
+        return run_spec(self.SPEC).by(lambda p: (p.system, p.f))
 
     def test_fig7b_fault_scalability(self, run_once, res):
         results = run_once(lambda: res)

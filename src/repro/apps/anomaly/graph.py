@@ -27,6 +27,7 @@ from repro.store.state_machine import VersionedState
 __all__ = ["MultiVersionGraph", "GraphView"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_ADJ: tuple[tuple[int, ...], frozenset[int]] = ((), frozenset())
 
 
 class MultiVersionGraph(VersionedState):
@@ -42,7 +43,18 @@ class MultiVersionGraph(VersionedState):
         update_cost_per_degree: float = 5e-9,
         update_cost_base: float = 1e-6,
     ) -> None:
-        self._hist: dict[int, tuple[list[int], list[np.ndarray]]] = {}
+        # per-vertex parallel version lists: timestamps, numpy arrays
+        # (public API), and (tuple, frozenset) fast views of the same
+        # neighborhoods for the matcher's intersection hot loop
+        self._hist: dict[
+            int,
+            tuple[
+                list[int],
+                list[np.ndarray],
+                list[tuple[int, ...]],
+                list[frozenset[int]],
+            ],
+        ] = {}
         self._version = 0
         self.update_cost_per_degree = update_cost_per_degree
         self.update_cost_base = update_cost_base
@@ -54,8 +66,11 @@ class MultiVersionGraph(VersionedState):
             base.setdefault(u, set()).add(v)
             base.setdefault(v, set()).add(u)
         for vertex, nbrs in base.items():
-            arr = np.fromiter(sorted(nbrs), dtype=np.int64, count=len(nbrs))
-            self._hist[vertex] = ([0], [arr])
+            ordered = sorted(nbrs)
+            arr = np.fromiter(ordered, dtype=np.int64, count=len(ordered))
+            self._hist[vertex] = (
+                [0], [arr], [tuple(ordered)], [frozenset(ordered)]
+            )
 
     @property
     def version(self) -> int:
@@ -87,21 +102,32 @@ class MultiVersionGraph(VersionedState):
         return cost
 
     def _mutate(self, ts: int, vertex: int, nbr: int, add: bool) -> float:
-        tss, arrs = self._hist.setdefault(vertex, ([], []))
+        tss, arrs, tups, sets = self._hist.setdefault(
+            vertex, ([], [], [], [])
+        )
         current = arrs[-1] if arrs else _EMPTY
         idx = int(np.searchsorted(current, nbr))
         present = idx < len(current) and current[idx] == nbr
+        # list-surgery instead of np.insert/np.delete: avoids numpy's
+        # axis-normalization machinery on this per-update hot path while
+        # producing the identical sorted array
+        ordered = current.tolist()
         if add and not present:
-            new = np.insert(current, idx, nbr)
+            ordered.insert(idx, int(nbr))
         elif not add and present:
-            new = np.delete(current, idx)
+            del ordered[idx]
         else:
             return 0.0  # idempotent no-op
+        new = np.fromiter(ordered, dtype=np.int64, count=len(ordered))
         if tss and tss[-1] == ts:
             arrs[-1] = new
+            tups[-1] = tuple(ordered)
+            sets[-1] = frozenset(ordered)
         else:
             tss.append(ts)
             arrs.append(new)
+            tups.append(tuple(ordered))
+            sets.append(frozenset(ordered))
         return self.update_cost_base + self.update_cost_per_degree * len(new)
 
     # -------------------------------------------------------------- reads
@@ -112,11 +138,25 @@ class MultiVersionGraph(VersionedState):
         entry = self._hist.get(vertex)
         if entry is None:
             return _EMPTY
-        tss, arrs = entry
+        tss = entry[0]
         idx = bisect_right(tss, ts) - 1
         if idx < 0:
             return _EMPTY
-        return arrs[idx]
+        return entry[1][idx]
+
+    def adjacency_at(
+        self, vertex: int, ts: int
+    ) -> tuple[tuple[int, ...], frozenset[int]]:
+        """(sorted tuple, frozenset) view of ``vertex``'s neighborhood at
+        ``ts`` — Python ints, no numpy boxing on the matcher hot path."""
+        entry = self._hist.get(vertex)
+        if entry is None:
+            return _EMPTY_ADJ
+        tss = entry[0]
+        idx = bisect_right(tss, ts) - 1
+        if idx < 0:
+            return _EMPTY_ADJ
+        return entry[2][idx], entry[3][idx]
 
     def vertices(self) -> Iterator[int]:
         """All vertices ever seen (across versions)."""
@@ -131,17 +171,19 @@ class MultiVersionGraph(VersionedState):
         timestamp).  Returns the number of versions discarded.
         """
         dropped = 0
-        for tss, arrs in self._hist.values():
+        for tss, arrs, tups, sets in self._hist.values():
             idx = bisect_right(tss, min_ts) - 1
             if idx > 0:
                 del tss[:idx]
                 del arrs[:idx]
+                del tups[:idx]
+                del sets[:idx]
                 dropped += idx
         return dropped
 
     def version_count(self) -> int:
         """Total retained per-vertex versions (compaction telemetry)."""
-        return sum(len(tss) for tss, _ in self._hist.values())
+        return sum(len(entry[0]) for entry in self._hist.values())
 
 
 class GraphView:
@@ -158,13 +200,20 @@ class GraphView:
         """Sorted neighbor array of ``vertex`` at this version."""
         return self._graph.neighbors_at(vertex, self.ts)
 
+    def adjacency(self, vertex: int) -> tuple[tuple[int, ...], frozenset[int]]:
+        """(sorted tuple, frozenset) of the neighborhood — the matcher's
+        allocation-free view of the same data as :meth:`neighbors`."""
+        return self._graph.adjacency_at(vertex, self.ts)
+
+    def neighbor_set(self, vertex: int) -> frozenset[int]:
+        """Frozenset of the neighborhood at this version."""
+        return self._graph.adjacency_at(vertex, self.ts)[1]
+
     def degree(self, vertex: int) -> int:
         return len(self.neighbors(vertex))
 
     def has_edge(self, u: int, v: int) -> bool:
-        nbrs = self.neighbors(u)
-        idx = int(np.searchsorted(nbrs, v))
-        return idx < len(nbrs) and nbrs[idx] == v
+        return v in self._graph.adjacency_at(u, self.ts)[1]
 
     def vertices(self) -> Iterator[int]:
         return self._graph.vertices()

@@ -3,10 +3,17 @@
 Anomaly Detection computes, per link update (u, v), every instance of
 the anomaly pattern that contains the new link (Fig 1's
 ``detectAnomaly``).  The matcher performs classic backtracking over a
-connectivity-respecting matching order with sorted-array candidate
-intersection (``np.intersect1d``), and emits each instance once in
-canonical form, so the record stream is sorted — giving the
-``happens_before`` prefix order for free.
+connectivity-respecting matching order with sorted-neighborhood
+candidate intersection, and emits each instance once in canonical form,
+so the record stream is sorted — giving the ``happens_before`` prefix
+order for free.
+
+The inner loop works on the graph's ``(tuple, frozenset)`` adjacency
+views (Python ints, no numpy boxing): candidate generation intersects
+the smallest constraint set against the others with plain set
+membership, which for the ≤6-vertex patterns and the bench-scale
+neighborhoods beats ``np.intersect1d``'s per-call overhead by a wide
+margin while producing the identical candidate sets.
 
 Costs are *measured*, not assumed: the matcher counts candidate-
 extension steps and the simulated CPU charge is ``steps × step_cost``,
@@ -17,8 +24,6 @@ the heterogeneity the paper's timeout calibration responds to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.apps.anomaly.graph import GraphView
 from repro.apps.anomaly.patterns import Pattern
@@ -72,11 +77,22 @@ class EdgeAnchoredMatcher:
             pattern.size * (pattern.size - 1) // 2
         )
         # anchor plans: one directed pattern edge per automorphism orbit
-        # (symmetry breaking), with the extension order for each
-        self._plans: list[tuple[int, int, list[int]]] = [
-            (a, b, self._anchored_order(a, b))
-            for a, b in pattern.directed_edge_orbits()
-        ]
+        # (symmetry breaking), with the extension order for each and, per
+        # depth, the already-placed pattern vertices constraining the
+        # candidate set (static per plan — precomputed once)
+        self._plans: list[
+            tuple[int, int, list[int], list[tuple[int, ...]]]
+        ] = []
+        for a, b in pattern.directed_edge_orbits():
+            order = self._anchored_order(a, b)
+            placed = {a, b}
+            constraints: list[tuple[int, ...]] = []
+            for w in order:
+                constraints.append(
+                    tuple(p for p in pattern.neighbors(w) if p in placed)
+                )
+                placed.add(w)
+            self._plans.append((a, b, order, constraints))
 
     def _anchored_order(self, a: int, b: int) -> list[int]:
         order = [a, b]
@@ -103,46 +119,51 @@ class EdgeAnchoredMatcher:
             return self._enumerate_clique(view, u, v)
         found: set[tuple[int, ...]] = set()
         steps = 0
-        for a, b, order in self._plans:
+        # per-call adjacency memo: plans revisit the same graph vertices
+        # many times, so the (tuple, set) views are fetched once each
+        adj_cache: dict[int, tuple[tuple[int, ...], frozenset[int]]] = {}
+        for a, b, order, constraints in self._plans:
             mapping = {a: u, b: v}
-            steps += self._extend(view, order, 0, mapping, found)
+            steps += self._extend(
+                view, adj_cache, order, constraints, 0, mapping, found
+            )
         matches = tuple(sorted(found))
         return MatchOutput(matches=matches, steps=max(1, steps))
+
+    def _common_neighbors(self, view: GraphView, u: int, v: int) -> list[int]:
+        """Sorted common neighborhood of (u, v), iterating the smaller."""
+        nu, su = view.adjacency(u)
+        nv, sv = view.adjacency(v)
+        if len(nu) <= len(nv):
+            return [x for x in nu if x in sv]
+        return [x for x in nv if x in su]
 
     def _enumerate_clique(self, view: GraphView, u: int, v: int) -> MatchOutput:
         """k-cliques containing (u, v): (k-2)-cliques inside N(u)∩N(v),
         enumerated with increasing vertex ids (no symmetric duplicates)."""
         k = self.pattern.size
-        common = np.intersect1d(
-            view.neighbors(u), view.neighbors(v), assume_unique=True
-        )
+        common = self._common_neighbors(view, u, v)
         base = tuple(sorted((u, v)))
         steps = 1 + len(common)
         if k == 2:
             return MatchOutput(matches=(base,), steps=steps)
-        adj = {
-            int(c): np.intersect1d(
-                view.neighbors(int(c)), common, assume_unique=True
-            )
-            for c in common
-        }
+        adj = {c: view.neighbor_set(c) for c in common}
         steps += len(common)
         found: list[tuple[int, ...]] = []
 
-        def grow(prefix: list[int], cands: np.ndarray, left: int) -> None:
+        def grow(prefix: list[int], cands: list[int], left: int) -> None:
             nonlocal steps
             if left == 0:
                 found.append(tuple(sorted(base + tuple(prefix))))
                 return
-            for w in cands:
-                wi = int(w)
+            for i, wi in enumerate(cands):
                 steps += 1
                 if left == 1:
                     found.append(tuple(sorted(base + tuple(prefix) + (wi,))))
                     continue
-                nxt = np.intersect1d(
-                    cands[cands > wi], adj[wi], assume_unique=True
-                )
+                aw = adj[wi]
+                # cands is sorted ascending, so the > wi suffix is a slice
+                nxt = [x for x in cands[i + 1:] if x in aw]
                 if len(nxt) >= left - 1:
                     grow(prefix + [wi], nxt, left - 1)
 
@@ -152,7 +173,9 @@ class EdgeAnchoredMatcher:
     def _extend(
         self,
         view: GraphView,
+        adj_cache: dict[int, tuple[tuple[int, ...], frozenset[int]]],
         order: list[int],
+        constraints: list[tuple[int, ...]],
         depth: int,
         mapping: dict[int, int],
         found: set[tuple[int, ...]],
@@ -161,27 +184,40 @@ class EdgeAnchoredMatcher:
             match = tuple(mapping[i] for i in range(self.pattern.size))
             found.add(self.pattern.canonical_match(match))
             return 1
-        w = order[depth]
-        constraint_sets = [
-            view.neighbors(mapping[p])
-            for p in self.pattern.neighbors(w)
-            if p in mapping
-        ]
-        if not constraint_sets:
+        cpos = constraints[depth]
+        if not cpos:
             return 1  # unreachable for connected patterns; defensive
-        candidates = constraint_sets[0]
-        for other in constraint_sets[1:]:
-            candidates = np.intersect1d(candidates, other, assume_unique=True)
-            if len(candidates) == 0:
-                return 1
+        cache_get = adj_cache.get
+        if len(cpos) == 1:
+            p = mapping[cpos[0]]
+            entry = cache_get(p)
+            if entry is None:
+                entry = adj_cache[p] = view.adjacency(p)
+            candidates = entry[0]
+        else:
+            sets = []
+            for cp in cpos:
+                p = mapping[cp]
+                entry = cache_get(p)
+                if entry is None:
+                    entry = adj_cache[p] = view.adjacency(p)
+                sets.append(entry[1])
+            sets.sort(key=len)
+            candidates = sets[0]
+            for s in sets[1:]:
+                candidates = candidates & s
+                if not candidates:
+                    return 1
+        w = order[depth]
         used = set(mapping.values())
         steps = 1
-        for cand in candidates:
-            c = int(cand)
+        for c in candidates:
             if c in used:
                 continue
             mapping[w] = c
-            steps += self._extend(view, order, depth + 1, mapping, found)
+            steps += self._extend(
+                view, adj_cache, order, constraints, depth + 1, mapping, found
+            )
             del mapping[w]
         return steps
 
@@ -211,34 +247,25 @@ class EdgeAnchoredMatcher:
         """k-cliques containing (u,v) = (k-2)-cliques inside N(u)∩N(v) —
         the standard counting specialization, genuinely cheaper."""
         k = self.pattern.size
-        common = np.intersect1d(
-            view.neighbors(u), view.neighbors(v), assume_unique=True
-        )
+        common = self._common_neighbors(view, u, v)
         need = k - 2
         steps = 1 + len(common)
         if need == 0:
             return CountOutput(count=1, steps=steps)
-        adj = {
-            int(c): np.intersect1d(
-                view.neighbors(int(c)), common, assume_unique=True
-            )
-            for c in common
-        }
+        adj = {c: view.neighbor_set(c) for c in common}
         steps += len(common)
 
-        def count_cliques(cands: np.ndarray, left: int) -> int:
+        def count_cliques(cands: list[int], left: int) -> int:
             """(left)-cliques in ``cands`` with increasing vertex ids —
             each counted exactly once."""
             nonlocal steps
             if left == 1:
                 return len(cands)
             total = 0
-            for w in cands:
-                wi = int(w)
+            for i, wi in enumerate(cands):
                 steps += 1
-                nxt = np.intersect1d(
-                    cands[cands > wi], adj[wi], assume_unique=True
-                )
+                aw = adj[wi]
+                nxt = [x for x in cands[i + 1:] if x in aw]
                 if len(nxt) >= left - 1:
                     total += count_cliques(nxt, left - 1)
             return total

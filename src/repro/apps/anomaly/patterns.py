@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, permutations
+from operator import itemgetter
 from typing import FrozenSet
 
 from repro.errors import ApplicationError
@@ -91,10 +92,39 @@ class Pattern:
         return autos
 
     def canonical_match(self, match: tuple[int, ...]) -> tuple[int, ...]:
-        """Lexicographically smallest automorphic image of a match tuple."""
-        return min(
-            tuple(match[i] for i in perm) for perm in self.automorphisms()
-        )
+        """Lexicographically smallest automorphic image of a match tuple.
+
+        Memoized per pattern: the matcher rediscovers the same instance
+        from several anchors and the verifier re-canonicalizes every
+        record, so repeats dominate.  The cache is cleared if it ever
+        grows past a million entries (bench-scale runs stay far below).
+        """
+        cache = getattr(self, "_canon_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_canon_cache", cache)
+        best = cache.get(match)
+        if best is None:
+            getters = getattr(self, "_canon_getters", None)
+            if getters is None:
+                # itemgetter builds each automorphic image in C; the
+                # identity permutation is skipped (its image == match)
+                identity = tuple(range(self.size))
+                getters = [
+                    itemgetter(*perm)
+                    for perm in self.automorphisms()
+                    if perm != identity
+                ] if self.size > 1 else []
+                object.__setattr__(self, "_canon_getters", getters)
+            best = match
+            for g in getters:
+                image = g(match)
+                if image < best:
+                    best = image
+            if len(cache) > 1_000_000:
+                cache.clear()
+            cache[match] = best
+        return best
 
     def is_canonical(self, match: tuple[int, ...]) -> bool:
         return match == self.canonical_match(match)

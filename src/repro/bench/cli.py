@@ -1,11 +1,19 @@
 """Command-line figure runner: ``python -m repro.bench <figure> [...]``.
 
-A thin convenience layer over the scenario harness for regenerating a
+A thin convenience layer over the sweep engine for regenerating a
 single paper figure without pytest, e.g.::
 
     python -m repro.bench fig5b --sizes 4 8 16 --tasks 120
+    python -m repro.bench fig5b --sizes 4 8 --jobs 4 --json BENCH_sweep.json
     python -m repro.bench fig2a
     python -m repro.bench table1
+
+Measured figures are declared as :class:`~repro.exp.SweepSpec` grids and
+executed by :func:`repro.exp.run_sweep` — serial by default, fanned out
+over a process pool with ``--jobs N`` (bit-identical results either
+way), with finished points served from the content-addressed result
+cache (disable with ``--no-cache``).  ``--json PATH`` writes the sweep
+artifact (spec + per-point results + cache provenance).
 
 The ``trace`` subcommand runs one scenario with trace sinks attached and
 writes a JSONL event log plus a Chrome ``trace_event`` file loadable in
@@ -22,11 +30,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.bench.analytic import rsm_parallel_tasks, table1
-from repro.bench.reporting import print_figure, print_table
-from repro.bench.scenarios import run_osiris, run_rcp, run_zft
+from repro.bench.reporting import print_figure, print_table, write_sweep_json
+from repro.bench.scenarios import run_osiris
 from repro.bench.workloads import (
     anomaly_bench,
     planning_bench,
@@ -39,23 +48,14 @@ from repro.baselines.store_models import (
 )
 from repro.core.config import OsirisConfig
 from repro.core.faults import CorruptRecordFault
+from repro.exp import Point, ResultCache, SweepSpec, run_sweep
+from repro.exp.spec import kv
 from repro.obs.sinks import ChromeTraceSink, JsonlTraceSink
 
 __all__ = ["main"]
 
-
-def _sweep(factory: Callable, sizes, n_tasks, seed, systems=("zft", "osiris", "rcp")):
-    results = []
-    for n in sizes:
-        if "zft" in systems:
-            results.append(run_zft(factory(n_tasks, seed), n=n, deadline=3000))
-        if "osiris" in systems:
-            results.append(
-                run_osiris(factory(n_tasks, seed), n=n, seed=seed, deadline=3000)
-            )
-        if "rcp" in systems and n >= 3:
-            results.append(run_rcp(factory(n_tasks, seed), n=n, deadline=3000))
-    return results
+#: Wall deadline (simulated seconds) for CLI figure runs.
+DEADLINE = 3000.0
 
 
 def _fig2a(args) -> None:
@@ -101,51 +101,68 @@ def _fig5a(args) -> None:
     )
 
 
-def _anomaly(profile: str, title: str):
-    def run(args) -> None:
-        factory = lambda n_tasks, seed: anomaly_bench(
-            profile, n_tasks=n_tasks, seed=seed
+def _anomaly_spec(profile: str):
+    def build(args) -> SweepSpec:
+        return SweepSpec.grid(
+            args.figure,
+            "anomaly",
+            {"profile": profile, "n_tasks": args.tasks, "seed": args.seed},
+            sizes=args.sizes,
+            seed=args.seed,
+            deadline=DEADLINE,
         )
-        print_figure(title, _sweep(factory, args.sizes, args.tasks, args.seed))
 
-    return run
+    return build
 
 
-def _fig5c(args) -> None:
-    factory = lambda n_tasks, seed: planning_bench(n_tasks=n_tasks, seed=seed)
-    print_figure(
-        "Fig 5c: Motion Planning", _sweep(factory, args.sizes, args.tasks, args.seed)
+def _fig5c_spec(args) -> SweepSpec:
+    return SweepSpec.grid(
+        "fig5c",
+        "planning",
+        {"n_tasks": args.tasks, "seed": args.seed},
+        sizes=args.sizes,
+        seed=args.seed,
+        deadline=DEADLINE,
     )
 
 
-def _fig5d(args) -> None:
-    factory = lambda n_tasks, seed: video_bench(n_compute=n_tasks, seed=seed)
-    print_figure(
-        "Fig 5d: Video Analysis", _sweep(factory, args.sizes, args.tasks, args.seed)
+def _fig5d_spec(args) -> SweepSpec:
+    return SweepSpec.grid(
+        "fig5d",
+        "video",
+        {"n_compute": args.tasks, "seed": args.seed},
+        sizes=args.sizes,
+        seed=args.seed,
+        deadline=DEADLINE,
     )
 
 
-def _fig7b(args) -> None:
-    results = []
-    for f in (1, 2, 3, 4):
-        wl = synthetic_bench(
-            args.tasks,
-            records_per_task=10,
-            compute_cost=300e-3,
-            record_bytes=4096,
-            verify_cost_ratio=0.05,
+def _fig7b_spec(args) -> SweepSpec:
+    wp = kv(
+        {
+            "n_tasks": args.tasks,
+            "records_per_task": 10,
+            "compute_cost": 300e-3,
+            "record_bytes": 4096,
+            "verify_cost_ratio": 0.05,
+        }
+    )
+    points = [
+        Point(
+            system="osiris", workload="synthetic", workload_params=wp,
+            n=32, f=f, seed=args.seed, deadline=DEADLINE,
+            label=f"osiris-f{f}",
         )
-        results.append(run_osiris(wl, n=32, f=f, seed=args.seed, deadline=3000))
-    for f in (1, 2):
-        wl = synthetic_bench(
-            args.tasks,
-            records_per_task=10,
-            compute_cost=300e-3,
-            record_bytes=4096,
-            verify_cost_ratio=0.05,
+        for f in (1, 2, 3, 4)
+    ] + [
+        Point(
+            system="rcp", workload="synthetic", workload_params=wp,
+            n=32, f=f, seed=args.seed, deadline=DEADLINE,
+            label=f"rcp-f{f}",
         )
-        results.append(run_rcp(wl, n=32, f=f, deadline=3000))
-    print_figure("Fig 7b: throughput vs fault level f (n=32)", results)
+        for f in (1, 2)
+    ]
+    return SweepSpec.of("fig7b", points)
 
 
 # --------------------------------------------------------------------- trace
@@ -263,18 +280,25 @@ def _trace_main(argv) -> int:
     return 0
 
 
-FIGURES: dict[str, Callable] = {
+#: Analytic figures: closed-form models, printed directly (no sweep).
+ANALYTIC: dict[str, Callable] = {
     "fig2a": _fig2a,
     "table1": _table1,
     "fig5a": _fig5a,
-    "fig5b": _anomaly("fig5b", "Fig 5b: Anomaly Detection"),
-    "fig6a": _anomaly("LH", "Fig 6a: LH (low CPU, high output)"),
-    "fig6b": _anomaly("HL", "Fig 6b: HL (high CPU, low output)"),
-    "fig6c": _anomaly("MM", "Fig 6c: MM (medium CPU & output)"),
-    "fig5c": _fig5c,
-    "fig5d": _fig5d,
-    "fig7b": _fig7b,
 }
+
+#: Measured figures: (title, args -> SweepSpec).
+SWEEPS: dict[str, tuple[str, Callable]] = {
+    "fig5b": ("Fig 5b: Anomaly Detection", _anomaly_spec("fig5b")),
+    "fig6a": ("Fig 6a: LH (low CPU, high output)", _anomaly_spec("LH")),
+    "fig6b": ("Fig 6b: HL (high CPU, low output)", _anomaly_spec("HL")),
+    "fig6c": ("Fig 6c: MM (medium CPU & output)", _anomaly_spec("MM")),
+    "fig5c": ("Fig 5c: Motion Planning", _fig5c_spec),
+    "fig5d": ("Fig 5d: Video Analysis", _fig5d_spec),
+    "fig7b": ("Fig 7b: throughput vs fault level f (n=32)", _fig7b_spec),
+}
+
+FIGURES: tuple[str, ...] = tuple(sorted({**ANALYTIC, **SWEEPS}))
 
 
 def main(argv=None) -> int:
@@ -286,7 +310,7 @@ def main(argv=None) -> int:
         description="Regenerate a paper figure interactively "
         "(or 'trace' to capture an event trace).",
     )
-    parser.add_argument("figure", choices=sorted(FIGURES))
+    parser.add_argument("figure", choices=FIGURES)
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=[4, 8, 16],
         help="cluster sizes to sweep (default: 4 8 16)",
@@ -296,6 +320,45 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--f", type=int, default=1, help="fault level (table1)")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width for sweep points (default 1: serial; "
+        "results are bit-identical at any width)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the sweep artifact (spec, per-point results, cache "
+        "provenance) to PATH",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_EXP_CACHE_DIR or "
+        "~/.cache/repro-exp)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point, bypassing the result cache",
+    )
     args = parser.parse_args(argv)
-    FIGURES[args.figure](args)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.figure in ANALYTIC:
+        ANALYTIC[args.figure](args)
+        return 0
+    title, build_spec = SWEEPS[args.figure]
+    spec = build_spec(args)
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+    )
+    outcome = run_sweep(spec, jobs=args.jobs, cache=cache)
+    print_figure(title, outcome.results)
+    print(
+        f"[{len(spec)} points, jobs={args.jobs}, "
+        f"{outcome.cache_hits} cached, {outcome.wall_seconds:.2f}s]"
+    )
+    if args.json:
+        write_sweep_json(args.json, outcome)
+        print(f"wrote sweep artifact to {args.json}")
     return 0

@@ -1,12 +1,31 @@
-"""Benchmark output formatting: paper-style tables and series."""
+"""Benchmark output formatting: paper-style tables, series, artifacts.
+
+Besides the human-readable tables, this module writes the machine-
+readable sweep artifact (``BENCH_sweep.json``) produced by
+``python -m repro.bench <figure> --json PATH``: the sweep spec, the
+code version the results were computed under, per-point results with
+wall-clock and cache provenance, and aggregate cache statistics.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.bench.scenarios import ScenarioResult
 
-__all__ = ["print_figure", "print_series", "print_table", "ratio"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exp -> bench)
+    from repro.exp.runner import SweepOutcome
+
+__all__ = [
+    "format_result_row",
+    "print_figure",
+    "print_series",
+    "print_table",
+    "ratio",
+    "sweep_artifact",
+    "write_sweep_json",
+]
 
 
 #: Accumulated figure output for the session; the benchmarks' conftest
@@ -27,11 +46,22 @@ def _emit(line: str) -> None:
     print(line)
 
 
+def format_result_row(res: ScenarioResult) -> str:
+    """One aligned, printable table row for a scenario result."""
+    return (
+        f"{res.system:<10} n={res.n:<3} f={res.f} "
+        f"thr={res.throughput:>12.0f} rec/s  "
+        f"lat={res.mean_latency * 1e3:>8.1f} ms  "
+        f"opbw={res.op_bandwidth / 1e9:>6.2f} GB/s  "
+        f"cpu={res.executor_utilization * 100:>5.1f}%"
+    )
+
+
 def print_figure(title: str, results: Iterable[ScenarioResult]) -> None:
     """Print one figure's measurements as aligned rows."""
     _emit(f"\n=== {title} ===")
     for res in results:
-        _emit("  " + res.row())
+        _emit("  " + format_result_row(res))
 
 
 def print_series(
@@ -58,3 +88,35 @@ def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> 
 def ratio(a: float, b: float) -> float:
     """Safe ratio a/b (inf when b == 0)."""
     return a / b if b else float("inf")
+
+
+# ------------------------------------------------------------------ artifacts
+def sweep_artifact(outcome: "SweepOutcome") -> dict:
+    """JSON-able artifact for one sweep run (the BENCH_sweep.json body)."""
+    cached = sum(1 for o in outcome.outcomes if o.cached)
+    return {
+        "spec": outcome.spec.to_dict(),
+        "code_version": outcome.code_version,
+        "jobs": outcome.jobs,
+        "wall_seconds": outcome.wall_seconds,
+        "cache": {
+            "hits": cached,
+            "misses": len(outcome.outcomes) - cached,
+        },
+        "points": [
+            {
+                "point": o.point.to_dict(),
+                "result": o.result.to_dict(),
+                "wall_seconds": o.wall_seconds,
+                "cached": o.cached,
+            }
+            for o in outcome.outcomes
+        ],
+    }
+
+
+def write_sweep_json(path: str, outcome: "SweepOutcome") -> None:
+    """Write the sweep artifact to ``path`` (pretty, sorted keys)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(sweep_artifact(outcome), fh, indent=2, sort_keys=True)
+        fh.write("\n")

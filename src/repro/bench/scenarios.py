@@ -36,6 +36,9 @@ __all__ = ["ScenarioResult", "run_osiris", "run_zft", "run_rcp", "BENCH_BANDWIDT
 BENCH_BANDWIDTH = 60e6
 
 
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
 @dataclass
 class ScenarioResult:
     """Measured outcome of one scenario run."""
@@ -55,13 +58,52 @@ class ScenarioResult:
     extra: dict = field(default_factory=dict)
 
     def row(self) -> str:
-        """One printable table row."""
-        return (
-            f"{self.system:<10} n={self.n:<3} f={self.f} "
-            f"thr={self.throughput:>12.0f} rec/s  "
-            f"lat={self.mean_latency * 1e3:>8.1f} ms  "
-            f"opbw={self.op_bandwidth / 1e9:>6.2f} GB/s  "
-            f"cpu={self.executor_utilization * 100:>5.1f}%"
+        """One printable table row (formatting lives in reporting)."""
+        from repro.bench.reporting import format_result_row
+
+        return format_result_row(self)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: live handles in ``extra`` (e.g. the cluster
+        object scenario runners stash there) are dropped; only scalar
+        telemetry survives serialization."""
+        d = {
+            "system": self.system,
+            "n": self.n,
+            "f": self.f,
+            "throughput": self.throughput,
+            "records": self.records,
+            "tasks_completed": self.tasks_completed,
+            "makespan": self.makespan,
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.p99_latency,
+            "op_bandwidth": self.op_bandwidth,
+            "executor_utilization": self.executor_utilization,
+            "peak_throughput": self.peak_throughput,
+            "extra": {
+                k: v
+                for k, v in self.extra.items()
+                if isinstance(v, _JSON_SCALARS)
+            },
+        }
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioResult":
+        return cls(
+            system=d["system"],
+            n=d["n"],
+            f=d["f"],
+            throughput=d["throughput"],
+            records=d["records"],
+            tasks_completed=d["tasks_completed"],
+            makespan=d["makespan"],
+            mean_latency=d["mean_latency"],
+            p99_latency=d["p99_latency"],
+            op_bandwidth=d["op_bandwidth"],
+            executor_utilization=d["executor_utilization"],
+            peak_throughput=d["peak_throughput"],
+            extra=dict(d.get("extra", {})),
         )
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "planning_bench",
     "video_bench",
     "synthetic_bench",
+    "two_phase_bench",
     "update_only_bench",
     "ANOMALY_PROFILES",
 ]
@@ -186,6 +187,40 @@ def synthetic_bench(
         verify_cost_ratio=verify_cost_ratio,
     )
     tasks = [(i / rate, make_compute_task(i)) for i in range(n_tasks)]
+    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
+
+
+def two_phase_bench(
+    n_tasks: int = 400,
+    records_light: int = 2,
+    records_heavy: int = 40,
+    compute_cost: float = 120e-3,
+    record_bytes: int = 2048,
+    verify_cost_ratio: float = 0.4,
+    rate: float = 2000.0,
+    phase_gap: float = 10.0,
+) -> BenchWorkload:
+    """Two-phase synthetic workload for the role-switching bench (Fig 6d).
+
+    Phase A tasks emit few records (verification-light), phase B tasks
+    emit many (verification-heavy), with a quiet ``phase_gap`` between —
+    no static verifier/executor split is right for both phases, which is
+    the regime where dynamic role-switching earns its keep.
+    """
+    app = SyntheticApp(
+        records_per_task=12,
+        compute_cost=compute_cost,
+        record_bytes=record_bytes,
+        verify_cost_ratio=verify_cost_ratio,
+    )
+    tasks: list[tuple[float, Task]] = []
+    half = n_tasks // 2
+    for i in range(half):
+        tasks.append((i / rate, make_compute_task(i, n=records_light)))
+    for i in range(half, n_tasks):
+        tasks.append(
+            (phase_gap + (i - half) / rate, make_compute_task(i, n=records_heavy))
+        )
     return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
 
 

@@ -25,6 +25,33 @@ _INT = struct.Struct("!q")
 
 
 def _encode(value: Any, out: list[bytes]) -> None:
+    # exact-type fast paths for the overwhelmingly common cases (record
+    # tuples of small ints, strings); byte output is identical to the
+    # general chain below, which still handles numpy scalars/subclasses
+    t = type(value)
+    if t is int:
+        if -(2**63) <= value < 2**63:
+            out.append(b"i")
+            out.append(_INT.pack(value))
+        else:
+            enc = str(value).encode()
+            out.append(b"I" + _INT.pack(len(enc)))
+            out.append(enc)
+        return
+    if t is tuple or t is list:
+        out.append(b"l" + _INT.pack(len(value)))
+        for item in value:
+            _encode(item, out)
+        return
+    if t is str:
+        enc = value.encode("utf-8")
+        out.append(b"s" + _INT.pack(len(enc)))
+        out.append(enc)
+        return
+    if t is float:
+        out.append(b"f")
+        out.append(_FLOAT.pack(value))
+        return
     if value is None:
         out.append(b"N")
     elif value is True:

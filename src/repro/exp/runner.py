@@ -1,0 +1,314 @@
+"""Sweep execution: serial, multiprocess, cached — always bit-identical.
+
+Each :class:`~repro.exp.spec.Point` names everything its run depends on,
+and the DES is deterministic, so a point's result is a pure function of
+(point, code version).  That gives three interchangeable execution
+paths — run it here, run it in a pool worker, or read it from the
+content-addressed cache — all yielding the same
+:class:`~repro.bench.scenarios.ScenarioResult` bit for bit.  The serial
+path deliberately round-trips results through the same dict form the
+pool and the cache use, so switching ``--jobs`` or enabling the cache
+can never change a figure.
+
+``live=True`` runs serially without cache or serialization and keeps
+the full result (including the live cluster object in ``extra``) — for
+benchmarks that inspect cluster internals after the run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bench.scenarios import (
+    BENCH_BANDWIDTH,
+    ScenarioResult,
+    run_osiris,
+    run_rcp,
+    run_zft,
+)
+from repro.bench.workloads import (
+    BenchWorkload,
+    anomaly_bench,
+    planning_bench,
+    synthetic_bench,
+    two_phase_bench,
+    update_only_bench,
+    video_bench,
+)
+from repro.core.config import OsirisConfig
+from repro.core.faults import (
+    BogusDigestFault,
+    CorruptRecordFault,
+    DuplicateRecordFault,
+    EquivocateChunksFault,
+    FabricateRecordFault,
+    NegligentLeaderFault,
+    OmitRecordFault,
+    SilentFault,
+    SlowFault,
+)
+from repro.errors import BenchmarkError
+from repro.exp.cache import ResultCache, code_version, point_key
+from repro.exp.spec import Point, SweepSpec
+
+__all__ = [
+    "EXECUTOR_FAULTS",
+    "VERIFIER_FAULTS",
+    "WORKLOADS",
+    "PointOutcome",
+    "SweepOutcome",
+    "build_workload",
+    "execute_point",
+    "run_sweep",
+]
+
+
+def _anomaly(profile: str, **params) -> BenchWorkload:
+    return anomaly_bench(profile, **params)
+
+
+#: Workload factories addressable from a point; parameters come from
+#: ``Point.workload_params`` (the anomaly factory takes the profile name
+#: under the ``profile`` key).
+WORKLOADS: dict[str, Callable[..., BenchWorkload]] = {
+    "anomaly": _anomaly,
+    "planning": planning_bench,
+    "video": video_bench,
+    "synthetic": synthetic_bench,
+    "two_phase": two_phase_bench,
+    "update_only": update_only_bench,
+}
+
+#: Executor fault strategies addressable from a point.
+EXECUTOR_FAULTS: dict[str, Callable] = {
+    "silent": SilentFault,
+    "slow": SlowFault,
+    "corrupt-record": CorruptRecordFault,
+    "fabricate-record": FabricateRecordFault,
+    "duplicate-record": DuplicateRecordFault,
+    "omit-record": OmitRecordFault,
+    "equivocate-chunks": EquivocateChunksFault,
+}
+
+#: Verifier fault strategies addressable from a point.
+VERIFIER_FAULTS: dict[str, Callable] = {
+    "negligent-leader": NegligentLeaderFault,
+    "bogus-digest": BogusDigestFault,
+}
+
+
+def build_workload(point: Point) -> BenchWorkload:
+    """Instantiate the point's workload from the factory registry."""
+    factory = WORKLOADS.get(point.workload)
+    if factory is None:
+        raise BenchmarkError(
+            f"unknown workload {point.workload!r}; "
+            f"registered: {sorted(WORKLOADS)}"
+        )
+    return factory(**dict(point.workload_params))
+
+
+def _faults(registry: dict, specs, role: str) -> dict:
+    out = {}
+    for pid, kind, params in specs:
+        cls = registry.get(kind)
+        if cls is None:
+            raise BenchmarkError(
+                f"unknown {role} fault {kind!r}; registered: {sorted(registry)}"
+            )
+        out[pid] = cls(**dict(params))
+    return out
+
+
+def run_point(point: Point) -> ScenarioResult:
+    """Run one point on this process's DES; returns the live result."""
+    workload = build_workload(point)
+    bandwidth = (
+        point.bandwidth if point.bandwidth is not None else BENCH_BANDWIDTH
+    )
+    if point.system != "osiris" and (
+        point.executor_faults or point.verifier_faults or point.config
+    ):
+        raise BenchmarkError(
+            f"faults/config overrides are OsirisBFT-only "
+            f"(point targets {point.system!r})"
+        )
+    if point.system == "zft":
+        return run_zft(
+            workload,
+            n=point.n,
+            seed=point.seed,
+            deadline=point.deadline,
+            bandwidth=bandwidth,
+        )
+    if point.system == "rcp":
+        return run_rcp(
+            workload,
+            n=point.n,
+            f=point.f,
+            seed=point.seed,
+            deadline=point.deadline,
+            bandwidth=bandwidth,
+        )
+    # osiris: start from the scenario runner's defaults, then overlay the
+    # point's overrides (same base run_osiris builds when config is None)
+    base = dict(
+        f=point.f,
+        chunk_bytes=workload.chunk_bytes,
+        suspect_timeout=60.0,
+        cores_per_node=1,
+    )
+    base.update(dict(point.config))
+    kwargs = {}
+    if point.executor_faults:
+        kwargs["executor_faults"] = _faults(
+            EXECUTOR_FAULTS, point.executor_faults, "executor"
+        )
+    if point.verifier_faults:
+        kwargs["verifier_faults"] = _faults(
+            VERIFIER_FAULTS, point.verifier_faults, "verifier"
+        )
+    return run_osiris(
+        workload,
+        n=point.n,
+        f=point.f,
+        k=point.k,
+        seed=point.seed,
+        deadline=point.deadline,
+        config=OsirisConfig(**base),
+        bandwidth=bandwidth,
+        **kwargs,
+    )
+
+
+def execute_point(point: Point) -> dict:
+    """Run a point and return its serialized payload (pool-safe).
+
+    This is the unit of work shipped to pool workers and stored in the
+    cache: ``{"result": <ScenarioResult dict>, "wall_seconds": float}``.
+    """
+    start = time.perf_counter()
+    result = run_point(point)
+    wall = time.perf_counter() - start
+    return {"result": result.to_dict(), "wall_seconds": wall}
+
+
+@dataclass
+class PointOutcome:
+    """One executed (or cache-served) point."""
+
+    point: Point
+    result: ScenarioResult
+    wall_seconds: float  # compute time when the result was produced
+    cached: bool
+
+
+@dataclass
+class SweepOutcome:
+    """A completed sweep: per-point outcomes plus provenance."""
+
+    spec: SweepSpec
+    code_version: str
+    jobs: int
+    wall_seconds: float  # this invocation's wall clock
+    outcomes: list[PointOutcome]
+
+    @property
+    def results(self) -> list[ScenarioResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    def by(self, key: Callable[[Point], object] = None) -> dict:
+        """Results keyed by ``key(point)`` (default: ``(system, n)``)."""
+        if key is None:
+            key = lambda p: (p.system, p.n)  # noqa: E731
+        return {key(o.point): o.result for o in self.outcomes}
+
+
+def _pool(jobs: int):
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    return ctx.Pool(processes=jobs)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    live: bool = False,
+) -> SweepOutcome:
+    """Execute every point of ``spec``; results are independent of
+    ``jobs`` and of cache state.
+
+    Points already in ``cache`` (same descriptor, same code version) are
+    served from it; the rest run serially (``jobs=1``) or on a
+    ``multiprocessing`` pool, in either case producing the same payloads.
+    ``live=True`` skips cache and serialization entirely and keeps live
+    results (cluster handles in ``extra`` survive) — always serial.
+    """
+    if jobs < 1:
+        raise BenchmarkError(f"jobs must be >=1, got {jobs}")
+    start = time.perf_counter()
+    if live:
+        outcomes = []
+        for point in spec.points:
+            p0 = time.perf_counter()
+            result = run_point(point)
+            outcomes.append(
+                PointOutcome(point, result, time.perf_counter() - p0, False)
+            )
+        return SweepOutcome(
+            spec=spec,
+            code_version=code_version(),
+            jobs=1,
+            wall_seconds=time.perf_counter() - start,
+            outcomes=outcomes,
+        )
+
+    version = code_version()
+    keys = [point_key(p.descriptor(), version) for p in spec.points]
+    payloads: dict[int, tuple[dict, bool]] = {}
+    todo: list[int] = []
+    for i, key in enumerate(keys):
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            payloads[i] = (hit, True)
+        else:
+            todo.append(i)
+
+    if todo:
+        pending = [spec.points[i] for i in todo]
+        if jobs > 1 and len(pending) > 1:
+            with _pool(min(jobs, len(pending))) as pool:
+                fresh = pool.map(execute_point, pending)
+        else:
+            fresh = [execute_point(p) for p in pending]
+        for i, payload in zip(todo, fresh):
+            payloads[i] = (payload, False)
+            if cache is not None:
+                cache.put(keys[i], payload)
+
+    outcomes = [
+        PointOutcome(
+            point=spec.points[i],
+            result=ScenarioResult.from_dict(payloads[i][0]["result"]),
+            wall_seconds=payloads[i][0]["wall_seconds"],
+            cached=payloads[i][1],
+        )
+        for i in range(len(spec.points))
+    ]
+    return SweepOutcome(
+        spec=spec,
+        code_version=version,
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - start,
+        outcomes=outcomes,
+    )

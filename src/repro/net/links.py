@@ -111,6 +111,8 @@ class Network:
         self.neq_latency_factor = neq_latency_factor
         self._procs: dict[str, "SimProcess"] = {}
         self._nics: dict[str, Nic] = {}
+        # pid → (deliver-callback, nic): one dict lookup on the send path
+        self._endpoints: dict[str, tuple] = {}
         self._fifo_tail: dict[tuple[str, str], float] = {}
         self._rng = sim.rng("network")
         self.messages_sent = 0
@@ -122,7 +124,9 @@ class Network:
         if proc.pid in self._procs:
             raise NetworkError(f"duplicate process id {proc.pid!r}")
         self._procs[proc.pid] = proc
-        self._nics[proc.pid] = Nic(self.bandwidth)
+        nic = Nic(self.bandwidth)
+        self._nics[proc.pid] = nic
+        self._endpoints[proc.pid] = (proc.deliver, nic)
 
     def process(self, pid: str) -> "SimProcess":
         """Look up a registered process."""
@@ -153,35 +157,47 @@ class Network:
         trusts protocol code not to mutate received messages, which the
         test-suite enforces for the core protocols by checking digests.
         """
-        if src not in self._nics:
+        endpoints = self._endpoints
+        src_entry = endpoints.get(src)
+        if src_entry is None:
             raise NetworkError(f"unknown sender {src!r}")
-        dst_proc = self.process(dst)
+        dst_entry = endpoints.get(dst)
+        if dst_entry is None:
+            raise NetworkError(f"unknown process {dst!r}")
+        deliver, dst_nic = dst_entry
+        src_nic = src_entry[1]
         msg.sender = src
         size = msg.wire_size()
-        now = self.sim.now
-
-        src_nic = self._nics[src]
-        dst_nic = self._nics[dst]
+        sim = self.sim
+        now = sim.now
         tx = size / self.bandwidth
 
-        egress_start = max(now, src_nic.egress_free)
+        egress_start = src_nic.egress_free
+        if now > egress_start:
+            egress_start = now
         src_nic.egress_free = egress_start + tx
         src_nic.egress_meter.add(egress_start, size)
 
         latency = self.synchrony.sample(now, self._rng)
-        arrive = src_nic.egress_free + latency * self._latency_factor(msg)
+        if msg._neq:
+            latency *= self.neq_latency_factor
+        arrive = src_nic.egress_free + latency
 
-        ingress_start = max(arrive, dst_nic.ingress_free)
+        ingress_start = dst_nic.ingress_free
+        if arrive > ingress_start:
+            ingress_start = arrive
         dst_nic.ingress_free = ingress_start + tx
         dst_nic.ingress_meter.add(ingress_start, size)
 
         deliver_at = dst_nic.ingress_free
         key = (src, dst)
-        deliver_at = max(deliver_at, self._fifo_tail.get(key, 0.0))
+        tail = self._fifo_tail.get(key, 0.0)
+        if tail > deliver_at:
+            deliver_at = tail
         self._fifo_tail[key] = deliver_at
 
         self.messages_sent += 1
-        bus = self.sim.bus
+        bus = sim.bus
         if bus.wants(CATEGORY_NET):
             bus.emit(
                 LinkTransfer(
@@ -191,14 +207,14 @@ class Network:
                     nbytes=size,
                     msg_type=type(msg).__name__,
                     deliver_at=deliver_at,
-                    neq=bool(getattr(msg, "_neq", False)),
+                    neq=bool(msg._neq),
                 )
             )
-        self.sim.schedule_at(deliver_at, dst_proc.deliver, msg)
+        sim.post_at(deliver_at, deliver, msg)
         return deliver_at
 
     def _latency_factor(self, msg: Message) -> float:
-        return self.neq_latency_factor if getattr(msg, "_neq", False) else 1.0
+        return self.neq_latency_factor if msg._neq else 1.0
 
     # ------------------------------------------------------------ multicast
     def multicast(self, src: str, dsts: Iterable[str], msg: Message) -> None:

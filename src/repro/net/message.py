@@ -33,6 +33,12 @@ class Message:
 
     sender: Optional[str] = field(default=None, init=False, compare=False)
 
+    #: Class-level default for the non-equivocating-multicast flag; the
+    #: network sets an instance attribute on the (rare) neq sends, so the
+    #: hot send path reads it without ``getattr`` fallbacks.  Deliberately
+    #: not a dataclass field: it carries no per-message state otherwise.
+    _neq = False
+
     def payload_bytes(self) -> int:
         """Size of the payload; subclasses carrying bulk data override."""
         return 0

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ObservabilityError
+from repro.obs.events import CATEGORY_KERNEL
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.events import TraceEvent
@@ -50,6 +51,12 @@ class EventBus:
         self._sinks: list[Sink] = []
         self._want_all = False
         self._wanted: frozenset[str] = frozenset()
+        # per-category dispatch list, built lazily by emit(); invalidated
+        # on every attach/detach
+        self._routes: dict[str, list[Sink]] = {}
+        # the kernel fires one potential emission per DES event, so its
+        # guard is precomputed as a plain attribute read
+        self._want_kernel = False
 
     # -------------------------------------------------------------- plumbing
     def _rebuild(self) -> None:
@@ -59,6 +66,8 @@ class EventBus:
             if s.categories is not None:
                 wanted |= s.categories
         self._wanted = frozenset(wanted)
+        self._routes = {}
+        self._want_kernel = self._want_all or CATEGORY_KERNEL in wanted
 
     def attach(self, sink: Sink) -> Sink:
         """Attach a sink; emission order follows attach order."""
@@ -100,7 +109,12 @@ class EventBus:
     def emit(self, event: "TraceEvent") -> None:
         """Deliver ``event`` to every subscribed sink, in attach order."""
         cat = event.category
-        for s in self._sinks:
-            wanted = s.categories
-            if wanted is None or cat in wanted:
-                s.handle(event)
+        route = self._routes.get(cat)
+        if route is None:
+            route = self._routes[cat] = [
+                s
+                for s in self._sinks
+                if s.categories is None or cat in s.categories
+            ]
+        for s in route:
+            s.handle(event)

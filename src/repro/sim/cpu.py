@@ -68,10 +68,17 @@ class CpuBank:
         """
         if cost < 0:
             raise SimulationError(f"negative job cost {cost}")
-        idx = min(range(self.cores), key=lambda i: self._free_at[i])
-        start = max(self.sim.now, self._free_at[idx])
+        free_at = self._free_at
+        if self.cores == 1:
+            idx = 0
+        else:
+            idx = free_at.index(min(free_at))
+        start = free_at[idx]
+        now = self.sim.now
+        if now > start:
+            start = now
         end = start + cost
-        self._free_at[idx] = end
+        free_at[idx] = end
         self.busy_seconds += cost
         self._jobs_done += 1
         bus = self.sim.bus

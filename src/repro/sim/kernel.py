@@ -13,8 +13,14 @@ Design notes
 * Events with equal timestamps are ordered by insertion sequence number, so
   ties never compare the (unorderable) callback objects and FIFO semantics
   hold for same-time events.
+* Queue entries are plain ``(time, seq, handle, fn, args)`` tuples: heap
+  ordering is native tuple comparison (the unique ``seq`` breaks every
+  time tie before the unorderable fields are reached), with no per-event
+  wrapper object on the hot path.
 * Cancellation is O(1): a handle is flagged dead and skipped when popped,
-  which keeps the hot loop a plain ``heappush``/``heappop`` pair.
+  which keeps the hot loop a plain ``heappush``/``heappop`` pair.  Events
+  that can never be cancelled (message deliveries) use :meth:`Simulator.post_at`
+  and carry no handle at all.
 * There is no wall-clock anywhere; simulated seconds are just floats.
 """
 
@@ -22,25 +28,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.obs.bus import EventBus
-from repro.obs.events import CATEGORY_KERNEL, KernelEventFired
+from repro.obs.events import KernelEventFired
 
 __all__ = ["EventHandle", "Simulator"]
-
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False)
 
 
 class EventHandle:
@@ -86,7 +82,8 @@ class Simulator:
     def __init__(self, seed: int = 0, bus: Optional[EventBus] = None) -> None:
         self.now: float = 0.0
         self.bus = bus if bus is not None else EventBus()
-        self._queue: list[_Event] = []
+        # heap of (time, seq, handle-or-None, fn, args); None = uncancellable
+        self._queue: list[tuple] = []
         self._seq = itertools.count()
         self._seed = seed
         self._rngs: dict[str, np.random.Generator] = {}
@@ -130,29 +127,41 @@ class Simulator:
                 f"cannot schedule at t={time} < now={self.now}"
             )
         handle = EventHandle(time)
-        heapq.heappush(
-            self._queue, _Event(time, next(self._seq), handle, fn, args)
-        )
+        heapq.heappush(self._queue, (time, next(self._seq), handle, fn, args))
         return handle
+
+    def post_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule an *uncancellable* ``fn(*args)`` at an absolute time.
+
+        The fast path for events that never need a handle (e.g. message
+        deliveries): no :class:`EventHandle` is allocated.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self.now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), None, fn, args))
 
     # ------------------------------------------------------------------ run
     def step(self) -> bool:
         """Fire the next pending event.  Returns ``False`` if queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if not ev.handle._alive:
-                continue
-            ev.handle._alive = False
-            self.now = ev.time
+        queue = self._queue
+        while queue:
+            time_, _, handle, fn, args = heapq.heappop(queue)
+            if handle is not None:
+                if not handle._alive:
+                    continue
+                handle._alive = False
+            self.now = time_
             self._events_fired += 1
             bus = self.bus
-            if bus.wants(CATEGORY_KERNEL):
+            if bus._want_kernel:
                 bus.emit(
                     KernelEventFired(
-                        time=ev.time, pid="kernel", count=self._events_fired
+                        time=time_, pid="kernel", count=self._events_fired
                     )
                 )
-            ev.fn(*ev.args)
+            fn(*args)
             return True
         return False
 
@@ -168,18 +177,34 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         stop_at = None if max_events is None else self._events_fired + max_events
+        queue = self._queue
+        heappop = heapq.heappop
+        bus = self.bus
         try:
-            while self._queue:
+            while queue:
                 if stop_at is not None and self._events_fired >= stop_at:
                     return
-                head = self._queue[0]
-                if not head.handle._alive:
-                    heapq.heappop(self._queue)
+                head = queue[0]
+                handle = head[2]
+                if handle is not None and not handle._alive:
+                    heappop(queue)
                     continue
-                if until is not None and head.time > until:
+                time_ = head[0]
+                if until is not None and time_ > until:
                     self.now = until
                     return
-                self.step()
+                heappop(queue)
+                if handle is not None:
+                    handle._alive = False
+                self.now = time_
+                self._events_fired += 1
+                if bus._want_kernel:
+                    bus.emit(
+                        KernelEventFired(
+                            time=time_, pid="kernel", count=self._events_fired
+                        )
+                    )
+                head[3](*head[4])
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -189,7 +214,9 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of live events still queued."""
-        return sum(1 for ev in self._queue if ev.handle._alive)
+        return sum(
+            1 for ev in self._queue if ev[2] is None or ev[2]._alive
+        )
 
     @property
     def events_fired(self) -> int:

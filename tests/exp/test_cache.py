@@ -1,0 +1,78 @@
+"""Content-addressed result cache: keys, atomicity, invalidation."""
+
+import json
+
+from repro.exp import ResultCache, code_version, default_cache_dir
+from repro.exp.cache import point_key
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_is_hex_sha256(self):
+        v = code_version()
+        assert len(v) == 64
+        int(v, 16)
+
+
+class TestPointKey:
+    def test_distinct_descriptors_distinct_keys(self):
+        v = code_version()
+        a = point_key({"system": "osiris", "n": 8}, v)
+        b = point_key({"system": "osiris", "n": 16}, v)
+        assert a != b
+
+    def test_code_version_invalidates(self):
+        d = {"system": "osiris", "n": 8}
+        assert point_key(d, "aaa") != point_key(d, "bbb")
+
+    def test_key_order_independent(self):
+        v = code_version()
+        assert point_key({"a": 1, "b": 2}, v) == point_key({"b": 2, "a": 1}, v)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"result": {"x": 1}})
+        assert cache.get("ab" * 32) == {"result": {"x": 1}}
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"v": 2})
+        assert (tmp_path / "cd" / f"{key}.json").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"v": 1})
+        (tmp_path / "ef" / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_no_temp_litter_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("12" * 32, {"v": 1})
+        assert not list(tmp_path.rglob(".tmp-*"))
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"v": 1})
+        cache.put("cd" * 32, {"v": 2})
+        assert cache.clear() == 2
+        assert cache.get("ab" * 32) is None
+
+    def test_entries_are_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "01" * 32
+        cache.put(key, {"result": {"throughput": 1.5}})
+        raw = (tmp_path / "01" / f"{key}.json").read_text()
+        assert json.loads(raw)["result"]["throughput"] == 1.5
+
+    def test_default_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXP_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
