@@ -146,6 +146,30 @@ def _finish(system, n, f, metrics, net, busy_fn, cores, extra=None):
     )
 
 
+def _attach_sanitizer(cluster):
+    """Attach a substrate sanitizer to an already-built baseline cluster
+    (the osiris builder wires its own via ``sanitize=True``).  No link
+    or CPU events fire before ``cluster.start()``, so the shadows still
+    observe the run from birth."""
+    from repro.check.sanitizer import Sanitizer  # lazy: optional layer
+
+    sanitizer = Sanitizer(cluster.net)
+    sanitizer.attach(cluster.bus)
+    return sanitizer
+
+
+def _audit_sanitizer(sanitizer, extra: dict, cluster=None) -> None:
+    """Run the post-run sanitizer audit and fold it into ``extra``.
+
+    ``sanitizer_violations`` is a JSON scalar (survives ``to_dict``);
+    the live report rides along for in-process consumers."""
+    if sanitizer is None:
+        return
+    report = sanitizer.audit(cluster)
+    extra["sanitizer_violations"] = len(report.violations)
+    extra["sanitizer_report"] = report
+
+
 def run_osiris(
     workload: BenchWorkload,
     n: int,
@@ -156,12 +180,16 @@ def run_osiris(
     config: Optional[OsirisConfig] = None,
     bandwidth: float = BENCH_BANDWIDTH,
     sinks: Iterable[Sink] = (),
+    sanitize: bool = False,
     **build_kwargs,
 ) -> ScenarioResult:
     """Run OsirisBFT on ``n`` workers; returns the measured result.
 
     ``sinks`` are extra trace sinks attached to the deployment's event
     bus before the workload starts (the MetricsHub is always attached).
+    ``sanitize=True`` attaches the :mod:`repro.check` substrate
+    sanitizer and reports ``sanitizer_violations`` (plus the live
+    ``sanitizer_report``) in ``extra``.
     """
     config = config or OsirisConfig(
         f=f,
@@ -181,6 +209,7 @@ def run_osiris(
         seed=seed,
         config=config,
         bandwidth=bandwidth,
+        sanitize=sanitize,
         **build_kwargs,
     )
     for sink in sinks:
@@ -204,6 +233,7 @@ def run_osiris(
         "faults_detected": len(cluster.metrics.faults_detected),
         "cluster": cluster,
     }
+    _audit_sanitizer(cluster.sanitizer, extra, cluster)
     return _finish(
         "OsirisBFT", n, f, cluster.metrics, cluster.net, busy,
         config.cores_per_node, extra,
@@ -218,6 +248,7 @@ def run_zft(
     bandwidth: float = BENCH_BANDWIDTH,
     cores_per_node: int = 1,
     sinks: Iterable[Sink] = (),
+    sanitize: bool = False,
 ) -> ScenarioResult:
     """Run the ZFT baseline."""
     cluster = build_zft_cluster(
@@ -229,6 +260,7 @@ def run_zft(
         chunk_bytes=workload.chunk_bytes,
         cores_per_node=cores_per_node,
     )
+    sanitizer = _attach_sanitizer(cluster) if sanitize else None
     for sink in sinks:
         cluster.bus.attach(sink)
     cluster.start()
@@ -239,9 +271,11 @@ def run_zft(
             cluster.workers
         )
 
+    extra = {"cluster": cluster}
+    _audit_sanitizer(sanitizer, extra)
     return _finish(
         "ZFT", n, 0, cluster.metrics, cluster.net, busy, cores_per_node,
-        {"cluster": cluster},
+        extra,
     )
 
 
@@ -254,6 +288,7 @@ def run_rcp(
     bandwidth: float = BENCH_BANDWIDTH,
     cores_per_node: int = 1,
     sinks: Iterable[Sink] = (),
+    sanitize: bool = False,
 ) -> ScenarioResult:
     """Run the RCP baseline."""
     cluster = build_rcp_cluster(
@@ -266,6 +301,7 @@ def run_rcp(
         chunk_bytes=workload.chunk_bytes,
         cores_per_node=cores_per_node,
     )
+    sanitizer = _attach_sanitizer(cluster) if sanitize else None
     for sink in sinks:
         cluster.bus.attach(sink)
     cluster.start()
@@ -276,9 +312,11 @@ def run_rcp(
             cluster.workers
         )
 
+    extra = {"cluster": cluster}
+    _audit_sanitizer(sanitizer, extra)
     return _finish(
         "RCP", n, f, cluster.metrics, cluster.net, busy, cores_per_node,
-        {"cluster": cluster},
+        extra,
     )
 
 

@@ -1,0 +1,222 @@
+"""Record conservation executor→verifier→OP, and equivocation audits.
+
+The paper's safety claim (Theorem 6.3) is that whatever Byzantine
+workers do, the *committed* output equals ``A(s, t)`` — every record of
+the correct output delivered exactly once, nothing fabricated, nothing
+duplicated, nothing dropped.  This checker enforces that end to end:
+
+* live (sink): no chunk slot is accepted twice, no task completes twice
+  at one OP, and the two acceptance event streams (``ChunkAccepted`` /
+  ``RecordsAccepted``) agree record for record;
+* post-run (auditor): each accepted slot has exactly one quorum-endorsed
+  digest whose chunk data is present (≥2 would be *committed
+  equivocation* within a sub-cluster; 0 means the OP accepted without a
+  derivable quorum), accepted digests agree across output processes, OP
+  counters match the trace, and — the strongest check — for every
+  completed compute task the concatenated accepted records are
+  recomputed from the coordinator's replica at the task's snapshot and
+  classified with :func:`~repro.core.failure_model.classify_output`,
+  which must return ``NONE`` (on honest *and* faulty runs: committed
+  output is correct or the protocol is broken).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.failure_model import OutputFailure, classify_output
+from repro.obs.bus import Sink
+from repro.obs.events import (
+    CATEGORY_CHUNK,
+    CATEGORY_TASK,
+    ChunkAccepted,
+    RecordsAccepted,
+    TaskCompleted,
+    TraceEvent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.report import SanitizerReport
+
+__all__ = ["ConservationSink"]
+
+
+class ConservationSink(Sink):
+    """Tracks acceptance events live; see module docstring."""
+
+    categories = frozenset({CATEGORY_TASK, CATEGORY_CHUNK})
+
+    def __init__(self, report: "SanitizerReport") -> None:
+        self.report = report
+        self._accepted_slots: set[tuple[str, str, int]] = set()
+        self._completed: set[tuple[str, str]] = set()
+        # per-OP record totals from the two event streams
+        self._chunk_records: dict[str, int] = {}
+        self._accept_records: dict[str, int] = {}
+        self._chunk_events: dict[str, int] = {}
+
+    # ----------------------------------------------------------- live checks
+    def handle(self, event: TraceEvent) -> None:
+        if isinstance(event, ChunkAccepted):
+            key = (event.pid, event.task_id, event.index)
+            if key in self._accepted_slots:
+                self.report.add(
+                    "double-accept",
+                    event.pid,
+                    event.time,
+                    f"chunk {event.task_id}#{event.index} accepted twice",
+                )
+            self._accepted_slots.add(key)
+            self._chunk_records[event.pid] = (
+                self._chunk_records.get(event.pid, 0) + event.records
+            )
+            self._chunk_events[event.pid] = (
+                self._chunk_events.get(event.pid, 0) + 1
+            )
+        elif isinstance(event, RecordsAccepted):
+            self._accept_records[event.pid] = (
+                self._accept_records.get(event.pid, 0) + event.count
+            )
+        elif isinstance(event, TaskCompleted):
+            key = (event.pid, event.task_id)
+            if key in self._completed:
+                self.report.add(
+                    "double-complete",
+                    event.pid,
+                    event.time,
+                    f"task {event.task_id} completed twice",
+                )
+            self._completed.add(key)
+
+    # -------------------------------------------------------- post-run audit
+    def audit_cluster(self, cluster) -> None:
+        """Audit an OsirisBFT deployment's output processes end to end.
+
+        ``cluster`` is an :class:`~repro.runtime.deploy.OsirisCluster`;
+        baseline clusters (no verifier quorum machinery) get only the
+        live checks.
+        """
+        report = self.report
+        expected_cache: dict[str, tuple] = {}
+        coordinator = cluster.coordinators[0]
+        # (task_id, index) -> committed digest, for cross-OP agreement
+        committed: dict[tuple[str, int], bytes] = {}
+
+        for op in cluster.outputs:
+            if op.records_accepted != self._accept_records.get(op.pid, 0):
+                report.add(
+                    "records-counter",
+                    op.pid,
+                    -1.0,
+                    f"counter records_accepted={op.records_accepted} but "
+                    f"trace sums {self._accept_records.get(op.pid, 0)}",
+                )
+            if op.chunks_accepted != self._chunk_events.get(op.pid, 0):
+                report.add(
+                    "chunks-counter",
+                    op.pid,
+                    -1.0,
+                    f"counter chunks_accepted={op.chunks_accepted} but "
+                    f"trace has {self._chunk_events.get(op.pid, 0)} "
+                    f"ChunkAccepted events",
+                )
+            if self._chunk_records.get(op.pid, 0) != self._accept_records.get(
+                op.pid, 0
+            ):
+                report.add(
+                    "records-counter",
+                    op.pid,
+                    -1.0,
+                    f"ChunkAccepted records sum "
+                    f"{self._chunk_records.get(op.pid, 0)} != "
+                    f"RecordsAccepted sum "
+                    f"{self._accept_records.get(op.pid, 0)}",
+                )
+
+            for task_id, ot in op._tasks.items():
+                if ot.vp_index < 0:
+                    continue
+                quorum = cluster.topo.cluster(ot.vp_index).quorum
+                winners_by_index: dict[int, bytes] = {}
+                for index, slot in ot.slots.items():
+                    winners = [
+                        sigma
+                        for sigma, endorsers in slot.endorsements.items()
+                        if len(endorsers) >= quorum and sigma in slot.data
+                    ]
+                    if len(winners) > 1:
+                        report.add(
+                            "committed-equivocation",
+                            op.pid,
+                            -1.0,
+                            f"task {task_id}#{index}: {len(winners)} "
+                            f"distinct digests each hold a quorum — "
+                            f"sub-cluster VP{ot.vp_index} committed to "
+                            f"conflicting chunks",
+                        )
+                        continue
+                    if index in ot.accepted:
+                        if not winners:
+                            report.add(
+                                "accept-without-quorum",
+                                op.pid,
+                                -1.0,
+                                f"task {task_id}#{index} accepted but no "
+                                f"digest holds a quorum of {quorum} with "
+                                f"data present",
+                            )
+                            continue
+                        sigma = winners[0]
+                        winners_by_index[index] = sigma
+                        prev = committed.get((task_id, index))
+                        if prev is not None and prev != sigma:
+                            report.add(
+                                "committed-equivocation",
+                                op.pid,
+                                -1.0,
+                                f"task {task_id}#{index}: this OP "
+                                f"committed a different digest than "
+                                f"another OP",
+                            )
+                        committed[(task_id, index)] = sigma
+
+                self._audit_output(
+                    cluster, coordinator, op, task_id, ot, winners_by_index,
+                    expected_cache,
+                )
+
+    def _audit_output(
+        self, cluster, coordinator, op, task_id, ot, winners_by_index,
+        expected_cache,
+    ) -> None:
+        """Recompute A(s, t) and classify the committed record sequence."""
+        if not ot.completed:
+            return
+        entry = coordinator.outstanding.get(task_id)
+        if entry is None:
+            return
+        task = entry.task
+        if not task.opcode.has_compute or task.timestamp < 0:
+            return
+        observed: list = []
+        for index in sorted(ot.accepted):
+            sigma = winners_by_index.get(index)
+            if sigma is None:
+                return  # already reported above; classification would lie
+            observed.extend(ot.slots[index].data[sigma].records)
+        if task_id not in expected_cache:
+            view = coordinator.store.view(task.timestamp)
+            expected_cache[task_id] = cluster.app.compute(view, task).records
+        expected = expected_cache[task_id]
+        self.report.outputs_recomputed += 1
+        failure = classify_output(observed, expected)
+        if failure != OutputFailure.NONE:
+            self.report.add(
+                "output-failure",
+                op.pid,
+                -1.0,
+                f"task {task_id} committed output classifies as "
+                f"{failure!r} against A(s, t) recomputed at ts="
+                f"{task.timestamp} ({len(observed)} observed vs "
+                f"{len(expected)} expected records)",
+            )

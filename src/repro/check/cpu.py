@@ -1,0 +1,162 @@
+"""CPU-bank invariants: span geometry live, conservation post-run.
+
+A :class:`~repro.sim.cpu.CpuBank` emits one ``CpuSpan`` per nonzero-cost
+job and one ``CpuCancel`` when a pending job's unrun tail is reclaimed.
+This sink reconstructs per-core occupancy from those events and enforces:
+
+* **core-overlap** — spans on one core never overlap (a core runs one
+  job at a time; the M/G/c model is exact, not stochastic);
+* **core-range** — emitted core indices stay below the bank's ``cores``
+  (occupancy can never exceed the core count);
+* **cancel-unmatched** — every ``CpuCancel`` truncates exactly one
+  previously emitted span of the same (pid, bank, core, end);
+* **span-sum** — once a bank drains, ``busy_seconds`` equals the summed
+  durations of its (truncation-adjusted) spans: every charged
+  core-second appears in the trace exactly once, cancelled jobs
+  contributing only their consumed prefix;
+* **cpu-conservation** — the bank's own ledger balances:
+  ``busy_seconds == completed_seconds + cancelled_busy_seconds`` when no
+  job is outstanding.  This is the invariant that catches the historical
+  cancellation leak, where a cancelled job's full cost stayed charged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.obs.bus import Sink
+from repro.obs.events import CATEGORY_CPU, CpuCancel, CpuSpan, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.report import SanitizerReport
+    from repro.sim.cpu import CpuBank
+
+__all__ = ["CpuInvariantSink"]
+
+
+class CpuInvariantSink(Sink):
+    """Reconstructs per-core schedules from cpu trace events."""
+
+    categories = frozenset({CATEGORY_CPU})
+
+    def __init__(self, report: "SanitizerReport") -> None:
+        self.report = report
+        # (pid, bank) -> core -> [ [start, end], ... ] in emission order;
+        # entries are mutable so a CpuCancel can truncate its span
+        self._spans: dict[tuple[str, str], dict[int, list[list[float]]]] = {}
+        self.cancels_seen = 0
+
+    # ----------------------------------------------------------- live checks
+    def handle(self, event: TraceEvent) -> None:
+        if isinstance(event, CpuSpan):
+            self.report.spans_checked += 1
+            per_core = self._spans.setdefault((event.pid, event.bank), {})
+            spans = per_core.setdefault(event.core, [])
+            if spans and event.time < spans[-1][1]:
+                self.report.add(
+                    "core-overlap",
+                    event.pid,
+                    event.time,
+                    f"bank {event.bank!r} core {event.core} span starts at "
+                    f"{event.time!r} before previous span ends at "
+                    f"{spans[-1][1]!r}",
+                )
+            spans.append([event.time, event.end])
+        elif isinstance(event, CpuCancel):
+            self.cancels_seen += 1
+            spans = self._spans.get((event.pid, event.bank), {}).get(
+                event.core, []
+            )
+            # the cancelled job is the one whose span ends at the
+            # cancelled completion time; search back since it is recent.
+            # A queued job can be cancelled before its start (full
+            # reclaim), so the cancel time may precede the span.
+            for span in reversed(spans):
+                if span[1] == event.end:
+                    consumed_end = event.time if event.time < span[1] else span[1]
+                    span[1] = span[0] if consumed_end < span[0] else consumed_end
+                    break
+            else:
+                self.report.add(
+                    "cancel-unmatched",
+                    event.pid,
+                    event.time,
+                    f"bank {event.bank!r} core {event.core} cancel of span "
+                    f"ending {event.end!r} matches no emitted span",
+                )
+
+    # -------------------------------------------------------- post-run audit
+    def audit_bank(self, pid: str, bank: "CpuBank", drained: bool = True) -> None:
+        """Balance one bank's ledger against its reconstructed spans.
+
+        ``drained`` says whether the simulator ran out of events before
+        the audit.  A drained simulator cannot have pending jobs, so any
+        job neither completed nor cancelled is a leak; an undrained one
+        (deadline-bounded run) legitimately has jobs in flight, and the
+        ledger checks are skipped for banks that do.
+        """
+        report = self.report
+        report.banks_audited += 1
+        per_core = self._spans.get((pid, bank.name), {})
+        for core in per_core:
+            if not (0 <= core < bank.cores):
+                report.add(
+                    "core-range",
+                    pid,
+                    -1.0,
+                    f"bank {bank.name!r} emitted spans on core {core} but "
+                    f"has only {bank.cores} cores",
+                )
+        outstanding = bank.jobs_done - bank.jobs_completed - bank.jobs_cancelled
+        if outstanding < 0:
+            report.add(
+                "cpu-conservation",
+                pid,
+                -1.0,
+                f"bank {bank.name!r} completed+cancelled "
+                f"({bank.jobs_completed}+{bank.jobs_cancelled}) exceeds "
+                f"jobs submitted ({bank.jobs_done})",
+            )
+            return
+        if outstanding > 0:
+            if drained:
+                report.add(
+                    "cpu-conservation",
+                    pid,
+                    -1.0,
+                    f"bank {bank.name!r} has {outstanding} job(s) neither "
+                    f"completed nor cancelled after the simulator drained "
+                    f"(a cancellation bypassed the bank's rollback)",
+                )
+            # jobs still queued at audit time (deadline-bounded run):
+            # the ledger cannot balance yet, skip the drained-only checks
+            return
+        ledger = bank.completed_seconds + bank.cancelled_busy_seconds
+        if not math.isclose(
+            bank.busy_seconds, ledger, rel_tol=1e-9, abs_tol=1e-9
+        ):
+            report.add(
+                "cpu-conservation",
+                pid,
+                -1.0,
+                f"bank {bank.name!r} busy_seconds {bank.busy_seconds!r} != "
+                f"completed {bank.completed_seconds!r} + consumed-by-"
+                f"cancelled {bank.cancelled_busy_seconds!r} (a cancelled "
+                f"job's unrun tail stayed charged, or work went missing)",
+            )
+        span_sum = sum(
+            end - start
+            for spans in per_core.values()
+            for start, end in spans
+        )
+        if not math.isclose(
+            span_sum, bank.busy_seconds, rel_tol=1e-9, abs_tol=1e-9
+        ):
+            report.add(
+                "span-sum",
+                pid,
+                -1.0,
+                f"bank {bank.name!r} traced span seconds {span_sum!r} != "
+                f"busy_seconds {bank.busy_seconds!r}",
+            )

@@ -1,0 +1,203 @@
+"""Link-layer invariants, checked live from ``LinkTransfer`` events.
+
+The NIC model (:mod:`repro.net.links`) computes each delivery with a
+fixed recurrence over egress/ingress next-free times.  This sink
+replays the same recurrence from the emitted trace — same float
+operations, same order — so its egress shadow must reproduce the NIC
+state *bit for bit*; any divergence means the trace and the model
+disagree.  On top of the exact shadow it enforces three laws:
+
+* **full-duplex** — a message's delivery can never precede the end of
+  its egress serialization plus one ingress serialization (each side of
+  the full-duplex NIC must spend ``size/bandwidth`` on it);
+* **fifo-order** — per-(src,dst) delivery times are non-decreasing
+  (reliable FIFO links, paper Sec 3);
+* **delta-bound** — a message sent after GST is delivered no later than
+  a shadow recurrence in which every post-GST propagation latency is
+  replaced by Δ (and every pre-GST latency by the model's worst case,
+  amplified by the neq factor).  All operations are monotone, so the
+  shadow is a true upper bound and a single violation is a genuine
+  break of the Δ assumption — e.g. a neq premium that Δ does not cover.
+
+The post-run audit additionally cross-checks the neq-label conservation
+(``neq=True`` transfers must equal the sends performed on behalf of
+``neq_multicast``) and the :class:`~repro.net.links.ByteMeter` proration
+spec on deterministic probe windows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.obs.bus import Sink
+from repro.obs.events import CATEGORY_NET, LinkTransfer, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.report import SanitizerReport
+    from repro.net.links import ByteMeter, Network
+
+__all__ = ["LinkInvariantSink"]
+
+
+def _reference_mean_rate(
+    bins: dict[int, int], bin_seconds: float, start: float, end: float
+) -> float:
+    """The proration spec, written independently of the implementation:
+    every populated bin contributes its bytes scaled by the fraction of
+    the bin the window covers."""
+    total = 0.0
+    for idx, count in bins.items():
+        b0 = idx * bin_seconds
+        overlap = min(end, b0 + bin_seconds) - max(start, b0)
+        if overlap > 0:
+            total += count * (overlap / bin_seconds)
+    return total / (end - start)
+
+
+class LinkInvariantSink(Sink):
+    """Checks every :class:`~repro.obs.events.LinkTransfer` against the
+    NIC recurrence; see the module docstring for the invariants."""
+
+    categories = frozenset({CATEGORY_NET})
+
+    def __init__(self, net: "Network", report: "SanitizerReport") -> None:
+        self.net = net
+        self.report = report
+        # exact egress shadow: src -> egress next-free
+        self._egress: dict[str, float] = {}
+        # Δ-shadow state: dst -> ingress next-free upper bound,
+        # (src, dst) -> fifo tail (actual and upper bound)
+        self._ingress_ub: dict[str, float] = {}
+        self._fifo: dict[tuple[str, str], float] = {}
+        self._fifo_ub: dict[tuple[str, str], float] = {}
+        self.neq_labeled = 0
+
+    # ----------------------------------------------------------- live checks
+    def handle(self, event: TraceEvent) -> None:
+        if not isinstance(event, LinkTransfer):
+            return
+        report = self.report
+        report.transfers_checked += 1
+        net = self.net
+        src, dst = event.pid, event.dst
+        tx = event.nbytes / net.bandwidth
+
+        # exact egress reconstruction (same ops/order as Network.send)
+        eg_start = self._egress.get(src, 0.0)
+        if event.time > eg_start:
+            eg_start = event.time
+        eg_end = eg_start + tx
+        self._egress[src] = eg_end
+
+        if event.deliver_at < eg_end + tx:
+            report.add(
+                "full-duplex",
+                src,
+                event.time,
+                f"{src}->{dst} delivered at {event.deliver_at!r} before "
+                f"egress end {eg_end!r} + tx {tx!r}",
+            )
+
+        key = (src, dst)
+        last = self._fifo.get(key)
+        if last is not None and event.deliver_at < last:
+            report.add(
+                "fifo-order",
+                src,
+                event.time,
+                f"{src}->{dst} delivery {event.deliver_at!r} precedes "
+                f"earlier delivery {last!r}",
+            )
+        self._fifo[key] = event.deliver_at
+
+        # Δ-bound shadow: replace each latency by its guaranteed bound
+        syn = net.synchrony
+        post_gst = event.time >= syn.gst
+        if post_gst:
+            lat_max = syn.delta
+        else:
+            lat_max = syn.synchronous_bound(event.time)
+            if event.neq:
+                lat_max *= net.neq_latency_factor
+        arrive_ub = eg_end + lat_max
+        ing_ub = self._ingress_ub.get(dst, 0.0)
+        if arrive_ub > ing_ub:
+            ing_ub = arrive_ub
+        ing_end_ub = ing_ub + tx
+        self._ingress_ub[dst] = ing_end_ub
+        deliver_ub = self._fifo_ub.get(key, 0.0)
+        if ing_end_ub > deliver_ub:
+            deliver_ub = ing_end_ub
+        self._fifo_ub[key] = deliver_ub
+        if post_gst and event.deliver_at > deliver_ub:
+            report.add(
+                "delta-bound",
+                src,
+                event.time,
+                f"{src}->{dst} ({event.msg_type}, neq={event.neq}) "
+                f"delivered at {event.deliver_at!r} > Δ-implied bound "
+                f"{deliver_ub!r} (delta={syn.delta})",
+            )
+
+        if event.neq:
+            self.neq_labeled += 1
+
+    # -------------------------------------------------------- post-run audit
+    def audit(self) -> None:
+        """Compare trace-derived shadows against the live network state."""
+        net = self.net
+        report = self.report
+        for pid in net.pids:
+            nic = net.nic(pid)
+            shadow = self._egress.get(pid, 0.0)
+            if shadow != nic.egress_free:
+                report.add(
+                    "egress-shadow",
+                    pid,
+                    -1.0,
+                    f"trace-reconstructed egress_free {shadow!r} != NIC "
+                    f"state {nic.egress_free!r} (traced events do not "
+                    f"account for the NIC's occupancy)",
+                )
+            self._audit_meter(pid, "egress", nic.egress_meter)
+            self._audit_meter(pid, "ingress", nic.ingress_meter)
+        if self.neq_labeled != net.neq_sends:
+            report.add(
+                "neq-label",
+                "network",
+                -1.0,
+                f"{self.neq_labeled} transfers labeled neq=True but the "
+                f"network performed {net.neq_sends} neq sends (a plain "
+                f"send was mislabeled, or vice versa)",
+            )
+
+    def _audit_meter(self, pid: str, side: str, meter: "ByteMeter") -> None:
+        """Probe ``mean_rate`` on deterministic windows against the
+        proration spec; whole-bin summation fails the misaligned probes."""
+        bins = meter._bins
+        if not bins:
+            return
+        bs = meter.bin_seconds
+        lo, hi = min(bins), max(bins)
+        t0, t1 = lo * bs, (hi + 1) * bs
+        probes = [
+            (t0, t1),  # aligned, full coverage
+            (t0 + 0.25 * bs, t1),  # cuts the first (populated) bin
+            (t0, t1 - 0.25 * bs),  # cuts the last (populated) bin
+            (t0 + 0.25 * bs, t0 + 0.75 * bs),  # inside one bin
+        ]
+        for start, end in probes:
+            if end <= start:
+                continue
+            got = meter.mean_rate(start, end)
+            want = _reference_mean_rate(bins, bs, start, end)
+            if not math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9):
+                self.report.add(
+                    "meter-proration",
+                    pid,
+                    -1.0,
+                    f"{side} meter mean_rate({start!r}, {end!r}) = {got!r} "
+                    f"but the prorated spec gives {want!r}",
+                )
+                return  # one probe failure per meter is enough signal

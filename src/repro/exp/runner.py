@@ -62,6 +62,7 @@ __all__ = [
     "SweepOutcome",
     "build_workload",
     "execute_point",
+    "run_point",
     "run_sweep",
 ]
 
@@ -123,8 +124,16 @@ def _faults(registry: dict, specs, role: str) -> dict:
     return out
 
 
-def run_point(point: Point) -> ScenarioResult:
-    """Run one point on this process's DES; returns the live result."""
+def run_point(point: Point, sanitize: bool = False) -> ScenarioResult:
+    """Run one point on this process's DES; returns the live result.
+
+    ``sanitize=True`` attaches the :mod:`repro.check` substrate sanitizer
+    (observational only — the trace and every measured number stay
+    bit-identical) and reports violations in ``extra``.  It is a
+    per-invocation knob, deliberately NOT part of the point descriptor:
+    cached payloads are the same either way, and the fuzz driver calls
+    this directly, bypassing the cache.
+    """
     workload = build_workload(point)
     bandwidth = (
         point.bandwidth if point.bandwidth is not None else BENCH_BANDWIDTH
@@ -143,6 +152,7 @@ def run_point(point: Point) -> ScenarioResult:
             seed=point.seed,
             deadline=point.deadline,
             bandwidth=bandwidth,
+            sanitize=sanitize,
         )
     if point.system == "rcp":
         return run_rcp(
@@ -152,6 +162,7 @@ def run_point(point: Point) -> ScenarioResult:
             seed=point.seed,
             deadline=point.deadline,
             bandwidth=bandwidth,
+            sanitize=sanitize,
         )
     # osiris: start from the scenario runner's defaults, then overlay the
     # point's overrides (same base run_osiris builds when config is None)
@@ -180,6 +191,7 @@ def run_point(point: Point) -> ScenarioResult:
         deadline=point.deadline,
         config=OsirisConfig(**base),
         bandwidth=bandwidth,
+        sanitize=sanitize,
         **kwargs,
     )
 

@@ -58,12 +58,29 @@ class ByteMeter:
         ]
 
     def mean_rate(self, start: float, end: float) -> float:
-        """Average bytes/sec over [start, end)."""
+        """Average bytes/sec over [start, end).
+
+        Boundary bins are prorated by their overlap with the window: a bin
+        only partially covered contributes its per-second rate times the
+        covered duration, so windows that cut through a bin are not
+        overestimated (bytes within a bin are treated as uniformly spread).
+        """
         if end <= start:
             raise NetworkError("empty meter window")
-        lo = int(start // self.bin_seconds)
-        hi = int(math.ceil(end / self.bin_seconds))
-        total = sum(self._bins.get(i, 0) for i in range(lo, hi))
+        bs = self.bin_seconds
+        lo = int(start // bs)
+        hi = int(math.ceil(end / bs))
+        bins = self._bins
+        if hi - lo > len(bins):
+            items: Iterable[tuple[int, int]] = (
+                (i, c) for i, c in bins.items() if lo <= i < hi
+            )
+        else:
+            items = ((i, bins[i]) for i in range(lo, hi) if i in bins)
+        total = 0.0
+        for i, count in items:
+            overlap = min(end, (i + 1) * bs) - max(start, i * bs)
+            total += count * (overlap / bs)
         return total / (end - start)
 
 
@@ -109,6 +126,16 @@ class Network:
         self.synchrony = synchrony or SynchronyModel()
         self.bandwidth = bandwidth
         self.neq_latency_factor = neq_latency_factor
+        # Δ must bound what the *network* can actually produce after GST,
+        # which includes the neq amplification — otherwise Δ-derived
+        # timeouts falsely fire on correct neq senders (liveness).
+        worst = self.synchrony.post_gst_bound() * max(1.0, neq_latency_factor)
+        if self.synchrony.delta < worst:
+            raise NetworkError(
+                "delta must bound post-GST latency including the neq "
+                f"premium (delta={self.synchrony.delta}, worst neq "
+                f"latency={worst})"
+            )
         self._procs: dict[str, "SimProcess"] = {}
         self._nics: dict[str, Nic] = {}
         # pid → (deliver-callback, nic): one dict lookup on the send path
@@ -117,6 +144,9 @@ class Network:
         self._rng = sim.rng("network")
         self.messages_sent = 0
         self.neq_multicasts = 0
+        #: individual link sends performed on behalf of neq_multicast —
+        #: the sanitizer cross-checks this against neq-labeled transfers
+        self.neq_sends = 0
 
     # ------------------------------------------------------------- topology
     def register(self, proc: "SimProcess") -> None:
@@ -148,7 +178,7 @@ class Network:
         return list(self._procs)
 
     # ----------------------------------------------------------------- send
-    def send(self, src: str, dst: str, msg: Message) -> float:
+    def send(self, src: str, dst: str, msg: Message, neq: bool = False) -> float:
         """Send ``msg`` from ``src`` to ``dst``; returns the delivery time.
 
         Reliable FIFO: per-(src,dst) delivery order matches send order.
@@ -156,6 +186,12 @@ class Network:
         authentication); handlers receive the same object — the simulation
         trusts protocol code not to mutate received messages, which the
         test-suite enforces for the core protocols by checking digests.
+
+        ``neq`` marks this individual send as travelling the
+        non-equivocating channel (set by :meth:`neq_multicast`): the neq
+        latency premium applies and ``msg._neq`` is stamped at *delivery*
+        so the receiver sees the channel of this send — never a stale flag
+        left over from how the same object was sent earlier.
         """
         endpoints = self._endpoints
         src_entry = endpoints.get(src)
@@ -179,7 +215,7 @@ class Network:
         src_nic.egress_meter.add(egress_start, size)
 
         latency = self.synchrony.sample(now, self._rng)
-        if msg._neq:
+        if neq:
             latency *= self.neq_latency_factor
         arrive = src_nic.egress_free + latency
 
@@ -207,14 +243,17 @@ class Network:
                     nbytes=size,
                     msg_type=type(msg).__name__,
                     deliver_at=deliver_at,
-                    neq=bool(msg._neq),
+                    neq=neq,
                 )
             )
-        sim.post_at(deliver_at, deliver, msg)
+        sim.post_at(deliver_at, self._deliver, deliver, msg, neq)
         return deliver_at
 
-    def _latency_factor(self, msg: Message) -> float:
-        return self.neq_latency_factor if msg._neq else 1.0
+    @staticmethod
+    def _deliver(deliver, msg: Message, neq: bool) -> None:
+        if msg._neq is not neq:
+            msg._neq = neq  # type: ignore[attr-defined]
+        deliver(msg)
 
     # ------------------------------------------------------------ multicast
     def multicast(self, src: str, dsts: Iterable[str], msg: Message) -> None:
@@ -246,6 +285,6 @@ class Network:
         if not group:
             raise NetworkError("neq_multicast to empty group")
         self.neq_multicasts += 1
-        msg._neq = True  # type: ignore[attr-defined]
         for dst in group:
-            self.send(src, dst, msg)
+            self.send(src, dst, msg, neq=True)
+            self.neq_sends += 1

@@ -37,6 +37,10 @@ class SynchronyModel:
     delta:
         The known Δ bound used by processes to set timeouts.  Must be an
         upper bound on ``base_latency + jitter`` for liveness after GST.
+        :class:`~repro.net.links.Network` additionally validates the
+        *composed* bound ``neq_latency_factor * (base_latency + jitter)``
+        at construction, since the non-equivocating channel amplifies
+        propagation latency and Δ must cover it too.
     """
 
     base_latency: float = 37.5e-6
@@ -48,12 +52,16 @@ class SynchronyModel:
     def __post_init__(self) -> None:
         if self.base_latency < 0 or self.jitter < 0 or self.pre_gst_extra < 0:
             raise NetworkError("latencies must be non-negative")
-        if self.delta < self.base_latency + self.jitter:
+        if self.delta < self.post_gst_bound():
             raise NetworkError(
                 "delta must bound post-GST latency "
-                f"(delta={self.delta}, max latency="
-                f"{self.base_latency + self.jitter})"
+                f"(delta={self.delta}, max latency={self.post_gst_bound()})"
             )
+
+    def post_gst_bound(self) -> float:
+        """Worst-case post-GST propagation latency the model can produce,
+        before any channel amplification (e.g. the neq premium)."""
+        return self.base_latency + self.jitter
 
     def sample(self, now: float, rng: np.random.Generator) -> float:
         """One-way propagation delay for a message sent at ``now``."""
@@ -70,7 +78,7 @@ class SynchronyModel:
         Processes must not use this (they only know Δ); it exists for test
         assertions.
         """
-        lat = self.base_latency + self.jitter
+        lat = self.post_gst_bound()
         if now < self.gst:
             lat += self.pre_gst_extra
         return lat

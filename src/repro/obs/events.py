@@ -13,7 +13,7 @@ task       TaskSubmitted, TaskLinearized, TaskAssigned, TaskReassigned,
 chunk      ChunkEmitted, ChunkVerified, ChunkAccepted
 consensus  ConsensusCommit, ViewChange
 fault      FaultDetected, RoleSwitch, LeaderElection, EquivocationReported
-cpu        CpuSpan
+cpu        CpuSpan, CpuCancel
 net        LinkTransfer
 kernel     KernelEventFired
 replay     ReplayInput, ReplayEffect
@@ -58,6 +58,7 @@ __all__ = [
     "LeaderElection",
     "EquivocationReported",
     "CpuSpan",
+    "CpuCancel",
     "LinkTransfer",
     "KernelEventFired",
     "ReplayInput",
@@ -298,6 +299,20 @@ class CpuSpan(TraceEvent):
     bank: str
     core: int
     end: float
+
+
+@dataclass(frozen=True, slots=True)
+class CpuCancel(TraceEvent):
+    """A pending job was cancelled; its span's unrun tail (``reclaimed``
+    seconds before ``end``) was released back to the core."""
+
+    category: ClassVar[str] = CATEGORY_CPU
+    kind: ClassVar[str] = "cpu-cancel"
+
+    bank: str
+    core: int
+    end: float
+    reclaimed: float
 
 
 # ------------------------------------------------------------------- net

@@ -60,6 +60,8 @@ class OsirisCluster:
     verifiers: list[Verifier] = field(default_factory=list)
     coordinators: list[Coordinator] = field(default_factory=list)
     hosts: dict[str, DesHost] = field(default_factory=dict)
+    #: set when built with ``sanitize=True`` (a ``repro.check.Sanitizer``)
+    sanitizer: Optional[object] = None
 
     def start(self) -> None:
         """Begin streaming the workload."""
@@ -106,6 +108,7 @@ def build_osiris_cluster(
     output_faults: Optional[dict[str, OutputFault]] = None,
     sinks: Iterable = (),
     capture: Iterable[str] = (),
+    sanitize: bool = False,
 ) -> OsirisCluster:
     """Build and wire an OsirisBFT deployment.
 
@@ -131,6 +134,11 @@ def build_osiris_cluster(
         :class:`~repro.runtime.des.DesHost`); combine with a
         ``CATEGORY_REPLAY``-filtered sink in ``sinks`` to produce a
         standalone re-runnable log.
+    sanitize:
+        Attach the :mod:`repro.check` substrate sanitizer from birth.
+        Purely observational (the trace stays byte-identical); call
+        ``cluster.sanitizer.audit(cluster)`` after the run for the
+        post-run checks.
     """
     config = config or OsirisConfig()
     size = config.subcluster_size
@@ -165,6 +173,12 @@ def build_osiris_cluster(
     registry = KeyRegistry()
     metrics = MetricsHub()
     sim.bus.attach(metrics)
+    sanitizer = None
+    if sanitize:
+        from repro.check.sanitizer import Sanitizer  # lazy: optional layer
+
+        sanitizer = Sanitizer(net)
+        sanitizer.attach(sim.bus)
     for sink in sinks:
         sim.bus.attach(sink)
     executor_faults = executor_faults or {}
@@ -242,4 +256,5 @@ def build_osiris_cluster(
         verifiers=verifiers,
         coordinators=coordinators,
         hosts=hosts,
+        sanitizer=sanitizer,
     )

@@ -8,7 +8,13 @@ occupies it for the job's cost, and schedules the completion callback —
 i.e. an M/G/c queue evaluated exactly, not stochastically.
 
 Utilization accounting feeds the Sec 7.2 bottleneck-profiling bench
-(executor CPU usage of 93–95% for HL vs 79–84% for LH/MM).
+(executor CPU usage of 93–95% for HL vs 79–84% for LH/MM).  The
+accounting obeys a conservation law that the sanitizer
+(:mod:`repro.check`) audits after every sanitized run: once the bank is
+drained, ``busy_seconds == completed_seconds + cancelled_busy_seconds``
+— every charged core-second either ran to completion or was consumed by
+a job before its cancellation; the unrun remainder of cancelled jobs is
+rolled back at cancel time.
 """
 
 from __future__ import annotations
@@ -16,10 +22,42 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
-from repro.obs.events import CATEGORY_CPU, CpuSpan
+from repro.obs.events import CATEGORY_CPU, CpuCancel, CpuSpan
 from repro.sim.kernel import EventHandle, Simulator
 
-__all__ = ["CpuBank"]
+__all__ = ["CpuBank", "JobHandle"]
+
+
+class JobHandle(EventHandle):
+    """Completion handle of one submitted job.
+
+    ``time`` (inherited) is the completion time.  Cancelling a job that
+    has not completed releases its core: the unrun remainder is
+    un-charged from the bank's ``busy_seconds`` and, when the job is
+    still the last one queued on its core, the core's next-free time
+    rewinds so later submissions reuse the slot — a task reassigned away
+    from an executor must not keep blocking the core or inflating its
+    utilization.
+    """
+
+    __slots__ = ("bank", "core", "start", "cost")
+
+    def __init__(
+        self, time: float, bank: "CpuBank", core: int, start: float, cost: float
+    ) -> None:
+        super().__init__(time)
+        self.bank = bank
+        self.core = core
+        self.start = start
+        self.cost = cost
+
+    def cancel(self) -> None:
+        """Cancel the job, rolling back unrun occupancy.  Idempotent;
+        cancelling a completed job is a no-op."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.bank._rollback(self)
 
 
 class CpuBank:
@@ -50,7 +88,15 @@ class CpuBank:
         self.name = name
         self._free_at = [0.0] * cores
         self.busy_seconds = 0.0
+        #: core-seconds of jobs whose completion callback fired
+        self.completed_seconds = 0.0
+        #: core-seconds reclaimed from cancelled jobs (their unrun tail)
+        self.cancelled_seconds = 0.0
+        #: core-seconds cancelled jobs actually ran before cancellation
+        self.cancelled_busy_seconds = 0.0
         self._jobs_done = 0
+        self._jobs_completed = 0
+        self._jobs_cancelled = 0
 
     # ---------------------------------------------------------------- submit
     def submit(
@@ -58,13 +104,13 @@ class CpuBank:
         cost: float,
         on_done: Callable[..., None],
         *args: Any,
-    ) -> EventHandle:
+    ) -> JobHandle:
         """Run a job costing ``cost`` simulated seconds of one core.
 
         The job starts on the earliest-available core (possibly immediately)
         and ``on_done(*args)`` fires at completion.  Returns the completion
-        event handle so callers can cancel in-flight work (used when a task
-        is reassigned away from an executor).
+        :class:`JobHandle` so callers can cancel in-flight work (used when a
+        task is reassigned away from an executor).
         """
         if cost < 0:
             raise SimulationError(f"negative job cost {cost}")
@@ -88,7 +134,50 @@ class CpuBank:
                     time=start, pid=self.owner, bank=self.name, core=idx, end=end
                 )
             )
-        return self.sim.schedule_at(end, on_done, *args)
+        handle = JobHandle(end, self, idx, start, cost)
+        self.sim.schedule_at(end, self._complete, cost, on_done, *args, handle=handle)
+        return handle
+
+    def _complete(self, cost: float, on_done: Callable[..., None], *args: Any) -> None:
+        self.completed_seconds += cost
+        self._jobs_completed += 1
+        on_done(*args)
+
+    def _rollback(self, handle: JobHandle) -> None:
+        """Release the unrun remainder of a cancelled job (JobHandle.cancel).
+
+        A job cancelled before its start reclaims the full cost; one
+        cancelled mid-run keeps the consumed prefix charged.  The core's
+        next-free time rewinds only when the job is still the tail of its
+        core's queue — completions of jobs submitted after it are already
+        scheduled at fixed times, so their occupancy cannot shift.
+        """
+        now = self.sim.now
+        start, end, cost = handle.start, handle.time, handle.cost
+        consumed = 0.0
+        if now > start:
+            consumed = (now if now < end else end) - start
+        reclaimed = cost - consumed
+        self._jobs_cancelled += 1
+        self.cancelled_busy_seconds += consumed
+        if reclaimed <= 0.0:
+            return
+        self.busy_seconds -= reclaimed
+        self.cancelled_seconds += reclaimed
+        if self._free_at[handle.core] == end:
+            self._free_at[handle.core] = start + consumed
+        bus = self.sim.bus
+        if cost > 0 and bus.wants(CATEGORY_CPU):
+            bus.emit(
+                CpuCancel(
+                    time=now,
+                    pid=self.owner,
+                    bank=self.name,
+                    core=handle.core,
+                    end=end,
+                    reclaimed=reclaimed,
+                )
+            )
 
     # ------------------------------------------------------------ inspection
     def earliest_free(self) -> float:
@@ -117,3 +206,13 @@ class CpuBank:
     def jobs_done(self) -> int:
         """Number of jobs ever submitted to this bank."""
         return self._jobs_done
+
+    @property
+    def jobs_completed(self) -> int:
+        """Number of jobs whose completion callback fired."""
+        return self._jobs_completed
+
+    @property
+    def jobs_cancelled(self) -> int:
+        """Number of jobs cancelled before completion."""
+        return self._jobs_cancelled

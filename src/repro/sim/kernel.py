@@ -119,14 +119,25 @@ class Simulator:
         return self.schedule_at(self.now + delay, fn, *args)
 
     def schedule_at(
-        self, time: float, fn: Callable[..., None], *args: Any
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        handle: Optional[EventHandle] = None,
     ) -> EventHandle:
-        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        """Schedule ``fn(*args)`` at an absolute simulated time.
+
+        Callers that need a specialized handle (e.g. the CPU bank's
+        :class:`~repro.sim.cpu.JobHandle`, whose ``cancel`` rolls back
+        occupancy) pass a pre-built one via ``handle``; it must carry the
+        same ``time``.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} < now={self.now}"
             )
-        handle = EventHandle(time)
+        if handle is None:
+            handle = EventHandle(time)
         heapq.heappush(self._queue, (time, next(self._seq), handle, fn, args))
         return handle
 

@@ -1,0 +1,154 @@
+"""Each of the four substrate bugfixes in this change has a sanitizer
+invariant standing guard behind it.  These tests emulate the *pre-fix*
+behaviour (via the old code path, a stale flag, or a monkeypatched old
+implementation) and assert the sanitizer flags it — so reverting any of
+the fixes turns a silent modelling error into a red check."""
+
+import math
+from dataclasses import dataclass
+
+from repro.check.cpu import CpuInvariantSink
+from repro.check.links import LinkInvariantSink
+from repro.check.report import SanitizerReport
+from repro.net import Message, Network, SynchronyModel
+from repro.net.links import ByteMeter
+from repro.sim import Simulator, SimProcess
+from repro.sim.cpu import CpuBank
+from repro.sim.kernel import EventHandle
+
+
+@dataclass
+class Payload(Message):
+    value: int = 0
+
+
+class Receiver(SimProcess):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=1)
+        self.got = []
+
+    def on_Payload(self, msg):
+        self.got.append((msg.value, bool(getattr(msg, "_neq", False))))
+
+
+def linked(seed=2, synchrony=None, **net_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, synchrony=synchrony or SynchronyModel(), **net_kwargs)
+    report = SanitizerReport()
+    sink = LinkInvariantSink(net, report)
+    sim.bus.attach(sink)
+    procs = [Receiver(sim, f"p{i}") for i in range(3)]
+    for p in procs:
+        net.register(p)
+    return sim, net, sink, report
+
+
+class TestCancellationLeakRevert:
+    """Satellite 1: JobHandle.cancel must roll occupancy back.  The
+    pre-fix path cancelled the bare kernel event, leaving the job's full
+    cost charged and the core blocked."""
+
+    def test_bare_event_cancel_is_flagged_as_leak(self):
+        sim = Simulator(seed=0)
+        report = SanitizerReport()
+        sink = CpuInvariantSink(report)
+        sim.bus.attach(sink)
+        bank = CpuBank(sim, 1, owner="e0", name="app")
+        bank.submit(1.0, lambda: None)
+        handle = bank.submit(10.0, lambda: None)
+        # pre-fix behaviour: kill the completion event, skip the rollback
+        EventHandle.cancel(handle)
+        sim.run()
+        sink.audit_bank("e0", bank, drained=True)
+        assert "cpu-conservation" in report.invariants_hit()
+
+    def test_fixed_cancel_is_clean(self):
+        sim = Simulator(seed=0)
+        report = SanitizerReport()
+        sink = CpuInvariantSink(report)
+        sim.bus.attach(sink)
+        bank = CpuBank(sim, 1, owner="e0", name="app")
+        bank.submit(1.0, lambda: None)
+        bank.submit(10.0, lambda: None).cancel()
+        sim.run()
+        sink.audit_bank("e0", bank, drained=True)
+        assert report.ok, report.summary()
+
+
+class TestStickyNeqRevert:
+    """Satellite 2: the neq flag is a per-send channel property.  The
+    pre-fix code stamped ``msg._neq = True`` on the object, so reusing
+    it on a plain send kept the neq premium and label."""
+
+    def test_sticky_flag_resend_is_flagged(self):
+        sim, net, sink, report = linked()
+        msg = Payload(value=1)
+        net.neq_multicast("p0", ["p1"], msg)
+        sim.run()
+        # pre-fix behaviour: the plain-send path honours the stale flag
+        net.send("p0", "p2", msg, neq=bool(getattr(msg, "_neq", False)))
+        sim.run()
+        sink.audit()
+        assert "neq-label" in report.invariants_hit()
+
+    def test_fixed_resend_is_clean(self):
+        sim, net, sink, report = linked()
+        msg = Payload(value=1)
+        net.neq_multicast("p0", ["p1"], msg)
+        sim.run()
+        net.send("p0", "p2", msg)
+        sim.run()
+        sink.audit()
+        assert report.ok, report.summary()
+
+
+class TestMeterOvercountRevert:
+    """Satellite 3: ``ByteMeter.mean_rate`` prorates partially covered
+    bins.  The pre-fix implementation counted every touched bin whole,
+    overcounting misaligned windows — exactly what the audit probes."""
+
+    def test_whole_bin_mean_rate_is_flagged(self, monkeypatch):
+        def whole_bin(self, start, end):
+            if end <= start:
+                return 0.0
+            lo = int(start // self.bin_seconds)
+            hi = int(math.ceil(end / self.bin_seconds))
+            total = sum(c for i, c in self._bins.items() if lo <= i < hi)
+            return total / (end - start)
+
+        sim, net, sink, report = linked()
+        for v in range(10):
+            net.send("p0", "p1", Payload(value=v))
+        sim.run()
+        monkeypatch.setattr(ByteMeter, "mean_rate", whole_bin)
+        sink.audit()
+        assert "meter-proration" in report.invariants_hit()
+
+
+class TestDeltaValidationRevert:
+    """Satellite 4: the Network validates Δ against the *composed*
+    ``neq_latency_factor × (base + jitter)`` bound.  Without it, a legal
+    SynchronyModel plus a large premium silently breaks the post-GST
+    delivery guarantee every timeout in the system is derived from."""
+
+    def test_unvalidated_premium_breaks_the_delta_bound(self):
+        syn = SynchronyModel(base_latency=1e-3, jitter=0.0, delta=2e-3)
+        sim, net, sink, report = linked(
+            seed=4, synchrony=syn, neq_latency_factor=1.0
+        )
+        # pre-fix behaviour: the composed bound was never checked, so a
+        # config like this one could reach the send path
+        net.neq_latency_factor = 3.0
+        net.neq_multicast("p0", ["p1"], Payload(value=1))
+        sim.run()
+        assert "delta-bound" in report.invariants_hit()
+
+    def test_validated_premium_is_clean(self):
+        syn = SynchronyModel(base_latency=1e-3, jitter=0.0, delta=4e-3)
+        sim, net, sink, report = linked(
+            seed=4, synchrony=syn, neq_latency_factor=3.0
+        )
+        net.neq_multicast("p0", ["p1"], Payload(value=1))
+        sim.run()
+        sink.audit()
+        assert report.ok, report.summary()

@@ -1,0 +1,105 @@
+"""CPU invariant checks: span geometry, cancellation, the ledger."""
+
+from repro.check.cpu import CpuInvariantSink
+from repro.check.report import SanitizerReport
+from repro.obs.events import CpuCancel, CpuSpan
+from repro.sim import Simulator
+from repro.sim.cpu import CpuBank
+
+
+def make(cores=1, owner="e0"):
+    sim = Simulator(seed=0)
+    report = SanitizerReport()
+    sink = CpuInvariantSink(report)
+    sim.bus.attach(sink)
+    bank = CpuBank(sim, cores, owner=owner, name="app")
+    return sim, bank, sink, report
+
+
+def span(time, end, core=0, pid="e0", bank="app"):
+    return CpuSpan(time=time, pid=pid, bank=bank, core=core, end=end)
+
+
+class TestCleanRuns:
+    def test_sequential_jobs_pass(self):
+        sim, bank, sink, report = make()
+        done = []
+        for cost in (1.0, 2.0, 0.5):
+            bank.submit(cost, done.append, cost)
+        sim.run()
+        sink.audit_bank("e0", bank, drained=True)
+        assert report.ok, report.summary()
+        assert len(done) == 3
+        assert report.spans_checked == 3
+
+    def test_cancelled_jobs_still_balance(self):
+        sim, bank, sink, report = make()
+        done = []
+        bank.submit(1.0, done.append, "a")
+        handle = bank.submit(2.0, done.append, "b")
+        bank.submit(0.5, done.append, "c")
+        sim.schedule_at(0.25, handle.cancel)
+        sim.run()
+        sink.audit_bank("e0", bank, drained=True)
+        assert report.ok, report.summary()
+        assert done == ["a", "c"]
+        assert sink.cancels_seen == 1
+
+    def test_mid_flight_cancel_truncates_the_span(self):
+        sim, bank, sink, report = make()
+        handle = bank.submit(2.0, lambda: None)
+        sim.schedule_at(0.5, handle.cancel)
+        sim.run()
+        sink.audit_bank("e0", bank, drained=True)
+        assert report.ok, report.summary()
+        spans = sink._spans[("e0", "app")][0]
+        assert spans == [[0.0, 0.5]]
+
+    def test_multicore_bank_passes(self):
+        sim, bank, sink, report = make(cores=2)
+        for cost in (1.0, 1.0, 1.0, 1.0):
+            bank.submit(cost, lambda: None)
+        sim.run()
+        sink.audit_bank("e0", bank, drained=True)
+        assert report.ok, report.summary()
+
+
+class TestViolations:
+    def test_overlapping_spans_fire(self):
+        _, _, sink, report = make()
+        sink.handle(span(0.0, 2.0))
+        sink.handle(span(1.0, 3.0))
+        assert "core-overlap" in report.invariants_hit()
+
+    def test_unmatched_cancel_fires(self):
+        _, _, sink, report = make()
+        sink.handle(
+            CpuCancel(
+                time=1.0, pid="e0", bank="app", core=0, end=5.0, reclaimed=4.0
+            )
+        )
+        assert "cancel-unmatched" in report.invariants_hit()
+
+    def test_core_out_of_range_fires(self):
+        _, bank, sink, report = make(cores=1)
+        sink.handle(span(0.0, 1.0, core=3))
+        sink.audit_bank("e0", bank, drained=True)
+        assert "core-range" in report.invariants_hit()
+
+    def test_busy_seconds_drift_fires(self):
+        sim, bank, sink, report = make()
+        bank.submit(1.0, lambda: None)
+        sim.run()
+        bank.busy_seconds += 0.5  # corrupt the ledger
+        sink.audit_bank("e0", bank, drained=True)
+        hit = report.invariants_hit()
+        assert "cpu-conservation" in hit or "span-sum" in hit
+
+    def test_undrained_bank_skips_ledger_checks(self):
+        # a deadline-bounded run legitimately has jobs in flight
+        sim, bank, sink, report = make()
+        bank.submit(1.0, lambda: None)
+        bank.submit(5.0, lambda: None)
+        sim.run(until=1.5)
+        sink.audit_bank("e0", bank, drained=False)
+        assert report.ok, report.summary()

@@ -1,0 +1,103 @@
+"""Fuzz driver: deterministic generation, clean sweeps, greedy shrinking."""
+
+import random
+
+import repro.check.fuzz as fuzz_mod
+from repro.check.fuzz import generate_point, run_fuzz, shrink_point
+from repro.exp.spec import Point, kv
+
+
+class TestGeneration:
+    def test_same_seed_draws_same_points(self):
+        rng1, rng2 = random.Random(9), random.Random(9)
+        pts1 = [generate_point(rng1) for _ in range(25)]
+        pts2 = [generate_point(rng2) for _ in range(25)]
+        assert pts1 == pts2
+
+    def test_draws_are_structurally_valid(self):
+        rng = random.Random(13)
+        for _ in range(60):
+            p = generate_point(rng)
+            if p.system != "osiris":
+                assert not p.executor_faults and not p.verifier_faults
+                continue
+            n_exec = p.n - 3 * (p.k or 1)
+            assert n_exec >= 0
+            for pid, kind, _params in p.executor_faults:
+                assert int(pid[1:]) < n_exec
+            for pid, _kind, _params in p.verifier_faults:
+                # only non-coordinator verifiers may be faulty, which
+                # requires a second sub-cluster
+                assert (p.k or 1) >= 2 and int(pid[1:]) >= 3
+
+    def test_space_includes_faulty_and_clean_points(self):
+        rng = random.Random(1)
+        pts = [generate_point(rng) for _ in range(60)]
+        assert any(p.executor_faults for p in pts)
+        assert any(not p.executor_faults for p in pts)
+        assert any(p.system != "osiris" for p in pts)
+
+
+class TestSweep:
+    def test_small_budget_sweep_is_clean(self):
+        outcome = run_fuzz(budget=5, seed=11)
+        assert outcome.executed == 5
+        assert outcome.ok, [f.detail for f in outcome.failures]
+
+    def test_outcome_serializes(self):
+        outcome = run_fuzz(budget=2, seed=11)
+        d = outcome.to_dict()
+        assert d["executed"] == 2 and d["failures"] == []
+
+
+class TestShrink:
+    def test_greedy_shrink_minimizes_a_failing_point(self, monkeypatch):
+        def fake_check(point):
+            if point.executor_faults:
+                return ("violation", frozenset({"x"}), "detail")
+            return ("ok", frozenset(), "")
+
+        monkeypatch.setattr(fuzz_mod, "_check", fake_check)
+        point = Point(
+            system="osiris",
+            workload="synthetic",
+            workload_params=kv({"n_tasks": 12}),
+            n=8,
+            k=1,
+            seed=3,
+            config=kv({"suspect_timeout": 2.0}),
+            executor_faults=(
+                ("e0", "silent", kv({"activate_at": 0.0})),
+                ("e1", "slow", kv({"activate_at": 0.0})),
+            ),
+        )
+        shrunk, runs = shrink_point(point, frozenset({"x"}))
+        assert len(shrunk.executor_faults) == 1
+        assert shrunk.config == ()
+        assert dict(shrunk.workload_params)["n_tasks"] == 2
+        assert shrunk.n == 4
+        assert runs <= fuzz_mod.MAX_SHRINK_RUNS
+
+
+class TestCli:
+    def test_fuzz_subcommand_exits_zero_on_clean_sweep(self, capsys):
+        from repro.check.__main__ import main
+
+        assert main(["fuzz", "--budget", "2", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+
+    def test_point_subcommand_replays_a_descriptor(self, capsys):
+        import json
+
+        from repro.check.__main__ import main
+
+        point = Point(
+            system="osiris",
+            workload="synthetic",
+            workload_params=kv({"n_tasks": 3}),
+            n=4,
+            seed=1,
+        )
+        assert main(["point", json.dumps(point.to_dict())]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out

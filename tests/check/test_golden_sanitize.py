@@ -1,0 +1,48 @@
+"""The sanitizer is observational: enabling it must not perturb a single
+byte of the golden fig5 trace, while still checking the whole run."""
+
+import hashlib
+import io
+import json
+import pathlib
+
+from repro.bench import anomaly_bench, run_osiris
+from repro.obs import JsonlTraceSink
+
+FIXTURE = (
+    pathlib.Path(__file__).parent.parent
+    / "obs"
+    / "fixtures"
+    / "fig5_mm_n8.json"
+)
+
+
+class TestGoldenSanitize:
+    def test_sanitized_run_is_byte_identical_and_clean(self):
+        expected = json.loads(FIXTURE.read_text())
+        buf = io.StringIO()
+        result = run_osiris(
+            anomaly_bench(
+                "MM", n_tasks=expected["n_tasks"], seed=expected["seed"]
+            ),
+            n=8,
+            seed=expected["seed"],
+            sinks=[JsonlTraceSink(buf)],
+            sanitize=True,
+        )
+        text = buf.getvalue()
+        assert len(text.splitlines()) == expected["lines"]
+        assert (
+            hashlib.sha256(text.encode()).hexdigest() == expected["sha256"]
+        ), (
+            "sanitize=True perturbed the trace — the checkers must stay "
+            "purely observational"
+        )
+        report = result.extra["sanitizer_report"]
+        assert result.extra["sanitizer_violations"] == 0
+        assert report.ok, report.summary()
+        # and it actually looked at the run, not just waved it through
+        assert report.transfers_checked > 0
+        assert report.spans_checked > 0
+        assert report.banks_audited > 0
+        assert report.outputs_recomputed == expected["n_tasks"]

@@ -1,0 +1,128 @@
+"""Link-layer invariant checks: clean traffic passes, violations fire."""
+
+from dataclasses import dataclass
+
+from repro.check.links import LinkInvariantSink, _reference_mean_rate
+from repro.check.report import SanitizerReport
+from repro.net import Message, Network, SynchronyModel
+from repro.obs.events import LinkTransfer
+from repro.sim import Simulator, SimProcess
+
+
+@dataclass
+class Payload(Message):
+    value: int = 0
+
+
+class Receiver(SimProcess):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=1)
+        self.got = []
+
+    def on_Payload(self, msg):
+        self.got.append(msg.value)
+
+
+def make(n=3, seed=2, **syn):
+    sim = Simulator(seed=seed)
+    net = Network(sim, synchrony=SynchronyModel(**syn))
+    report = SanitizerReport()
+    sink = LinkInvariantSink(net, report)
+    sim.bus.attach(sink)
+    procs = [Receiver(sim, f"p{i}") for i in range(n)]
+    for p in procs:
+        net.register(p)
+    return sim, net, sink, report
+
+
+def transfer(src, dst, time, deliver_at, nbytes=1000, neq=False):
+    return LinkTransfer(
+        time=time,
+        pid=src,
+        dst=dst,
+        nbytes=nbytes,
+        msg_type="Payload",
+        deliver_at=deliver_at,
+        neq=neq,
+    )
+
+
+class TestCleanTraffic:
+    def test_real_network_traffic_has_no_violations(self):
+        sim, net, sink, report = make()
+        for v in range(20):
+            net.send("p0", f"p{1 + (v % 2)}", Payload(value=v))
+            if v % 3 == 0:
+                net.neq_multicast("p0", ["p1", "p2"], Payload(value=v))
+        sim.run()
+        sink.audit()
+        assert report.ok, report.summary()
+        assert report.transfers_checked > 20
+
+    def test_neq_labels_balance_the_counter(self):
+        sim, net, sink, report = make()
+        net.neq_multicast("p0", ["p1", "p2"], Payload(value=1))
+        sim.run()
+        sink.audit()
+        assert sink.neq_labeled == 2 == net.neq_sends
+        assert report.ok
+
+
+class TestViolations:
+    def test_full_duplex_violation_fires(self):
+        # a 1000-byte message needs 2*tx of serialization; delivery at
+        # send time + epsilon is physically impossible
+        _, net, sink, report = make()
+        tx = 1000 / net.bandwidth
+        sink.handle(transfer("p0", "p1", time=0.0, deliver_at=tx / 2))
+        assert "full-duplex" in report.invariants_hit()
+
+    def test_fifo_violation_fires(self):
+        _, net, sink, report = make()
+        sink.handle(transfer("p0", "p1", time=0.0, deliver_at=10.0))
+        sink.handle(transfer("p0", "p1", time=5.0, deliver_at=9.0))
+        assert "fifo-order" in report.invariants_hit()
+
+    def test_delta_bound_violation_fires(self):
+        # post-GST delivery later than the Δ-implied recurrence allows
+        _, net, sink, report = make(delta=2e-3)
+        tx = 1000 / net.bandwidth
+        late = 2 * tx + net.synchrony.delta + 1.0
+        sink.handle(transfer("p0", "p1", time=0.0, deliver_at=late))
+        assert "delta-bound" in report.invariants_hit()
+
+    def test_egress_shadow_mismatch_fires(self):
+        # traffic the sink never saw leaves the NIC ahead of the shadow
+        sim, net, sink, report = make()
+        sim.bus.detach(sink)
+        net.send("p0", "p1", Payload(value=1))
+        sim.run()
+        sim.bus.attach(sink)
+        sink.audit()
+        assert "egress-shadow" in report.invariants_hit()
+
+    def test_mislabeled_neq_send_fires(self):
+        # a send that takes the neq premium without going through the
+        # primitive (the sticky-flag bug's signature)
+        sim, net, sink, report = make()
+        net.neq_multicast("p0", ["p1"], Payload(value=1))
+        net.send("p0", "p2", Payload(value=2), neq=True)  # not counted
+        sim.run()
+        sink.audit()
+        assert "neq-label" in report.invariants_hit()
+
+
+class TestMeterAudit:
+    def test_reference_spec_prorates(self):
+        bins = {0: 100, 1: 200}
+        assert _reference_mean_rate(bins, 1.0, 0.0, 2.0) == 150.0
+        assert _reference_mean_rate(bins, 1.0, 0.5, 1.5) == 150.0
+        assert _reference_mean_rate(bins, 1.0, 0.25, 0.75) == 100.0
+
+    def test_meter_matching_spec_passes(self):
+        sim, net, sink, report = make()
+        for v in range(10):
+            net.send("p0", "p1", Payload(value=v))
+        sim.run()
+        sink.audit()
+        assert "meter-proration" not in report.invariants_hit()

@@ -54,7 +54,7 @@ class TestDelivery:
         assert procs[1].received[0][2] == "p2"
 
     def test_latency_applied(self):
-        sim, net, procs = make_net(jitter=0.0, base_latency=1e-3, delta=2e-3)
+        sim, net, procs = make_net(jitter=0.0, base_latency=1e-3, delta=4e-3)
         net.send("p0", "p1", Data(seq=1, nbytes=0))
         sim.run()
         t = procs[1].received[0][0]
@@ -161,12 +161,12 @@ class TestMulticast:
             net.neq_multicast("p0", [], Data())
 
     def test_neq_multicast_is_slower_than_plain_send(self):
-        sim1, net1, procs1 = make_net(jitter=0.0, base_latency=1e-3, delta=2e-3)
+        sim1, net1, procs1 = make_net(jitter=0.0, base_latency=1e-3, delta=4e-3)
         net1.send("p0", "p1", Data(seq=0))
         sim1.run()
         plain_t = procs1[1].received[0][0]
 
-        sim2, net2, procs2 = make_net(jitter=0.0, base_latency=1e-3, delta=2e-3)
+        sim2, net2, procs2 = make_net(jitter=0.0, base_latency=1e-3, delta=4e-3)
         net2.neq_multicast("p0", ["p1"], Data(seq=0))
         sim2.run()
         neq_t = procs2[1].received[0][0]
@@ -190,6 +190,38 @@ class TestByteMeter:
         meter.add(0.0, 100)
         meter.add(1.0, 300)
         assert meter.mean_rate(0.0, 2.0) == pytest.approx(200.0)
+
+    def test_mean_rate_prorates_boundary_bins(self):
+        """A window cutting through a bin must count only the covered
+        fraction of that bin, not the whole bin (regression: boundary
+        bandwidth was overestimated in the Fig 6 profiling bench)."""
+        from repro.net import ByteMeter
+
+        meter = ByteMeter(bin_seconds=1.0)
+        meter.add(0.5, 100)
+        # whole-bin summation would report 100 / 0.5 = 200.0
+        assert meter.mean_rate(0.0, 0.5) == pytest.approx(100.0)
+        meter.add(1.2, 200)
+        # [0.5, 1.5): half of bin 0 (50) + half of bin 1 (100)
+        assert meter.mean_rate(0.5, 1.5) == pytest.approx(150.0)
+        # full-coverage windows are unchanged
+        assert meter.mean_rate(0.0, 2.0) == pytest.approx(150.0)
+
+    def test_mean_rate_sparse_window(self):
+        """Huge windows with few populated bins take the sparse path and
+        agree with the dense computation."""
+        from repro.net import ByteMeter
+
+        meter = ByteMeter(bin_seconds=1.0)
+        meter.add(3.0, 100)
+        meter.add(1_000_000.25, 400)
+        assert meter.mean_rate(0.0, 2_000_000.0) == pytest.approx(
+            500 / 2_000_000.0
+        )
+        # sparse path still prorates the boundary bin
+        assert meter.mean_rate(0.0, 1_000_000.5) == pytest.approx(
+            (100 + 400 * 0.5) / 1_000_000.5
+        )
 
     def test_empty_window_rejected(self):
         from repro.net import ByteMeter
@@ -221,6 +253,25 @@ class TestPartialSynchrony:
     def test_delta_must_bound_latency(self):
         with pytest.raises(NetworkError):
             SynchronyModel(base_latency=1.0, jitter=0.0, delta=0.5)
+
+    def test_delta_must_bound_neq_amplified_latency(self):
+        """Liveness regression: Δ must cover the neq latency premium, or
+        Δ-derived timeouts falsely fire on correct neq senders.  The model
+        alone accepts delta=2e-3, but composed with the default 3× neq
+        factor the worst post-GST latency is 3e-3."""
+        syn = SynchronyModel(base_latency=1e-3, jitter=0.0, delta=2e-3)
+        with pytest.raises(NetworkError):
+            Network(Simulator(seed=1), synchrony=syn, neq_latency_factor=3.0)
+        # the same model is fine without the amplification
+        Network(Simulator(seed=1), synchrony=syn, neq_latency_factor=1.0)
+
+    def test_post_gst_neq_delivery_within_delta(self):
+        """With a validated configuration, a post-GST neq multicast is
+        delivered within Δ of its send."""
+        sim, net, procs = make_net(jitter=0.0, base_latency=1e-3, delta=4e-3)
+        net.neq_multicast("p0", ["p1"], Data(seq=0))
+        sim.run()
+        assert procs[1].received[0][0] <= 4e-3
 
     def test_negative_latency_rejected(self):
         with pytest.raises(NetworkError):

@@ -3,6 +3,7 @@ the 2f+1 bound rests on (Sec 3, [23])."""
 
 from dataclasses import dataclass
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -78,6 +79,51 @@ class TestChannelMarking:
         net.neq_multicast("p0", ["p1", "p2"], Payload(value=1))
         net.send("p0", "p1", Payload(value=2))
         assert net.neq_multicasts == 1
+        assert net.neq_sends == 2
+
+    def test_flag_is_per_send_not_sticky_neq_then_plain(self):
+        """Regression: neq_multicast used to mutate the shared message
+        object permanently, so a later plain send of the *same object* got
+        the neq latency premium and was delivered marked neq=True."""
+        sim, net, procs = make()
+        msg = Payload(value=5)
+        net.neq_multicast("p0", ["p1"], msg)
+        sim.run()
+        net.send("p0", "p2", msg)
+        sim.run()
+        assert procs[1].got == [(5, True)]
+        assert procs[2].got == [(5, False)]
+
+    def test_flag_is_per_send_not_sticky_plain_then_neq(self):
+        sim, net, procs = make()
+        msg = Payload(value=6)
+        net.send("p0", "p2", msg)
+        sim.run()
+        net.neq_multicast("p0", ["p1"], msg)
+        sim.run()
+        assert procs[2].got == [(6, False)]
+        assert procs[1].got == [(6, True)]
+
+    def test_reused_object_gets_plain_latency_after_neq(self):
+        """The latency premium must follow the send, not the object."""
+        latencies = {}
+        for reuse in (False, True):
+            sim = Simulator(seed=4)
+            net = Network(
+                sim,
+                synchrony=SynchronyModel(jitter=0.0, base_latency=1e-3, delta=4e-3),
+            )
+            a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+            for p in (a, b, c):
+                net.register(p)
+            msg = Payload(value=1)
+            net.neq_multicast("a", ["b"], msg)
+            sim.run()
+            start = sim.now
+            net.send("a", "c", msg if reuse else Payload(value=1))
+            sim.run()
+            latencies[reuse] = sim.now - start
+        assert latencies[True] == pytest.approx(latencies[False])
 
 
 class TestHeavyweight:
@@ -87,7 +133,7 @@ class TestHeavyweight:
             sim = Simulator(seed=3)
             net = Network(
                 sim,
-                synchrony=SynchronyModel(jitter=0.0, base_latency=1e-3, delta=2e-3),
+                synchrony=SynchronyModel(jitter=0.0, base_latency=1e-3, delta=6e-3),
                 neq_latency_factor=factor,
             )
             a, b = Sink(sim, "a"), Sink(sim, "b")

@@ -5,6 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
+from repro.obs.events import CATEGORY_CPU, CpuCancel
+from repro.obs.sinks import CollectorSink
 from repro.sim import CpuBank, Simulator
 
 
@@ -132,3 +134,131 @@ class TestAccounting:
         bank = CpuBank(sim, cores=1)
         bank.submit(4.0, lambda: None)
         assert bank.earliest_free() == pytest.approx(4.0)
+
+
+class TestCancellation:
+    """Cancelling a submitted job must roll back its unrun occupancy.
+
+    Regression for the leak where ``free_at`` and ``busy_seconds`` stayed
+    charged for the full cost of a cancelled job, so a task reassigned
+    away from an executor (the Fig 7 speculative-reassignment path) kept
+    blocking the core and inflating utilization.
+    """
+
+    def test_cancel_queued_job_frees_the_core(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        bank.submit(1.0, lambda: None)  # runs [0, 1)
+        h2 = bank.submit(1.0, lambda: done.append(("j2", sim.now)))  # queued [1, 2)
+        h2.cancel()
+        bank.submit(1.0, lambda: done.append(("j3", sim.now)))
+        sim.run()
+        # j3 reuses the slot the cancelled j2 held; without rollback it
+        # would have completed at 3.0
+        assert done == [("j3", 2.0)]
+        assert bank.busy_seconds == pytest.approx(2.0)
+
+    def test_cancel_before_start_reclaims_full_cost(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        bank.submit(1.0, lambda: None)
+        handle = bank.submit(5.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert bank.busy_seconds == pytest.approx(1.0)
+        assert bank.cancelled_seconds == pytest.approx(5.0)
+        assert bank.cancelled_busy_seconds == pytest.approx(0.0)
+
+    def test_cancel_mid_flight_keeps_consumed_prefix(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        handle = bank.submit(1.0, lambda: done.append(sim.now))
+        sim.schedule(0.4, handle.cancel)
+        sim.run()
+        assert done == []
+        # 0.4s of work actually happened on the core before cancellation
+        assert bank.busy_seconds == pytest.approx(0.4)
+        assert bank.cancelled_busy_seconds == pytest.approx(0.4)
+        assert bank.cancelled_seconds == pytest.approx(0.6)
+        # the core is free again at the cancel point
+        assert bank.earliest_free() == pytest.approx(0.4)
+
+    def test_reassigned_task_does_not_block_successor(self):
+        """Fig 7 shape: a long task is reassigned away mid-flight; the
+        executor's next task must start immediately, not after the
+        phantom completion of the cancelled one."""
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        handle = bank.submit(10.0, lambda: done.append(("old", sim.now)))
+
+        def reassign():
+            handle.cancel()
+            bank.submit(2.0, lambda: done.append(("new", sim.now)))
+
+        sim.schedule(0.5, reassign)
+        sim.run()
+        assert done == [("new", 2.5)]
+        assert bank.busy_seconds == pytest.approx(0.5 + 2.0)
+
+    def test_cancel_mid_queue_leaves_successors_in_place(self):
+        """Cancelling a job that is *not* the tail of its core's queue
+        cannot rewind ``free_at`` (later completions are already
+        scheduled), but still un-charges the unrun cost."""
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        done = []
+        bank.submit(1.0, lambda: None)  # [0, 1)
+        h2 = bank.submit(1.0, lambda: done.append(("j2", sim.now)))  # [1, 2)
+        bank.submit(1.0, lambda: done.append(("j3", sim.now)))  # [2, 3)
+        h2.cancel()
+        sim.run()
+        assert done == [("j3", 3.0)]
+        assert bank.busy_seconds == pytest.approx(2.0)
+
+    def test_cancel_after_completion_is_noop(self):
+        sim = Simulator()
+        bank = CpuBank(sim, cores=1)
+        handle = bank.submit(1.0, lambda: None)
+        sim.run()
+        before = (bank.busy_seconds, bank.cancelled_seconds, bank.jobs_cancelled)
+        handle.cancel()
+        handle.cancel()
+        assert (
+            bank.busy_seconds,
+            bank.cancelled_seconds,
+            bank.jobs_cancelled,
+        ) == before
+
+    def test_conservation_identity_after_drain(self):
+        """busy == completed + consumed-by-cancelled once the bank drains —
+        the invariant the repro.check sanitizer audits."""
+        sim = Simulator()
+        bank = CpuBank(sim, cores=2)
+        handles = [bank.submit(float(i + 1), lambda: None) for i in range(4)]
+        sim.schedule(1.5, handles[2].cancel)
+        sim.schedule(0.2, handles[3].cancel)
+        sim.run()
+        assert bank.busy_seconds == pytest.approx(
+            bank.completed_seconds + bank.cancelled_busy_seconds
+        )
+        assert bank.jobs_completed + bank.jobs_cancelled == bank.jobs_done
+
+    def test_cancel_emits_cpu_cancel_event(self):
+        sim = Simulator()
+        collector = CollectorSink(categories=frozenset({CATEGORY_CPU}))
+        sim.bus.attach(collector)
+        bank = CpuBank(sim, cores=1, owner="e0", name="app")
+        handle = bank.submit(2.0, lambda: None)
+        sim.schedule(0.5, handle.cancel)
+        sim.run()
+        cancels = collector.of(CpuCancel)
+        assert len(cancels) == 1
+        ev = cancels[0]
+        assert ev.pid == "e0"
+        assert ev.bank == "app"
+        assert ev.time == pytest.approx(0.5)
+        assert ev.end == pytest.approx(2.0)
+        assert ev.reclaimed == pytest.approx(1.5)
