@@ -1,0 +1,134 @@
+"""Attack matrix — every built-in adversary campaign against the MM
+anomaly deployment (n=8), sanitized.
+
+The acceptance bar is the paper's safety claim: under *every* modelled
+attack — coordinated executor corruption, mass equivocation, silent
+minorities, negligent verifier quorums, grey slowdowns with remission,
+adaptive turncoats, successive-leader coups — the substrate sanitizer
+and conservation audit must report **zero violations**.  Liveness may
+degrade (the coup campaign is over-budget by construction); safety may
+not.  Recovery metrics come from each campaign's recovery report.
+"""
+
+import pytest
+
+from repro import api
+from repro.adversary.library import (
+    coup,
+    fig7a,
+    mass_equivocation,
+    negligent_cluster,
+    silent_minority,
+    slow_then_recover,
+    turncoat,
+)
+from repro.bench import print_table
+
+FAIL_AT = 5.0
+DURATION = 40.0
+
+#: campaign name → factory retimed so the attack lands mid-stream
+CAMPAIGNS = {
+    "fig7a": lambda: fig7a(at=FAIL_AT),
+    "mass-equivocation": lambda: mass_equivocation(at=FAIL_AT),
+    "silent-minority": lambda: silent_minority(at=FAIL_AT),
+    "negligent-cluster": lambda: negligent_cluster(at=FAIL_AT),
+    "slow-then-recover": lambda: slow_then_recover(at=FAIL_AT, until=20.0),
+    "turncoat": lambda: turncoat(),  # adaptive: picks its own moment
+    "coup": lambda: coup(at=FAIL_AT),
+}
+
+
+def _run(campaign):
+    return api.run(
+        api.DeploymentSpec(
+            workload="anomaly",
+            workload_params=(
+                ("n_tasks", 240),
+                ("profile", "MM"),
+                ("rate", 8.0),
+            ),
+            n=8,
+            seed=0,
+            duration=DURATION,
+            config=(("suspect_timeout", 2.0),),
+            faults=campaign,
+            sanitize=True,
+            label=campaign.name,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix(scenario_cache):
+    return scenario_cache(
+        "attack-matrix",
+        lambda: {
+            name: _run(factory()) for name, factory in CAMPAIGNS.items()
+        },
+    )
+
+
+class TestAttackMatrix:
+    def test_attack_matrix(self, run_once, matrix):
+        results = run_once(lambda: matrix)
+
+        def fmt(value, unit=""):
+            return "-" if value is None else f"{value:.1f}{unit}"
+
+        rows = []
+        for name, r in results.items():
+            report = r.extra["recovery_report"]
+            rows.append(
+                (
+                    name,
+                    str(report.records_accepted),
+                    fmt(report.detection_latency, "s"),
+                    fmt(report.reassignment_latency, "s"),
+                    fmt(report.time_to_recover, "s"),
+                    "SAFE" if report.safe else "VIOLATED",
+                )
+            )
+        print_table(
+            "Attack matrix: built-in campaigns vs MM n=8 (sanitized)",
+            ["campaign", "records", "detect", "reassign", "recover", "safety"],
+            rows,
+        )
+        for name, r in results.items():
+            report = r.extra["recovery_report"]
+            # the safety claim, campaign by campaign
+            assert r.extra["sanitizer_violations"] == 0, name
+            assert report.safe is True, name
+            # the deployment kept accepting output under attack
+            assert report.records_accepted > 0, name
+
+    @pytest.mark.parametrize("name", ["fig7a", "mass-equivocation"])
+    def test_detection_within_budget(self, matrix, name):
+        """Campaigns whose output misbehaves: verifiers accuse within a
+        small multiple of the suspect timeout."""
+        report = matrix[name].extra["recovery_report"]
+        assert report.injected_at is not None
+        assert report.detections > 0, name
+        assert report.detection_latency < 10.0, name
+
+    @pytest.mark.parametrize("name", ["silent-minority", "slow-then-recover"])
+    def test_reassignment_within_budget(self, matrix, name):
+        """Omission-style campaigns surface as timeouts, not verifier
+        accusations: speculative reassignment must kick in promptly."""
+        report = matrix[name].extra["recovery_report"]
+        assert report.injected_at is not None
+        assert report.reassignments > 0, name
+        assert report.reassignment_latency < 5.0, name
+
+    def test_turncoat_trigger_fired(self, matrix):
+        """The adaptive campaign actually betrayed mid-run."""
+        report = matrix["turncoat"].extra["recovery_report"]
+        assert report.injected_at is not None
+        assert report.actions_applied >= 1
+
+    def test_silent_minority_recovers(self, matrix):
+        """Speculative reassignment restores goodput after silence."""
+        report = matrix["silent-minority"].extra["recovery_report"]
+        assert report.reassignments > 0
+        assert report.recovered
+        assert report.time_to_recover < 20.0

@@ -7,13 +7,20 @@ pre-failure level.  The verifier-leader variant (Sec 7.4 text) recovers
 to the *same* level since executors stay correct.  7b: throughput as
 the verifier fault-tolerance level f grows (OsirisBFT f=1..4 vs RCP
 f=1..2 on n=32).
+
+7a and the verifier variant are expressed as adversary *campaigns* run
+through :mod:`repro.api`: the fault schedule is declarative data, the
+robustness numbers (detection latency, goodput dip, recovery) come from
+the campaign's recovery report, and the sanitizer pins the safety
+verdict.
 """
 
 import pytest
 
-from repro.bench import print_figure, print_series, print_table, synthetic_bench
-from repro.core import OsirisConfig, build_osiris_cluster
-from repro.core.faults import CorruptRecordFault, NegligentLeaderFault
+from repro import api
+from repro.adversary import Action, Campaign, FaultSpec, Phase
+from repro.adversary.library import fig7a
+from repro.bench import print_figure, print_series, print_table
 from repro.exp import Point, SweepSpec
 from repro.exp.spec import kv
 
@@ -21,66 +28,58 @@ SEED = 1
 FAIL_AT = 45.0
 DURATION = 120.0
 
+_STREAM_WP = kv(
+    {
+        "n_tasks": int(12.0 * (DURATION - 20.0)),
+        "records_per_task": 10,
+        "compute_cost": 250e-3,
+        "record_bytes": 4096,
+        "rate": 12.0,
+        "verify_cost_ratio": 0.15,
+    }
+)
 
-def _streaming_workload(rate=12.0, duration=DURATION - 20.0):
-    return synthetic_bench(
-        int(rate * duration),
-        records_per_task=10,
-        compute_cost=250e-3,
-        record_bytes=4096,
-        rate=rate,
-        verify_cost_ratio=0.15,
-    )
-
-
-def _config(**overrides):
-    defaults = dict(
-        chunk_bytes=1_000_000,
-        suspect_timeout=2.0,
-        cores_per_node=1,
-        role_switching=True,
-        role_switch_interval=0.5,
-        switch_patience=2,
-        switch_cooldown=3,
-    )
-    defaults.update(overrides)
-    return OsirisConfig(**defaults)
+_FAILURE_CONFIG = kv(
+    {
+        "chunk_bytes": 1_000_000,
+        "suspect_timeout": 2.0,
+        "cores_per_node": 1,
+        "role_switching": True,
+        "role_switch_interval": 0.5,
+        "switch_patience": 2,
+        "switch_cooldown": 3,
+    }
+)
 
 
-def _run_with_faults(executor_faults=None, verifier_faults=None, n=14, k=3):
-    wl = _streaming_workload()
-    cluster = build_osiris_cluster(
-        wl.app,
-        workload=wl.stream,
-        n_workers=n,
-        k=k,
+def _spec(campaign, label):
+    return api.DeploymentSpec(
+        workload="synthetic",
+        workload_params=_STREAM_WP,
+        n=14,
+        k=3,
         seed=SEED,
-        config=_config(),
+        duration=DURATION,
         bandwidth=60e6,
-        executor_faults=executor_faults or {},
-        verifier_faults=verifier_faults or {},
+        config=_FAILURE_CONFIG,
+        faults=campaign,
+        sanitize=True,
+        label=label,
     )
-    cluster.start()
-    cluster.run(until=DURATION)
-    return cluster
 
 
 class TestFig7aExecutorFailures:
     @pytest.fixture(scope="class")
-    def cluster(self, scenario_cache):
+    def result(self, scenario_cache):
         return scenario_cache(
-            "fig7a",
-            lambda: _run_with_faults(
-                executor_faults={
-                    f"e{i}": CorruptRecordFault(activate_at=FAIL_AT)
-                    for i in range(5)
-                }
-            ),
+            "fig7a", lambda: api.run(_spec(fig7a(at=FAIL_AT), "fig7a"))
         )
 
-    def test_fig7a_executor_failures(self, run_once, cluster):
-        c = run_once(lambda: cluster)
+    def test_fig7a_executor_failures(self, run_once, result):
+        r = run_once(lambda: result)
+        c = r.extra["cluster"]
         m = c.metrics
+        report = r.extra["recovery_report"]
         print_series(
             "Fig 7a: throughput trace, all executors fail at t=45s",
             m.throughput_series(),
@@ -91,58 +90,87 @@ class TestFig7aExecutorFailures:
         after = m.throughput(FAIL_AT + 15.0, DURATION - 10.0)
         print_table(
             "Fig 7a summary",
-            ["window", "records/sec"],
+            ["window", "value"],
             [
-                ("before failure", f"{before:.0f}"),
-                ("during detection", f"{dip:.0f}"),
-                ("after recovery", f"{after:.0f}"),
+                ("before failure (rec/s)", f"{before:.0f}"),
+                ("during detection (rec/s)", f"{dip:.0f}"),
+                ("after recovery (rec/s)", f"{after:.0f}"),
+                ("detection latency (s)", f"{report.detection_latency:.2f}"),
+                ("goodput dip depth", f"{report.dip_depth:.2f}"),
+                ("safety verdict", "SAFE" if report.safe else "VIOLATED"),
             ],
         )
+        # the campaign fired exactly when declared, on every executor
+        assert report.injected_at == FAIL_AT
+        assert report.actions_applied == len(c.executors)
         # failures detected quickly, all executors blacklisted
-        assert len(m.faults_detected) >= 5
+        assert report.detections >= 5
+        assert report.detection_latency < 10.0
         assert all(
-            f"e{i}" in c.coordinators[0].blacklist for i in range(5)
+            e.pid in c.coordinators[0].blacklist for e in c.executors
         )
         # throughput does not drop to zero (role-switched verifiers) and
         # recovers to a meaningful fraction of the pre-failure level
         assert after > 0.25 * before, (before, after)
-        # no corrupt record was ever accepted
+        # no corrupt record was ever accepted: sanitizer-verified
+        assert report.safe is True
         assert m.records_accepted == m.tasks_completed * 10
 
-    def test_fig7a_detection_is_fast(self, cluster):
-        m = cluster.metrics
+    def test_fig7a_detection_is_fast(self, result):
+        m = result.extra["cluster"].metrics
         first_detection = min(t for t, _, _ in m.faults_detected)
         assert FAIL_AT <= first_detection <= FAIL_AT + 10.0
 
 
 class TestFig7VerifierFailures:
+    CAMPAIGN = Campaign(
+        name="fig7-verifier-leaders",
+        note="worker sub-cluster leaders turn negligent at t=45s",
+        phases=(
+            Phase(
+                at=FAIL_AT,
+                name="negligence",
+                actions=tuple(
+                    Action(
+                        op="set",
+                        select=pid,
+                        fault=FaultSpec(
+                            role="verifier", kind="negligent-leader"
+                        ),
+                    )
+                    # leaders of the two worker sub-clusters (cluster 0
+                    # is the coordinator cluster)
+                    for pid in ("v3", "v6")
+                ),
+            ),
+        ),
+    )
+
     def test_fig7_verifier_failures(self, run_once, scenario_cache):
         """Negligent sub-cluster leaders: elections replace them and
         throughput recovers fully (executors were never wrong)."""
-
-        def build():
-            return _run_with_faults(
-                verifier_faults={
-                    # leaders of the two worker sub-clusters turn
-                    # negligent mid-run
-                    "v3": NegligentLeaderFault(activate_at=FAIL_AT),
-                    "v6": NegligentLeaderFault(activate_at=FAIL_AT),
-                }
+        r = run_once(
+            lambda: scenario_cache(
+                "fig7v",
+                lambda: api.run(_spec(self.CAMPAIGN, "fig7v")),
             )
-
-        c = run_once(lambda: scenario_cache("fig7v", build))
+        )
+        c = r.extra["cluster"]
         m = c.metrics
+        report = r.extra["recovery_report"]
         before = m.throughput(20.0, FAIL_AT)
         after = m.throughput(FAIL_AT + 20.0, DURATION - 10.0)
         print_table(
             "Sec 7.4 verifier-leader failures",
-            ["window", "records/sec"],
+            ["window", "value"],
             [
-                ("before", f"{before:.0f}"),
-                ("after recovery", f"{after:.0f}"),
+                ("before (rec/s)", f"{before:.0f}"),
+                ("after recovery (rec/s)", f"{after:.0f}"),
                 ("elections", str(len(m.leader_elections))),
+                ("safety verdict", "SAFE" if report.safe else "VIOLATED"),
             ],
         )
+        assert report.injected_at == FAIL_AT
         assert len(m.leader_elections) >= 1
         # recovery to the same level (tolerant band): executors correct
         assert after >= 0.6 * before
@@ -150,6 +178,7 @@ class TestFig7VerifierFailures:
         assert not any(
             pid.startswith("e") for pid in c.coordinators[0].blacklist
         )
+        assert report.safe is True
 
 
 _FIG7B_WP = kv(

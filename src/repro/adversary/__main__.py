@@ -1,0 +1,246 @@
+"""CLI: ``python -m repro.adversary {list,show,run,matrix}``.
+
+Subcommands
+-----------
+``list``
+    The built-in campaign library with one-line descriptions.
+``show``
+    Print a campaign (built-in name or JSON file) in its canonical
+    serialized form — pipe to a file, edit, feed back to ``run``.
+``run``
+    Deploy one campaign against an OsirisBFT cluster (sanitized by
+    default) and print the scenario row plus the recovery report.
+    Exits 1 on sanitizer violations.
+``matrix``
+    The attack matrix: every selected campaign against the same
+    deployment, one table row each.  Exits 1 if any campaign violates
+    safety — this is the CI smoke job.
+
+All runs go through :class:`repro.api.DeploymentSpec`, same as the
+benchmarks, the sweep engine and the fuzz driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from pathlib import Path
+
+from repro.adversary.campaign import Campaign
+from repro.adversary.library import BUILTIN
+from repro.errors import ReproError
+
+
+def _load_campaign(
+    ref: str, at: float | None = None, lenient: bool = False
+) -> Campaign:
+    """Resolve a built-in name (optionally re-timed via ``at``) or a
+    JSON file path to a campaign.  ``lenient`` keeps the factory default
+    when it takes no ``at`` (the matrix re-times what it can)."""
+    factory = BUILTIN.get(ref)
+    if factory is not None:
+        if at is not None:
+            if "at" not in inspect.signature(factory).parameters:
+                if not lenient:
+                    raise ReproError(
+                        f"campaign {ref!r} does not take an --at override"
+                    )
+                return factory()
+            return factory(at=at)
+        return factory()
+    path = Path(ref)
+    if path.is_file():
+        return Campaign.from_json(path.read_text())
+    raise ReproError(
+        f"unknown campaign {ref!r}: not a built-in "
+        f"({', '.join(sorted(BUILTIN))}) and not a JSON file"
+    )
+
+
+def _config(pairs: list[str]) -> tuple:
+    """Parse repeated ``--config key=value`` overrides (JSON values,
+    bare strings accepted)."""
+    out = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise ReproError(f"--config expects key=value, got {pair!r}")
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw
+    return tuple(sorted(out.items()))
+
+
+def _spec(campaign: Campaign, args: argparse.Namespace, sanitize: bool):
+    from repro import api
+
+    return api.DeploymentSpec(
+        workload="anomaly",
+        workload_params=(
+            ("n_tasks", args.tasks),
+            ("profile", args.profile),
+            ("rate", args.rate),
+        ),
+        n=args.n,
+        k=getattr(args, "k", None),
+        seed=args.seed,
+        deadline=args.deadline,
+        duration=args.duration,
+        config=_config(args.config),
+        faults=campaign,
+        sanitize=sanitize,
+        label=campaign.name,
+    )
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in BUILTIN)
+    for name, factory in BUILTIN.items():
+        print(f"{name:<{width}}  {factory().note}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args.campaign, at=args.at)
+    print(json.dumps(campaign.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import api
+
+    campaign = _load_campaign(args.campaign, at=args.at)
+    result = api.run(_spec(campaign, args, sanitize=not args.no_sanitize))
+    print(result.row())
+    report = result.extra.get("recovery_report")
+    if report is not None:
+        print(report.summary())
+    return 1 if result.extra.get("sanitizer_violations", 0) else 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro import api
+
+    names = args.campaigns or sorted(BUILTIN)
+    header = (
+        f"{'campaign':<18} {'records':>8} {'detect':>8} {'reassign':>9} "
+        f"{'recover':>8} {'safety':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    ok = True
+
+    def fmt(x):
+        return "-" if x is None else f"{x:.2f}s"
+
+    for name in names:
+        campaign = _load_campaign(name, at=args.at, lenient=True)
+        result = api.run(_spec(campaign, args, sanitize=True))
+        report = result.extra["recovery_report"]
+        if not report.safe:
+            ok = False
+        print(
+            f"{name:<18} {report.records_accepted:>8} "
+            f"{fmt(report.detection_latency):>8} "
+            f"{fmt(report.reassignment_latency):>9} "
+            f"{fmt(report.time_to_recover):>8} "
+            f"{'SAFE' if report.safe else 'VIOLATED':>9}"
+        )
+    if not ok:
+        print("\nsafety violations detected", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def _deploy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=8, help="worker count")
+    parser.add_argument(
+        "--k", type=int, default=None, help="verifier sub-cluster count"
+    )
+    parser.add_argument(
+        "--profile", default="MM", help="anomaly workload profile"
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=60, help="workload task count"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=2000.0, help="task arrival rate (/s)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="DES seed")
+    parser.add_argument(
+        "--deadline", type=float, default=600.0, help="drain deadline (sim s)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="fixed-duration streaming instead of drain-to-completion",
+    )
+    parser.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="re-time built-in campaigns (first phase injection)",
+    )
+    parser.add_argument(
+        "--config",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="OsirisConfig override (repeatable), e.g. suspect_timeout=2.0",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.adversary",
+        description="Declarative Byzantine campaigns against OsirisBFT.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lst = sub.add_parser("list", help="built-in campaign library")
+    lst.set_defaults(fn=_cmd_list)
+
+    show = sub.add_parser("show", help="print a campaign's canonical JSON")
+    show.add_argument("campaign", help="built-in name or JSON file")
+    show.add_argument(
+        "--at", type=float, default=None, help="re-time a built-in campaign"
+    )
+    show.set_defaults(fn=_cmd_show)
+
+    run = sub.add_parser("run", help="run one campaign, print recovery")
+    run.add_argument("campaign", help="built-in name or JSON file")
+    _deploy_args(run)
+    run.add_argument(
+        "--no-sanitize",
+        action="store_true",
+        help="skip the substrate sanitizer (defaults to on)",
+    )
+    run.set_defaults(fn=_cmd_run)
+
+    matrix = sub.add_parser(
+        "matrix", help="attack matrix: campaigns x one deployment"
+    )
+    matrix.add_argument(
+        "campaigns",
+        nargs="*",
+        help="built-in names (default: the whole library)",
+    )
+    _deploy_args(matrix)
+    # fixed-duration streaming (campaigns that deliberately destroy
+    # liveness still finish and still get a safety verdict), with tasks
+    # arriving throughout the window so recovery is measurable
+    matrix.set_defaults(fn=_cmd_matrix, duration=40.0, tasks=240, rate=8.0)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

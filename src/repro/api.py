@@ -1,0 +1,577 @@
+"""Unified deployment façade: one frozen spec, one build path, one runner.
+
+Historically each entry point grew its own kwargs plumbing — the builder
+took three per-role fault dicts, every scenario runner re-declared
+``seed``/``deadline``/``sinks``/``sanitize``, and the sweep engine
+translated its points into those kwargs by hand.  This module replaces
+all of that with a single value type:
+
+* :class:`DeploymentSpec` — everything one run depends on (system,
+  workload, topology, config overrides, faults *or* an adversary
+  campaign, sinks, sanitizer), as one frozen dataclass.
+* :func:`build` — spec → wired :class:`~repro.runtime.deploy.OsirisCluster`
+  (campaign installed, sinks attached, not yet started).
+* :func:`run` — spec → measured
+  :class:`~repro.bench.scenarios.ScenarioResult`, for OsirisBFT and both
+  baselines.
+* :func:`normalize_faults` — the one helper that turns *any* accepted
+  fault argument (legacy pid→strategy mapping, per-role dicts, a
+  :class:`~repro.adversary.campaign.Campaign`, campaign JSON) into a
+  :class:`FaultPlan`.
+
+The legacy entry points (``run_osiris``/``run_zft``/``run_rcp`` and the
+builder's per-role fault dicts) remain as thin deprecation shims that
+construct a spec and call into here; behaviour is bit-identical (the
+golden-trace tests pin this).
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.adversary.campaign import Campaign
+from repro.bench.scenarios import BENCH_BANDWIDTH, ScenarioResult
+from repro.bench.workloads import WORKLOADS, BenchWorkload
+from repro.core.config import OsirisConfig
+from repro.core.faults import ExecutorFault, OutputFault, VerifierFault
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "DeploymentSpec",
+    "FaultPlan",
+    "normalize_faults",
+    "build",
+    "run",
+]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _kv(params: Mapping[str, Any] | Iterable | None) -> tuple[tuple[str, Any], ...]:
+    """Normalize a params mapping to a sorted, hashable kv-tuple of
+    JSON scalars (mirrors :func:`repro.exp.spec.kv`, redeclared here to
+    keep this module import-light)."""
+    if not params:
+        return ()
+    items = dict(params)
+    out = []
+    for key in sorted(items):
+        value = items[key]
+        if not isinstance(value, _SCALARS):
+            raise BenchmarkError(
+                f"spec param {key!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+        out.append((str(key), value))
+    return tuple(out)
+
+
+# -------------------------------------------------------------- fault plans
+@dataclass(frozen=True)
+class FaultPlan:
+    """Normalized fault configuration: per-role static strategy maps plus
+    an optional adversary campaign.  Produced by :func:`normalize_faults`;
+    everything downstream consumes this, never the raw argument."""
+
+    executors: tuple[tuple[str, ExecutorFault], ...] = ()
+    verifiers: tuple[tuple[str, VerifierFault], ...] = ()
+    outputs: tuple[tuple[str, OutputFault], ...] = ()
+    campaign: Optional[Campaign] = None
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.executors
+            and not self.verifiers
+            and not self.outputs
+            and self.campaign is None
+        )
+
+    def executor_map(self) -> dict[str, ExecutorFault]:
+        return dict(self.executors)
+
+    def verifier_map(self) -> dict[str, VerifierFault]:
+        return dict(self.verifiers)
+
+    def output_map(self) -> dict[str, OutputFault]:
+        return dict(self.outputs)
+
+
+def _route(mapping: Mapping[str, Any]) -> tuple[dict, dict, dict]:
+    """Split a legacy pid→strategy mapping by strategy role."""
+    executors: dict[str, ExecutorFault] = {}
+    verifiers: dict[str, VerifierFault] = {}
+    outputs: dict[str, OutputFault] = {}
+    for pid, strategy in mapping.items():
+        if isinstance(strategy, ExecutorFault):
+            executors[pid] = strategy
+        elif isinstance(strategy, VerifierFault):
+            verifiers[pid] = strategy
+        elif isinstance(strategy, OutputFault):
+            outputs[pid] = strategy
+        else:
+            raise BenchmarkError(
+                f"fault for {pid!r} must be an Executor/Verifier/Output "
+                f"fault strategy, got {type(strategy).__name__}"
+            )
+    return executors, verifiers, outputs
+
+
+def normalize_faults(
+    faults: Any = None,
+    *,
+    executors: Optional[Mapping[str, ExecutorFault]] = None,
+    verifiers: Optional[Mapping[str, VerifierFault]] = None,
+    outputs: Optional[Mapping[str, OutputFault]] = None,
+) -> FaultPlan:
+    """Turn any accepted fault argument into a :class:`FaultPlan`.
+
+    ``faults`` may be ``None``, an existing plan, a
+    :class:`~repro.adversary.campaign.Campaign` (or its canonical JSON
+    string), or the legacy pid→strategy mapping — strategies are routed
+    to their role by type.  The keyword role maps carry the builder's
+    legacy per-role dicts; on a pid collision they win over ``faults``.
+    """
+    campaign: Optional[Campaign] = None
+    f_exec: dict = {}
+    f_verif: dict = {}
+    f_out: dict = {}
+    if isinstance(faults, FaultPlan):
+        campaign = faults.campaign
+        f_exec = faults.executor_map()
+        f_verif = faults.verifier_map()
+        f_out = faults.output_map()
+    elif isinstance(faults, Campaign):
+        campaign = faults
+    elif isinstance(faults, str):
+        campaign = Campaign.from_json(faults)
+    elif isinstance(faults, Mapping):
+        f_exec, f_verif, f_out = _route(faults)
+    elif faults is not None:
+        raise BenchmarkError(
+            f"faults must be a mapping, Campaign, campaign JSON or "
+            f"FaultPlan, got {type(faults).__name__}"
+        )
+    f_exec.update(executors or {})
+    f_verif.update(verifiers or {})
+    f_out.update(outputs or {})
+    return FaultPlan(
+        executors=tuple(sorted(f_exec.items())),
+        verifiers=tuple(sorted(f_verif.items())),
+        outputs=tuple(sorted(f_out.items())),
+        campaign=campaign,
+    )
+
+
+# -------------------------------------------------------------------- spec
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One deployment + workload + adversary + instrumentation, frozen.
+
+    ``workload`` is either a live :class:`~repro.bench.workloads.BenchWorkload`
+    or a factory name from the workload registry (then ``workload_params``
+    are its kwargs — the fully-serializable form :mod:`repro.exp` points
+    use).  ``config`` holds :class:`~repro.core.config.OsirisConfig`
+    overrides as a kv-tuple; unset keys get the scenario defaults
+    (``chunk_bytes`` from the workload, ``suspect_timeout=60``, one core
+    per node).  ``faults`` accepts anything :func:`normalize_faults`
+    does and is normalized at construction.  ``duration`` switches from
+    drain-to-completion (with ``deadline`` enforcement) to a
+    fixed-duration streaming run — the Fig 7a shape.  ``sinks`` are live
+    bus sinks attached after build, before start; they (and live
+    workloads/strategies) are excluded from serialization.
+    """
+
+    workload: Any
+    n: int
+    system: str = "osiris"
+    workload_params: tuple[tuple[str, Any], ...] = ()
+    f: int = 1
+    k: Optional[int] = None
+    seed: int = 0
+    deadline: float = 600.0
+    duration: Optional[float] = None
+    bandwidth: Optional[float] = None
+    config: tuple[tuple[str, Any], ...] = ()
+    faults: Any = None
+    sinks: tuple = ()
+    capture: tuple[str, ...] = ()
+    sanitize: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.system not in ("osiris", "zft", "rcp"):
+            raise BenchmarkError(
+                f"unknown system {self.system!r}; "
+                f"expected 'osiris', 'zft' or 'rcp'"
+            )
+        if self.n < 1:
+            raise BenchmarkError(f"cluster size must be >=1, got {self.n}")
+        if self.duration is not None and self.duration <= 0:
+            raise BenchmarkError(
+                f"duration must be positive, got {self.duration}"
+            )
+        object.__setattr__(self, "workload_params", _kv(self.workload_params))
+        object.__setattr__(self, "config", _kv(self.config))
+        object.__setattr__(self, "faults", normalize_faults(self.faults))
+        object.__setattr__(self, "sinks", tuple(self.sinks))
+        object.__setattr__(self, "capture", tuple(self.capture))
+        if self.system != "osiris":
+            plan: FaultPlan = self.faults
+            if plan.executors or plan.verifiers or plan.outputs or plan.campaign:
+                raise BenchmarkError(
+                    f"faults/campaigns are OsirisBFT-only "
+                    f"(spec targets {self.system!r})"
+                )
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def campaign(self) -> Optional[Campaign]:
+        return self.faults.campaign
+
+    def with_(self, **changes) -> "DeploymentSpec":
+        return replace(self, **changes)
+
+    def resolve_workload(self) -> BenchWorkload:
+        """Instantiate the workload (registry lookup for named specs)."""
+        if isinstance(self.workload, BenchWorkload):
+            return self.workload
+        factory = WORKLOADS.get(self.workload)
+        if factory is None:
+            raise BenchmarkError(
+                f"unknown workload {self.workload!r}; "
+                f"registered: {sorted(WORKLOADS)}"
+            )
+        return factory(**dict(self.workload_params))
+
+    def descriptor(self) -> dict[str, Any]:
+        """Canonical JSON-able form.  Requires the fully-declarative
+        shape: a named workload and no live fault strategies (campaigns
+        serialize fine).  ``sinks``/``label`` are excluded."""
+        if not isinstance(self.workload, str):
+            raise BenchmarkError(
+                "only specs with a registry-named workload are serializable"
+            )
+        plan: FaultPlan = self.faults
+        if plan.executors or plan.verifiers or plan.outputs:
+            raise BenchmarkError(
+                "specs carrying live fault strategies are not serializable; "
+                "express the adversary as a Campaign"
+            )
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "workload_params": [list(p) for p in self.workload_params],
+            "n": self.n,
+            "f": self.f,
+            "k": self.k,
+            "seed": self.seed,
+            "deadline": self.deadline,
+            "duration": self.duration,
+            "bandwidth": self.bandwidth,
+            "config": [list(p) for p in self.config],
+            "campaign": plan.campaign.to_json() if plan.campaign else "",
+            "sanitize": self.sanitize,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "DeploymentSpec":
+        return cls(
+            workload=d["workload"],
+            n=d["n"],
+            system=d.get("system", "osiris"),
+            workload_params=tuple(
+                (k, v) for k, v in d.get("workload_params", ())
+            ),
+            f=d.get("f", 1),
+            k=d.get("k"),
+            seed=d.get("seed", 0),
+            deadline=d.get("deadline", 600.0),
+            duration=d.get("duration"),
+            bandwidth=d.get("bandwidth"),
+            config=tuple((k, v) for k, v in d.get("config", ())),
+            faults=d.get("campaign") or None,
+            sanitize=d.get("sanitize", False),
+            label=d.get("label", ""),
+        )
+
+
+# ------------------------------------------------------------------- build
+def _osiris_config(spec: DeploymentSpec, workload: BenchWorkload) -> OsirisConfig:
+    """Scenario-default config overlaid with the spec's overrides (the
+    long base timeout keeps graceful burst runs free of reassignment
+    churn; failure specs override it)."""
+    base = dict(
+        f=spec.f,
+        chunk_bytes=workload.chunk_bytes,
+        suspect_timeout=60.0,
+        cores_per_node=1,
+    )
+    base.update(dict(spec.config))
+    return OsirisConfig(**base)
+
+
+def build(spec: DeploymentSpec, **build_extra):
+    """Build (don't start) the OsirisBFT deployment a spec describes.
+
+    The campaign (if any) is installed — its phase timers scheduled, its
+    trigger sink and a :class:`~repro.adversary.recovery.RecoverySink`
+    attached — and the spec's sinks are attached last.  ``build_extra``
+    passes through to the low-level builder (``synchrony``, ``n_inputs``,
+    ``n_outputs``).
+    """
+    if spec.system != "osiris":
+        raise BenchmarkError(
+            f"build() wires OsirisBFT deployments only; use run() for "
+            f"{spec.system!r}"
+        )
+    from repro.runtime.deploy import build_osiris_cluster
+
+    workload = spec.resolve_workload()
+    cluster = build_osiris_cluster(
+        workload.app,
+        workload=workload.stream,
+        n_workers=spec.n,
+        k=spec.k,
+        seed=spec.seed,
+        config=_osiris_config(spec, workload),
+        bandwidth=(
+            spec.bandwidth if spec.bandwidth is not None else BENCH_BANDWIDTH
+        ),
+        faults=spec.faults,
+        capture=spec.capture,
+        sanitize=spec.sanitize,
+        **build_extra,
+    )
+    for sink in spec.sinks:
+        cluster.bus.attach(sink)
+    return cluster
+
+
+# --------------------------------------------------------------------- run
+def _drive(cluster, spec: DeploymentSpec, workload: BenchWorkload) -> None:
+    """Start and advance the deployment: fixed-duration streaming when
+    ``duration`` is set, drain-to-completion with deadline otherwise."""
+    cluster.start()
+    if spec.duration is not None:
+        cluster.sim.run(until=spec.duration)
+        return
+    _run_to_completion(cluster.sim, cluster.metrics, workload, spec.deadline)
+
+
+def _run_to_completion(sim, metrics, workload: BenchWorkload, deadline: float):
+    """Advance until every compute task completed (or the deadline)."""
+    target = workload.n_compute_tasks
+    step = 1.0
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + step, deadline))
+        if metrics.tasks_completed >= target and sim.drained():
+            return
+        if metrics.tasks_completed >= target:
+            return
+        if sim.drained():
+            return
+    if metrics.tasks_completed < target:
+        raise BenchmarkError(
+            f"scenario missed deadline: {metrics.tasks_completed}/{target} "
+            f"tasks by t={deadline}"
+        )
+
+
+def _finish(system, n, f, metrics, net, busy_fn, cores, extra=None):
+    if metrics.completion_times:
+        makespan = max(metrics.completion_times)
+        # tail-insensitive: heavy-tailed task costs must not let one
+        # straggler define a burst's capacity measurement
+        throughput = metrics.p90_throughput()
+        active = metrics.time_to_fraction(0.9)
+        op_bw = (
+            net.nic("op0").ingress_meter.mean_rate(0.0, active)
+            if active > 0
+            else 0.0
+        )
+    else:
+        makespan = 0.0
+        active = 0.0
+        throughput = 0.0
+        op_bw = 0.0
+    busy, n_exec = busy_fn()
+    window = active if active > 0 else makespan
+    util = (
+        busy / (window * cores * max(n_exec, 1)) if window > 0 else 0.0
+    )
+    return ScenarioResult(
+        system=system,
+        n=n,
+        f=f,
+        throughput=throughput,
+        records=metrics.records_accepted,
+        tasks_completed=metrics.tasks_completed,
+        makespan=makespan,
+        mean_latency=metrics.mean_latency(),
+        p99_latency=metrics.latency_percentile(99),
+        op_bandwidth=op_bw,
+        executor_utilization=min(1.0, util),
+        peak_throughput=metrics.peak_throughput(),
+        extra=extra or {},
+    )
+
+
+def _attach_sanitizer(cluster):
+    """Attach a substrate sanitizer to an already-built baseline cluster
+    (the osiris builder wires its own via ``sanitize=True``).  No link
+    or CPU events fire before ``cluster.start()``, so the shadows still
+    observe the run from birth."""
+    from repro.check.sanitizer import Sanitizer  # lazy: optional layer
+
+    sanitizer = Sanitizer(cluster.net)
+    sanitizer.attach(cluster.bus)
+    return sanitizer
+
+
+def _audit_sanitizer(sanitizer, extra: dict, cluster=None) -> None:
+    """Run the post-run sanitizer audit and fold it into ``extra``.
+
+    ``sanitizer_violations`` is a JSON scalar (survives ``to_dict``);
+    the live report rides along for in-process consumers."""
+    if sanitizer is None:
+        return
+    report = sanitizer.audit(cluster)
+    extra["sanitizer_violations"] = len(report.violations)
+    extra["sanitizer_report"] = report
+
+
+def _fold_recovery(cluster, extra: dict) -> None:
+    """Campaign runs: distil the RecoverySink into the result.  The live
+    :class:`~repro.adversary.recovery.RecoveryReport` rides in
+    ``extra["recovery_report"]``; its scalar fields are flattened under
+    ``recovery_*`` so they survive serialization (sweep cache, pools)."""
+    if cluster.recovery is None:
+        return
+    report = cluster.recovery.report(
+        campaign=cluster.campaign.campaign.name if cluster.campaign else "",
+        until=cluster.sim.now,
+        sanitizer_violations=extra.get("sanitizer_violations"),
+    )
+    extra["recovery_report"] = report
+    for key, value in report.to_dict().items():
+        if isinstance(value, _SCALARS) or isinstance(value, numbers.Real):
+            extra[f"recovery_{key}"] = value
+
+
+def _run_osiris(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
+    workload = spec.resolve_workload()
+    cluster = build(spec.with_(workload=workload), **build_extra)
+    _drive(cluster, spec, workload)
+
+    def busy():
+        execs = [e for e in cluster.executors]
+        verif = cluster.all_verifiers
+        busy_total = sum(e.cpu.busy_seconds for e in execs)
+        # role-switched verifiers execute too; count their engine work via
+        # cpu time (approximation: all their busy time)
+        switched = [v for v in verif if v.engine.tasks_executed > 0]
+        busy_total += sum(v.cpu.busy_seconds for v in switched)
+        return busy_total, len(execs) + len(switched)
+
+    extra = {
+        "reassignments": len(cluster.metrics.reassignments),
+        "role_switches": len(cluster.metrics.role_switches),
+        "faults_detected": len(cluster.metrics.faults_detected),
+        "cluster": cluster,
+    }
+    _audit_sanitizer(cluster.sanitizer, extra, cluster)
+    _fold_recovery(cluster, extra)
+    return _finish(
+        "OsirisBFT", spec.n, spec.f, cluster.metrics, cluster.net, busy,
+        cluster.config.cores_per_node, extra,
+    )
+
+
+def _baseline_cores(spec: DeploymentSpec) -> int:
+    cfg = dict(spec.config)
+    cores = cfg.pop("cores_per_node", 1)
+    if cfg:
+        raise BenchmarkError(
+            f"config overrides are OsirisBFT-only (baselines accept just "
+            f"cores_per_node); got {sorted(cfg)} for {spec.system!r}"
+        )
+    return cores
+
+
+def _run_baseline(spec: DeploymentSpec) -> ScenarioResult:
+    workload = spec.resolve_workload()
+    cores = _baseline_cores(spec)
+    bandwidth = (
+        spec.bandwidth if spec.bandwidth is not None else BENCH_BANDWIDTH
+    )
+    if spec.system == "zft":
+        from repro.baselines.zft import build_zft_cluster
+
+        cluster = build_zft_cluster(
+            workload.app,
+            workload=workload.stream,
+            n_workers=spec.n,
+            seed=spec.seed,
+            bandwidth=bandwidth,
+            chunk_bytes=workload.chunk_bytes,
+            cores_per_node=cores,
+        )
+        system, f = "ZFT", 0
+    else:
+        from repro.baselines.rcp import build_rcp_cluster
+
+        cluster = build_rcp_cluster(
+            workload.app,
+            workload=workload.stream,
+            n_workers=spec.n,
+            f=spec.f,
+            seed=spec.seed,
+            bandwidth=bandwidth,
+            chunk_bytes=workload.chunk_bytes,
+            cores_per_node=cores,
+        )
+        system, f = "RCP", spec.f
+    sanitizer = _attach_sanitizer(cluster) if spec.sanitize else None
+    for sink in spec.sinks:
+        cluster.bus.attach(sink)
+    _drive(cluster, spec, workload)
+
+    def busy():
+        return sum(w.cpu.busy_seconds for w in cluster.workers), len(
+            cluster.workers
+        )
+
+    extra = {"cluster": cluster}
+    _audit_sanitizer(sanitizer, extra)
+    return _finish(
+        system, spec.n, f, cluster.metrics, cluster.net, busy, cores, extra,
+    )
+
+
+def run(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
+    """Run the deployment a spec describes; returns the measured result.
+
+    This is the single execution path behind ``run_osiris``/``run_zft``/
+    ``run_rcp``, ``repro.exp.run_point``, the fuzz driver and the
+    adversary CLI.  Campaign runs additionally report recovery metrics
+    in ``result.extra`` (``recovery_*`` scalars plus the live
+    ``recovery_report``).
+    """
+    if spec.system == "osiris":
+        return _run_osiris(spec, **build_extra)
+    if build_extra:
+        raise BenchmarkError(
+            f"builder overrides are OsirisBFT-only, got {sorted(build_extra)}"
+        )
+    return _run_baseline(spec)
+
+
+def config_overrides(config: Optional[OsirisConfig]) -> tuple:
+    """Express a full config object as a spec ``config`` kv-tuple (the
+    deprecation shims use this to map legacy ``config=`` arguments)."""
+    if config is None:
+        return ()
+    return _kv(asdict(config))

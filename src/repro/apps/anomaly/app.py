@@ -122,6 +122,11 @@ class AnomalyApp(VerifiableApplication):
 
     # ------------------------------------------------- verification operators
     def is_valid(self, view: GraphView, record: Record, task: Task) -> bool:
+        if record.data is not None:
+            # A(s, t) records are match tuples with no payload; anything
+            # in ``data`` is not a member (r ∈ A(s, t) is on the whole
+            # record, or a corrupted-but-valid-key record slips through)
+            return False
         match = record.key
         if not isinstance(match, tuple) or not all(
             isinstance(x, int) for x in match

@@ -1,10 +1,11 @@
-"""Scenario runners: one deployment + workload → one measured result.
+"""Scenario result type plus deprecated per-system runner shims.
 
-Runners build a deployment (OsirisBFT / ZFT / RCP) on the DES, feed it a
-:class:`~repro.bench.workloads.BenchWorkload`, run until the workload
-drains (or a wall deadline in simulated seconds), and report the
-quantities the paper's figures plot: records/sec throughput, task
-latency, OP-link bandwidth, executor CPU utilization.
+The measurement engine lives in :mod:`repro.api` now: build a
+:class:`repro.api.DeploymentSpec` and call :func:`repro.api.run`.  The
+``run_osiris`` / ``run_zft`` / ``run_rcp`` entry points remain for one
+release as thin deprecation shims that translate their legacy kwargs
+into a spec — results are bit-identical (the golden-trace tests pin
+this).  :class:`ScenarioResult` and :data:`BENCH_BANDWIDTH` stay here.
 
 The harness scales the paper's testbed down uniformly: each worker has
 one aggregate app core, tasks cost ~0.1-1.0 simulated seconds, and the
@@ -16,15 +17,12 @@ nodes on a 100 Gbps fabric with its ~3.4 GB/s app-level ceiling
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.baselines.rcp import build_rcp_cluster
-from repro.baselines.zft import build_zft_cluster
 from repro.bench.workloads import BenchWorkload
-from repro.core.cluster import build_osiris_cluster
 from repro.core.config import OsirisConfig
-from repro.errors import BenchmarkError
 from repro.obs.bus import Sink
 
 __all__ = ["ScenarioResult", "run_osiris", "run_zft", "run_rcp", "BENCH_BANDWIDTH"]
@@ -107,67 +105,44 @@ class ScenarioResult:
         )
 
 
-def _finish(system, n, f, metrics, net, busy_fn, cores, extra=None):
-    if metrics.completion_times:
-        makespan = max(metrics.completion_times)
-        # tail-insensitive: heavy-tailed task costs must not let one
-        # straggler define a burst's capacity measurement
-        throughput = metrics.p90_throughput()
-        active = metrics.time_to_fraction(0.9)
-        op_bw = (
-            net.nic("op0").ingress_meter.mean_rate(0.0, active)
-            if active > 0
-            else 0.0
-        )
-    else:
-        makespan = 0.0
-        active = 0.0
-        throughput = 0.0
-        op_bw = 0.0
-    busy, n_exec = busy_fn()
-    window = active if active > 0 else makespan
-    util = (
-        busy / (window * cores * max(n_exec, 1)) if window > 0 else 0.0
+def _spec_kwargs(
+    n, f, k, seed, deadline, config, bandwidth, sinks, sanitize,
+    faults=None, build_kwargs=None,
+):
+    """Translate legacy runner kwargs into DeploymentSpec fields; returns
+    (spec_kwargs, leftover builder overrides)."""
+    from repro import api
+
+    build_kwargs = dict(build_kwargs or {})
+    faults = api.normalize_faults(
+        faults,
+        executors=build_kwargs.pop("executor_faults", None),
+        verifiers=build_kwargs.pop("verifier_faults", None),
+        outputs=build_kwargs.pop("output_faults", None),
     )
-    return ScenarioResult(
-        system=system,
+    spec = dict(
         n=n,
         f=f,
-        throughput=throughput,
-        records=metrics.records_accepted,
-        tasks_completed=metrics.tasks_completed,
-        makespan=makespan,
-        mean_latency=metrics.mean_latency(),
-        p99_latency=metrics.latency_percentile(99),
-        op_bandwidth=op_bw,
-        executor_utilization=min(1.0, util),
-        peak_throughput=metrics.peak_throughput(),
-        extra=extra or {},
+        k=k,
+        seed=seed,
+        deadline=deadline,
+        bandwidth=bandwidth,
+        config=api.config_overrides(config),
+        faults=faults,
+        sinks=tuple(sinks),
+        capture=tuple(build_kwargs.pop("capture", ())),
+        sanitize=sanitize,
     )
+    return spec, build_kwargs
 
 
-def _attach_sanitizer(cluster):
-    """Attach a substrate sanitizer to an already-built baseline cluster
-    (the osiris builder wires its own via ``sanitize=True``).  No link
-    or CPU events fire before ``cluster.start()``, so the shadows still
-    observe the run from birth."""
-    from repro.check.sanitizer import Sanitizer  # lazy: optional layer
-
-    sanitizer = Sanitizer(cluster.net)
-    sanitizer.attach(cluster.bus)
-    return sanitizer
-
-
-def _audit_sanitizer(sanitizer, extra: dict, cluster=None) -> None:
-    """Run the post-run sanitizer audit and fold it into ``extra``.
-
-    ``sanitizer_violations`` is a JSON scalar (survives ``to_dict``);
-    the live report rides along for in-process consumers."""
-    if sanitizer is None:
-        return
-    report = sanitizer.audit(cluster)
-    extra["sanitizer_violations"] = len(report.violations)
-    extra["sanitizer_report"] = report
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; build a repro.api.DeploymentSpec and "
+        f"call repro.api.run()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_osiris(
@@ -181,62 +156,25 @@ def run_osiris(
     bandwidth: float = BENCH_BANDWIDTH,
     sinks: Iterable[Sink] = (),
     sanitize: bool = False,
+    faults=None,
     **build_kwargs,
 ) -> ScenarioResult:
-    """Run OsirisBFT on ``n`` workers; returns the measured result.
+    """Deprecated shim: run OsirisBFT on ``n`` workers via
+    :func:`repro.api.run`.  ``faults`` accepts anything
+    :func:`repro.api.normalize_faults` does (legacy pid→strategy
+    mapping, a Campaign, campaign JSON); the per-role fault dicts keep
+    working through the same normalization."""
+    from repro import api
 
-    ``sinks`` are extra trace sinks attached to the deployment's event
-    bus before the workload starts (the MetricsHub is always attached).
-    ``sanitize=True`` attaches the :mod:`repro.check` substrate
-    sanitizer and reports ``sanitizer_violations`` (plus the live
-    ``sanitizer_report``) in ``extra``.
-    """
-    config = config or OsirisConfig(
-        f=f,
-        chunk_bytes=workload.chunk_bytes,
-        # long base timeout: burst workloads queue deeply at executors and
-        # graceful runs must not pay reassignment churn (the paper
-        # likewise calibrates timeouts up to 5 s against its task mix);
-        # failure benches pass their own config
-        suspect_timeout=60.0,
-        cores_per_node=1,
+    _deprecated("run_osiris")
+    spec_kwargs, build_extra = _spec_kwargs(
+        n, f, k, seed, deadline, config, bandwidth, sinks, sanitize,
+        faults, build_kwargs,
     )
-    cluster = build_osiris_cluster(
-        workload.app,
-        workload=workload.stream,
-        n_workers=n,
-        k=k,
-        seed=seed,
-        config=config,
-        bandwidth=bandwidth,
-        sanitize=sanitize,
-        **build_kwargs,
-    )
-    for sink in sinks:
-        cluster.bus.attach(sink)
-    cluster.start()
-    _run_to_completion(cluster.sim, cluster.metrics, workload, deadline)
-
-    def busy():
-        execs = [e for e in cluster.executors]
-        verif = cluster.all_verifiers
-        busy_total = sum(e.cpu.busy_seconds for e in execs)
-        # role-switched verifiers execute too; count their engine work via
-        # cpu time (approximation: all their busy time)
-        switched = [v for v in verif if v.engine.tasks_executed > 0]
-        busy_total += sum(v.cpu.busy_seconds for v in switched)
-        return busy_total, len(execs) + len(switched)
-
-    extra = {
-        "reassignments": len(cluster.metrics.reassignments),
-        "role_switches": len(cluster.metrics.role_switches),
-        "faults_detected": len(cluster.metrics.faults_detected),
-        "cluster": cluster,
-    }
-    _audit_sanitizer(cluster.sanitizer, extra, cluster)
-    return _finish(
-        "OsirisBFT", n, f, cluster.metrics, cluster.net, busy,
-        config.cores_per_node, extra,
+    # config=None historically meant "scenario defaults" — which is what
+    # an empty override tuple means to the spec, so both paths agree
+    return api.run(
+        api.DeploymentSpec(workload=workload, **spec_kwargs), **build_extra
     )
 
 
@@ -250,32 +188,22 @@ def run_zft(
     sinks: Iterable[Sink] = (),
     sanitize: bool = False,
 ) -> ScenarioResult:
-    """Run the ZFT baseline."""
-    cluster = build_zft_cluster(
-        workload.app,
-        workload=workload.stream,
-        n_workers=n,
-        seed=seed,
-        bandwidth=bandwidth,
-        chunk_bytes=workload.chunk_bytes,
-        cores_per_node=cores_per_node,
-    )
-    sanitizer = _attach_sanitizer(cluster) if sanitize else None
-    for sink in sinks:
-        cluster.bus.attach(sink)
-    cluster.start()
-    _run_to_completion(cluster.sim, cluster.metrics, workload, deadline)
+    """Deprecated shim: run the ZFT baseline via :func:`repro.api.run`."""
+    from repro import api
 
-    def busy():
-        return sum(w.cpu.busy_seconds for w in cluster.workers), len(
-            cluster.workers
+    _deprecated("run_zft")
+    return api.run(
+        api.DeploymentSpec(
+            workload=workload,
+            n=n,
+            system="zft",
+            seed=seed,
+            deadline=deadline,
+            bandwidth=bandwidth,
+            config=(("cores_per_node", cores_per_node),),
+            sinks=tuple(sinks),
+            sanitize=sanitize,
         )
-
-    extra = {"cluster": cluster}
-    _audit_sanitizer(sanitizer, extra)
-    return _finish(
-        "ZFT", n, 0, cluster.metrics, cluster.net, busy, cores_per_node,
-        extra,
     )
 
 
@@ -290,50 +218,21 @@ def run_rcp(
     sinks: Iterable[Sink] = (),
     sanitize: bool = False,
 ) -> ScenarioResult:
-    """Run the RCP baseline."""
-    cluster = build_rcp_cluster(
-        workload.app,
-        workload=workload.stream,
-        n_workers=n,
-        f=f,
-        seed=seed,
-        bandwidth=bandwidth,
-        chunk_bytes=workload.chunk_bytes,
-        cores_per_node=cores_per_node,
-    )
-    sanitizer = _attach_sanitizer(cluster) if sanitize else None
-    for sink in sinks:
-        cluster.bus.attach(sink)
-    cluster.start()
-    _run_to_completion(cluster.sim, cluster.metrics, workload, deadline)
+    """Deprecated shim: run the RCP baseline via :func:`repro.api.run`."""
+    from repro import api
 
-    def busy():
-        return sum(w.cpu.busy_seconds for w in cluster.workers), len(
-            cluster.workers
+    _deprecated("run_rcp")
+    return api.run(
+        api.DeploymentSpec(
+            workload=workload,
+            n=n,
+            system="rcp",
+            f=f,
+            seed=seed,
+            deadline=deadline,
+            bandwidth=bandwidth,
+            config=(("cores_per_node", cores_per_node),),
+            sinks=tuple(sinks),
+            sanitize=sanitize,
         )
-
-    extra = {"cluster": cluster}
-    _audit_sanitizer(sanitizer, extra)
-    return _finish(
-        "RCP", n, f, cluster.metrics, cluster.net, busy, cores_per_node,
-        extra,
     )
-
-
-def _run_to_completion(sim, metrics, workload: BenchWorkload, deadline: float):
-    """Advance until every compute task completed (or the deadline)."""
-    target = workload.n_compute_tasks
-    step = 1.0
-    while sim.now < deadline:
-        sim.run(until=min(sim.now + step, deadline))
-        if metrics.tasks_completed >= target and sim.drained():
-            return
-        if metrics.tasks_completed >= target:
-            return
-        if sim.drained():
-            return
-    if metrics.tasks_completed < target:
-        raise BenchmarkError(
-            f"scenario missed deadline: {metrics.tasks_completed}/{target} "
-            f"tasks by t={deadline}"
-        )

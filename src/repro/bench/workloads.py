@@ -37,6 +37,7 @@ __all__ = [
     "two_phase_bench",
     "update_only_bench",
     "ANOMALY_PROFILES",
+    "WORKLOADS",
 ]
 
 
@@ -232,3 +233,20 @@ def update_only_bench(n_updates: int, rate: float = 20_000.0) -> BenchWorkload:
         for i in range(n_updates)
     ]
     return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=0)
+
+
+def _anomaly_factory(profile: str, **params) -> BenchWorkload:
+    return anomaly_bench(profile, **params)
+
+
+#: Workload factories addressable by name — the registry behind
+#: :class:`repro.api.DeploymentSpec` and :class:`repro.exp.Point`
+#: (the anomaly factory takes the profile name under ``profile``).
+WORKLOADS = {
+    "anomaly": _anomaly_factory,
+    "planning": planning_bench,
+    "video": video_bench,
+    "synthetic": synthetic_bench,
+    "two_phase": two_phase_bench,
+    "update_only": update_only_bench,
+}

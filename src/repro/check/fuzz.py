@@ -23,11 +23,19 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
+from repro.adversary.campaign import Action, Campaign, FaultSpec, Phase, Trigger
 from repro.errors import BenchmarkError, ProtocolError
 from repro.exp.runner import run_point
 from repro.exp.spec import Point, kv
 
-__all__ = ["FuzzFailure", "FuzzOutcome", "generate_point", "run_fuzz", "shrink_point"]
+__all__ = [
+    "FuzzFailure",
+    "FuzzOutcome",
+    "generate_campaign",
+    "generate_point",
+    "run_fuzz",
+    "shrink_point",
+]
 
 #: Cap on extra runs spent shrinking one failing point.
 MAX_SHRINK_RUNS = 24
@@ -42,6 +50,86 @@ _EXEC_FAULT_KINDS = (
     "equivocate-chunks",
 )
 _VERIF_FAULT_KINDS = ("negligent-leader", "bogus-digest")
+
+#: Trigger kinds the random campaigns subscribe to.  ``task-assigned``
+#: carries an ``executor`` field, so its triggers can target the very
+#: process the event names (the adaptive "turncoat" shape).
+_TRIGGER_KINDS = ("chunk-accepted", "task-assigned")
+
+
+def generate_campaign(rng: random.Random, n_exec: int, k: int) -> Campaign:
+    """Draw one random-but-valid adversary campaign.
+
+    Phases target executor selectors (plus ``cluster:1`` verifiers when a
+    second sub-cluster exists); roughly a third of campaigns add an
+    adaptive trigger, and some add a remission (``clear``) phase — so the
+    fuzz sweep exercises the engine's set/clear/trigger paths, not just
+    deployment-time injection.
+    """
+
+    def exec_action() -> Action:
+        selector = rng.choice(
+            ["executors", f"executors[:{max(1, n_exec // 2)}]"]
+            + [f"e{i}" for i in range(n_exec)]
+        )
+        return Action(
+            op="set",
+            select=selector,
+            fault=FaultSpec(
+                role="executor", kind=rng.choice(_EXEC_FAULT_KINDS)
+            ),
+        )
+
+    phases = [
+        Phase(at=rng.choice((0.0, 0.5, 2.0, 5.0)), actions=(exec_action(),))
+    ]
+    if k >= 2 and rng.random() < 0.3:
+        phases.append(
+            Phase(
+                at=rng.choice((0.0, 1.0, 3.0)),
+                actions=(
+                    Action(
+                        op="set",
+                        select="cluster:1[:1]",
+                        fault=FaultSpec(
+                            role="verifier",
+                            kind=rng.choice(_VERIF_FAULT_KINDS),
+                        ),
+                    ),
+                ),
+            )
+        )
+    if rng.random() < 0.3:
+        phases.append(
+            Phase(
+                at=rng.choice((4.0, 8.0)),
+                name="remission",
+                actions=(Action(op="clear", select="executors"),),
+            )
+        )
+    triggers = ()
+    if rng.random() < 0.35:
+        on = rng.choice(_TRIGGER_KINDS)
+        select = "event:executor" if on == "task-assigned" else (
+            f"e{rng.randrange(n_exec)}"
+        )
+        triggers = (
+            Trigger(
+                on=on,
+                once=True,
+                after=rng.choice((0.0, 0.5)),
+                actions=(
+                    Action(
+                        op="set",
+                        select=select,
+                        fault=FaultSpec(
+                            role="executor", kind=rng.choice(_EXEC_FAULT_KINDS)
+                        ),
+                    ),
+                ),
+            ),
+        )
+    return Campaign(name="fuzz", phases=tuple(phases), triggers=triggers)
 
 
 # --------------------------------------------------------------- generation
@@ -119,6 +207,14 @@ def generate_point(rng: random.Random) -> Point:
             )
         )
 
+    # A quarter of osiris points carry a campaign instead of static
+    # faults — the engine's scheduling/trigger machinery fuzzes under the
+    # same invariants as deployment-time injection.
+    campaign = ""
+    if n_exec > 0 and rng.random() < 0.25:
+        executor_faults, verifier_faults = [], []
+        campaign = generate_campaign(rng, n_exec, k).to_json()
+
     return Point(
         system="osiris",
         workload=workload,
@@ -129,6 +225,7 @@ def generate_point(rng: random.Random) -> Point:
         config=kv(config),
         executor_faults=tuple(executor_faults),
         verifier_faults=tuple(verifier_faults),
+        campaign=campaign,
         label="fuzz",
     )
 
@@ -167,6 +264,23 @@ def _check(point: Point) -> tuple[str, frozenset[str], str]:
 # ---------------------------------------------------------------- shrinking
 def _candidates(point: Point):
     """Simpler variants of ``point``, most aggressive first."""
+    if point.campaign:
+        campaign = Campaign.from_json(point.campaign)
+        yield replace(point, campaign="")
+        if campaign.triggers:
+            for i in range(len(campaign.triggers)):
+                trimmed = replace(
+                    campaign,
+                    triggers=campaign.triggers[:i] + campaign.triggers[i + 1 :],
+                )
+                yield replace(point, campaign=trimmed.to_json())
+        if len(campaign.phases) > 1:
+            for i in range(len(campaign.phases)):
+                trimmed = replace(
+                    campaign,
+                    phases=campaign.phases[:i] + campaign.phases[i + 1 :],
+                )
+                yield replace(point, campaign=trimmed.to_json())
     for i in range(len(point.executor_faults)):
         faults = point.executor_faults[:i] + point.executor_faults[i + 1 :]
         yield replace(point, executor_faults=faults)
@@ -182,10 +296,17 @@ def _candidates(point: Point):
             point, workload_params=kv({**wp, "n_tasks": max(2, n_tasks // 2)})
         )
     if point.system == "osiris":
+        # n/k shrinks are skipped while a campaign remains: its selectors
+        # may name specific pids or sub-clusters that a smaller topology
+        # no longer has (the drop-campaign candidate unlocks them)
         floor = 3 * (point.k or 1) + (1 if point.executor_faults else 0)
-        if point.n > floor:
+        if point.n > floor and not point.campaign:
             yield replace(point, n=max(floor, point.n // 2))
-        if (point.k or 1) > 1 and not point.verifier_faults:
+        if (
+            (point.k or 1) > 1
+            and not point.verifier_faults
+            and not point.campaign
+        ):
             yield replace(point, k=1, n=min(point.n, 5))
     elif point.n > 3:
         yield replace(point, n=3)

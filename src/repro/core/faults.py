@@ -42,6 +42,11 @@ __all__ = [
     "SilentVerifierFault",
     "OutputFault",
     "SpuriousReportsFault",
+    "EXECUTOR_FAULTS",
+    "VERIFIER_FAULTS",
+    "OUTPUT_FAULTS",
+    "FAULT_REGISTRIES",
+    "make_fault",
 ]
 
 
@@ -262,3 +267,58 @@ class OutputFault:
 class SpuriousReportsFault(OutputFault):
     def __init__(self, activate_at: float = 0.0) -> None:
         super().__init__(activate_at=activate_at, spurious_reports=True)
+
+
+# -------------------------------------------------------------- registries
+#: Executor fault strategies addressable by name (exp points, campaigns,
+#: the fuzz driver and the adversary CLI all resolve kinds here).
+EXECUTOR_FAULTS: dict[str, type] = {
+    "silent": SilentFault,
+    "slow": SlowFault,
+    "corrupt-record": CorruptRecordFault,
+    "fabricate-record": FabricateRecordFault,
+    "duplicate-record": DuplicateRecordFault,
+    "omit-record": OmitRecordFault,
+    "truncate-output": TruncateOutputFault,
+    "reorder-records": ReorderRecordsFault,
+    "duplicate-final-chunk": DuplicateFinalChunkFault,
+    "early-final": EarlyFinalFault,
+    "equivocate-chunks": EquivocateChunksFault,
+}
+
+#: Verifier fault strategies addressable by name.
+VERIFIER_FAULTS: dict[str, type] = {
+    "negligent-leader": NegligentLeaderFault,
+    "bogus-digest": BogusDigestFault,
+    "false-accusation": FalseAccusationFault,
+    "silent-verifier": SilentVerifierFault,
+}
+
+#: OP fault strategies addressable by name.
+OUTPUT_FAULTS: dict[str, type] = {
+    "spurious-reports": SpuriousReportsFault,
+}
+
+#: Role name → registry, the canonical role vocabulary.
+FAULT_REGISTRIES: dict[str, dict[str, type]] = {
+    "executor": EXECUTOR_FAULTS,
+    "verifier": VERIFIER_FAULTS,
+    "output": OUTPUT_FAULTS,
+}
+
+
+def make_fault(role: str, kind: str, params: dict | None = None):
+    """Instantiate the named strategy for ``role`` (one per target pid —
+    strategies may be stateful, so instances are never shared)."""
+    registry = FAULT_REGISTRIES.get(role)
+    if registry is None:
+        raise ValueError(
+            f"unknown fault role {role!r}; expected one of "
+            f"{sorted(FAULT_REGISTRIES)}"
+        )
+    cls = registry.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown {role} fault {kind!r}; registered: {sorted(registry)}"
+        )
+    return cls(**dict(params or {}))

@@ -58,6 +58,11 @@ class ObservabilityError(ReproError):
     """Invalid use of the trace-event bus or one of its sinks."""
 
 
+class AdversaryError(ReproError):
+    """Malformed adversary campaign (unknown selector, fault kind, trigger
+    event, unserializable parameter) or invalid use of the campaign engine."""
+
+
 class ReplayError(ReproError):
     """A captured inbox log cannot be replayed against the given core
     (missing continuation, malformed log line, undecodable message)."""

@@ -22,34 +22,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.bench.scenarios import (
-    BENCH_BANDWIDTH,
-    ScenarioResult,
-    run_osiris,
-    run_rcp,
-    run_zft,
-)
-from repro.bench.workloads import (
-    BenchWorkload,
-    anomaly_bench,
-    planning_bench,
-    synthetic_bench,
-    two_phase_bench,
-    update_only_bench,
-    video_bench,
-)
-from repro.core.config import OsirisConfig
-from repro.core.faults import (
-    BogusDigestFault,
-    CorruptRecordFault,
-    DuplicateRecordFault,
-    EquivocateChunksFault,
-    FabricateRecordFault,
-    NegligentLeaderFault,
-    OmitRecordFault,
-    SilentFault,
-    SlowFault,
-)
+from repro import api
+from repro.bench.scenarios import ScenarioResult
+from repro.bench.workloads import WORKLOADS, BenchWorkload
+from repro.core.faults import EXECUTOR_FAULTS, VERIFIER_FAULTS, make_fault
 from repro.errors import BenchmarkError
 from repro.exp.cache import ResultCache, code_version, point_key
 from repro.exp.spec import Point, SweepSpec
@@ -62,43 +38,10 @@ __all__ = [
     "SweepOutcome",
     "build_workload",
     "execute_point",
+    "point_spec",
     "run_point",
     "run_sweep",
 ]
-
-
-def _anomaly(profile: str, **params) -> BenchWorkload:
-    return anomaly_bench(profile, **params)
-
-
-#: Workload factories addressable from a point; parameters come from
-#: ``Point.workload_params`` (the anomaly factory takes the profile name
-#: under the ``profile`` key).
-WORKLOADS: dict[str, Callable[..., BenchWorkload]] = {
-    "anomaly": _anomaly,
-    "planning": planning_bench,
-    "video": video_bench,
-    "synthetic": synthetic_bench,
-    "two_phase": two_phase_bench,
-    "update_only": update_only_bench,
-}
-
-#: Executor fault strategies addressable from a point.
-EXECUTOR_FAULTS: dict[str, Callable] = {
-    "silent": SilentFault,
-    "slow": SlowFault,
-    "corrupt-record": CorruptRecordFault,
-    "fabricate-record": FabricateRecordFault,
-    "duplicate-record": DuplicateRecordFault,
-    "omit-record": OmitRecordFault,
-    "equivocate-chunks": EquivocateChunksFault,
-}
-
-#: Verifier fault strategies addressable from a point.
-VERIFIER_FAULTS: dict[str, Callable] = {
-    "negligent-leader": NegligentLeaderFault,
-    "bogus-digest": BogusDigestFault,
-}
 
 
 def build_workload(point: Point) -> BenchWorkload:
@@ -112,16 +55,53 @@ def build_workload(point: Point) -> BenchWorkload:
     return factory(**dict(point.workload_params))
 
 
-def _faults(registry: dict, specs, role: str) -> dict:
+def _faults(specs, role: str) -> dict:
     out = {}
     for pid, kind, params in specs:
-        cls = registry.get(kind)
-        if cls is None:
-            raise BenchmarkError(
-                f"unknown {role} fault {kind!r}; registered: {sorted(registry)}"
-            )
-        out[pid] = cls(**dict(params))
+        try:
+            out[pid] = make_fault(role, kind, dict(params))
+        except ValueError as exc:
+            raise BenchmarkError(str(exc)) from exc
     return out
+
+
+def point_spec(point: Point, sanitize: bool = False) -> api.DeploymentSpec:
+    """Translate a point into the :class:`repro.api.DeploymentSpec` that
+    runs it — the single construction path shared with the benchmark
+    shims, the fuzz driver and the adversary CLI."""
+    if point.system != "osiris" and (
+        point.executor_faults or point.verifier_faults or point.config
+        or point.campaign
+    ):
+        raise BenchmarkError(
+            f"faults/config overrides are OsirisBFT-only "
+            f"(point targets {point.system!r})"
+        )
+    faults = api.FaultPlan()
+    if point.executor_faults or point.verifier_faults or point.campaign:
+        from repro.adversary.campaign import Campaign
+
+        faults = api.normalize_faults(
+            Campaign.from_json(point.campaign) if point.campaign else None,
+            executors=_faults(point.executor_faults, "executor"),
+            verifiers=_faults(point.verifier_faults, "verifier"),
+        )
+    return api.DeploymentSpec(
+        workload=point.workload,
+        n=point.n,
+        system=point.system,
+        workload_params=point.workload_params,
+        f=point.f,
+        k=point.k,
+        seed=point.seed,
+        deadline=point.deadline,
+        duration=point.duration,
+        bandwidth=point.bandwidth,
+        config=point.config,
+        faults=faults,
+        sanitize=sanitize,
+        label=point.label,
+    )
 
 
 def run_point(point: Point, sanitize: bool = False) -> ScenarioResult:
@@ -134,66 +114,7 @@ def run_point(point: Point, sanitize: bool = False) -> ScenarioResult:
     cached payloads are the same either way, and the fuzz driver calls
     this directly, bypassing the cache.
     """
-    workload = build_workload(point)
-    bandwidth = (
-        point.bandwidth if point.bandwidth is not None else BENCH_BANDWIDTH
-    )
-    if point.system != "osiris" and (
-        point.executor_faults or point.verifier_faults or point.config
-    ):
-        raise BenchmarkError(
-            f"faults/config overrides are OsirisBFT-only "
-            f"(point targets {point.system!r})"
-        )
-    if point.system == "zft":
-        return run_zft(
-            workload,
-            n=point.n,
-            seed=point.seed,
-            deadline=point.deadline,
-            bandwidth=bandwidth,
-            sanitize=sanitize,
-        )
-    if point.system == "rcp":
-        return run_rcp(
-            workload,
-            n=point.n,
-            f=point.f,
-            seed=point.seed,
-            deadline=point.deadline,
-            bandwidth=bandwidth,
-            sanitize=sanitize,
-        )
-    # osiris: start from the scenario runner's defaults, then overlay the
-    # point's overrides (same base run_osiris builds when config is None)
-    base = dict(
-        f=point.f,
-        chunk_bytes=workload.chunk_bytes,
-        suspect_timeout=60.0,
-        cores_per_node=1,
-    )
-    base.update(dict(point.config))
-    kwargs = {}
-    if point.executor_faults:
-        kwargs["executor_faults"] = _faults(
-            EXECUTOR_FAULTS, point.executor_faults, "executor"
-        )
-    if point.verifier_faults:
-        kwargs["verifier_faults"] = _faults(
-            VERIFIER_FAULTS, point.verifier_faults, "verifier"
-        )
-    return run_osiris(
-        workload,
-        n=point.n,
-        f=point.f,
-        k=point.k,
-        seed=point.seed,
-        deadline=point.deadline,
-        config=OsirisConfig(**base),
-        bandwidth=bandwidth,
-        sanitize=sanitize,
-        **kwargs,
-    )
+    return api.run(point_spec(point, sanitize=sanitize))
 
 
 def execute_point(point: Point) -> dict:

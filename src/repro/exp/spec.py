@@ -57,7 +57,12 @@ class Point:
     ``workload_params`` are its keyword arguments.  ``config`` holds
     :class:`~repro.core.config.OsirisConfig` overrides (OsirisBFT only).
     ``executor_faults`` / ``verifier_faults`` are ``(pid, kind, params)``
-    triples resolved against the runner's fault registry.
+    triples resolved against the runner's fault registry.  ``campaign``
+    carries an adversary campaign in its canonical JSON form
+    (:meth:`repro.adversary.Campaign.to_json`; empty = none) and
+    ``duration`` switches the run to fixed-duration streaming — both
+    ride inside the descriptor, so campaign runs sweep and cache like
+    any other point.
     """
 
     system: str
@@ -68,6 +73,7 @@ class Point:
     k: int | None = None
     seed: int = 0
     deadline: float = 600.0
+    duration: float | None = None
     bandwidth: float | None = None
     config: tuple[tuple[str, Any], ...] = ()
     executor_faults: tuple[
@@ -76,6 +82,7 @@ class Point:
     verifier_faults: tuple[
         tuple[str, str, tuple[tuple[str, Any], ...]], ...
     ] = ()
+    campaign: str = ""
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -102,6 +109,7 @@ class Point:
             "k": self.k,
             "seed": self.seed,
             "deadline": self.deadline,
+            "duration": self.duration,
             "bandwidth": self.bandwidth,
             "config": [list(p) for p in self.config],
             "executor_faults": [
@@ -112,6 +120,7 @@ class Point:
                 [pid, kind, [list(p) for p in params]]
                 for pid, kind, params in self.verifier_faults
             ],
+            "campaign": self.campaign,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -133,6 +142,7 @@ class Point:
             k=d.get("k"),
             seed=d.get("seed", 0),
             deadline=d.get("deadline", 600.0),
+            duration=d.get("duration"),
             bandwidth=d.get("bandwidth"),
             config=tuple((k, v) for k, v in d.get("config", ())),
             executor_faults=tuple(
@@ -143,6 +153,7 @@ class Point:
                 (pid, kind, tuple((k, v) for k, v in params))
                 for pid, kind, params in d.get("verifier_faults", ())
             ),
+            campaign=d.get("campaign", ""),
             label=d.get("label", ""),
         )
 

@@ -17,12 +17,17 @@ cpu        CpuSpan, CpuCancel
 net        LinkTransfer
 kernel     KernelEventFired
 replay     ReplayInput, ReplayEffect
+adversary  AdversaryPhase, AdversaryAction, AdversaryTrigger
 ========== ==================================================================
 
 Events are plain frozen dataclasses of JSON-serializable primitives, so
 any sink can persist them without custom encoders (:meth:`as_dict`).
 Emission sites never schedule simulator events or consume RNG — tracing
-is behavior-neutral by construction.
+is behavior-neutral by construction.  The ``adversary`` category is the
+one deliberate exception to *observational* neutrality: those events
+record the campaign engine's own interventions (which perturb the run,
+by design), but emitting them still consumes no RNG and the events
+themselves schedule nothing.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ __all__ = [
     "CATEGORY_NET",
     "CATEGORY_KERNEL",
     "CATEGORY_REPLAY",
+    "CATEGORY_ADVERSARY",
     "ALL_CATEGORIES",
     "TraceEvent",
     "TaskSubmitted",
@@ -63,6 +69,9 @@ __all__ = [
     "KernelEventFired",
     "ReplayInput",
     "ReplayEffect",
+    "AdversaryPhase",
+    "AdversaryAction",
+    "AdversaryTrigger",
 ]
 
 CATEGORY_TASK = "task"
@@ -73,6 +82,7 @@ CATEGORY_CPU = "cpu"
 CATEGORY_NET = "net"
 CATEGORY_KERNEL = "kernel"
 CATEGORY_REPLAY = "replay"
+CATEGORY_ADVERSARY = "adversary"
 
 ALL_CATEGORIES = frozenset(
     {
@@ -84,6 +94,7 @@ ALL_CATEGORIES = frozenset(
         CATEGORY_NET,
         CATEGORY_KERNEL,
         CATEGORY_REPLAY,
+        CATEGORY_ADVERSARY,
     }
 )
 
@@ -339,6 +350,44 @@ class KernelEventFired(TraceEvent):
     kind: ClassVar[str] = "kernel-event-fired"
 
     count: int
+
+
+# ------------------------------------------------------------- adversary
+@dataclass(frozen=True, slots=True)
+class AdversaryPhase(TraceEvent):
+    """A campaign phase became active (its actions follow immediately)."""
+
+    category: ClassVar[str] = CATEGORY_ADVERSARY
+    kind: ClassVar[str] = "adversary-phase"
+
+    campaign: str
+    phase: str
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryAction(TraceEvent):
+    """The campaign engine set/cleared a fault strategy on ``target``."""
+
+    category: ClassVar[str] = CATEGORY_ADVERSARY
+    kind: ClassVar[str] = "adversary-action"
+
+    campaign: str
+    op: str
+    target: str
+    role: str
+    fault: str
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryTrigger(TraceEvent):
+    """An adaptive trigger matched a protocol event and fired."""
+
+    category: ClassVar[str] = CATEGORY_ADVERSARY
+    kind: ClassVar[str] = "adversary-trigger"
+
+    campaign: str
+    trigger: str
+    on: str
 
 
 # ---------------------------------------------------------------- replay

@@ -62,6 +62,12 @@ class OsirisCluster:
     hosts: dict[str, DesHost] = field(default_factory=dict)
     #: set when built with ``sanitize=True`` (a ``repro.check.Sanitizer``)
     sanitizer: Optional[object] = None
+    #: set when built with a campaign (the installed
+    #: ``repro.adversary.CampaignController``)
+    campaign: Optional[object] = None
+    #: set when built with a campaign (the attached
+    #: ``repro.adversary.RecoverySink``)
+    recovery: Optional[object] = None
 
     def start(self) -> None:
         """Begin streaming the workload."""
@@ -103,6 +109,7 @@ def build_osiris_cluster(
     bandwidth: float = DEFAULT_BANDWIDTH,
     n_inputs: int = 1,
     n_outputs: int = 1,
+    faults: Optional[object] = None,
     executor_faults: Optional[dict[str, ExecutorFault]] = None,
     verifier_faults: Optional[dict[str, VerifierFault]] = None,
     output_faults: Optional[dict[str, OutputFault]] = None,
@@ -124,8 +131,16 @@ def build_osiris_cluster(
     k:
         Verifier sub-cluster count (first cluster is VP_CO).  Default:
         ``max(1, n_workers // (2·(2f+1)))``.
+    faults:
+        Anything :func:`repro.api.normalize_faults` accepts — a legacy
+        pid → strategy mapping, an adversary
+        :class:`~repro.adversary.campaign.Campaign` (or its canonical
+        JSON), or a pre-normalized plan.  A campaign is installed on the
+        built cluster (phase timers scheduled, trigger sink and a
+        :class:`~repro.adversary.recovery.RecoverySink` attached).
     executor_faults / verifier_faults / output_faults:
-        pid → fault-strategy maps for Byzantine runs.
+        Legacy per-role pid → strategy maps; merged into ``faults``
+        (they win on pid collisions).
     sinks:
         Event sinks attached to the bus *before* any core is built, so
         they observe construction-time events too.
@@ -181,9 +196,17 @@ def build_osiris_cluster(
         sanitizer.attach(sim.bus)
     for sink in sinks:
         sim.bus.attach(sink)
-    executor_faults = executor_faults or {}
-    verifier_faults = verifier_faults or {}
-    output_faults = output_faults or {}
+    from repro.api import normalize_faults  # lazy: api sits above runtime
+
+    plan = normalize_faults(
+        faults,
+        executors=executor_faults,
+        verifiers=verifier_faults,
+        outputs=output_faults,
+    )
+    executor_faults = plan.executor_map()
+    verifier_faults = plan.verifier_map()
+    output_faults = plan.output_map()
     captured = frozenset(capture)
     hosts: dict[str, DesHost] = {}
 
@@ -241,7 +264,7 @@ def build_osiris_cluster(
         deploy(op, 2)
         outputs.append(op)
 
-    return OsirisCluster(
+    cluster = OsirisCluster(
         sim=sim,
         net=net,
         topo=topo,
@@ -258,3 +281,12 @@ def build_osiris_cluster(
         hosts=hosts,
         sanitizer=sanitizer,
     )
+    if plan.campaign is not None:
+        from repro.adversary.engine import install_campaign
+        from repro.adversary.recovery import RecoverySink
+
+        # recovery first, so it observes even t=0 phase injections
+        cluster.recovery = RecoverySink()
+        sim.bus.attach(cluster.recovery)
+        cluster.campaign = install_campaign(plan.campaign, cluster)
+    return cluster

@@ -1,0 +1,194 @@
+"""Campaign vocabulary: validation, serialization identity, selectors."""
+
+import pytest
+
+from repro.adversary import (
+    Action,
+    Campaign,
+    FaultSpec,
+    Phase,
+    Trigger,
+    resolve_selector,
+)
+from repro.errors import AdversaryError
+from repro.net.topology import SubCluster, Topology
+from repro.obs.events import FaultDetected, LeaderElection, TaskAssigned
+
+
+def topo2():
+    """ip0/op0, e0..e3, two verifier sub-clusters of 3."""
+    return Topology(
+        input_pids=("ip0",),
+        output_pids=("op0",),
+        executor_pids=("e0", "e1", "e2", "e3"),
+        verifier_clusters=(
+            SubCluster(index=0, members=("v0", "v1", "v2"), f=1),
+            SubCluster(index=1, members=("v3", "v4", "v5"), f=1),
+        ),
+        f=1,
+    )
+
+
+def set_action(select="executors", kind="silent", **params):
+    return Action(
+        op="set",
+        select=select,
+        fault=FaultSpec(role="executor", kind=kind, params=tuple(params.items())),
+    )
+
+
+class TestFaultSpec:
+    def test_builds_fresh_strategies(self):
+        spec = FaultSpec(role="executor", kind="slow", params=(("delay", 2.0),))
+        a, b = spec.build(), spec.build()
+        assert a is not b
+        assert a.delay == 2.0
+
+    def test_rejects_unknown_role_and_kind(self):
+        with pytest.raises(AdversaryError):
+            FaultSpec(role="scheduler", kind="slow")
+        with pytest.raises(AdversaryError):
+            FaultSpec(role="executor", kind="teleport")
+
+    def test_params_normalized_sorted(self):
+        spec = FaultSpec(
+            role="executor", kind="slow",
+            params=(("delay", 1.0), ("activate_at", 3.0)),
+        )
+        assert spec.params == (("activate_at", 3.0), ("delay", 1.0))
+
+    def test_rejects_non_scalar_params(self):
+        with pytest.raises(AdversaryError):
+            FaultSpec(role="executor", kind="slow", params=(("delay", [1]),))
+
+
+class TestActionPhaseTrigger:
+    def test_set_needs_fault_clear_forbids_it(self):
+        with pytest.raises(AdversaryError):
+            Action(op="set", select="executors")
+        with pytest.raises(AdversaryError):
+            Action(
+                op="clear",
+                select="executors",
+                fault=FaultSpec(role="executor", kind="silent"),
+            )
+        with pytest.raises(AdversaryError):
+            Action(op="swap", select="executors")
+
+    def test_phase_validation(self):
+        with pytest.raises(AdversaryError):
+            Phase(at=-1.0, actions=(set_action(),))
+        with pytest.raises(AdversaryError):
+            Phase(at=0.0, actions=())
+
+    def test_trigger_validation(self):
+        with pytest.raises(AdversaryError):
+            Trigger(on="chunk-accepted", actions=())
+        with pytest.raises(AdversaryError):
+            Trigger(on="chunk-accepted", actions=(set_action(),), after=-1.0)
+
+
+class TestCampaign:
+    def campaign(self):
+        return Campaign(
+            name="demo",
+            note="two phases, one trigger",
+            phases=(
+                Phase(at=5.0, name="hit", actions=(set_action(),)),
+                Phase(
+                    at=9.0,
+                    name="remit",
+                    actions=(Action(op="clear", select="executors"),),
+                ),
+            ),
+            triggers=(
+                Trigger(
+                    on="chunk-accepted",
+                    actions=(set_action("e0", "omit-record"),),
+                ),
+            ),
+        )
+
+    def test_json_roundtrip_is_identity(self):
+        c = self.campaign()
+        assert Campaign.from_json(c.to_json()) == c
+
+    def test_canonical_json_is_stable(self):
+        c = self.campaign()
+        assert c.to_json() == Campaign.from_json(c.to_json()).to_json()
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(AdversaryError):
+            Campaign.from_json("{not json")
+        with pytest.raises(AdversaryError):
+            Campaign.from_json('{"phases": []}')  # missing name
+
+    def test_first_injection_ignores_clear_only_phases(self):
+        assert self.campaign().first_injection() == 5.0
+        adaptive = Campaign(
+            name="a",
+            triggers=(
+                Trigger(on="chunk-accepted", actions=(set_action(),)),
+            ),
+        )
+        assert adaptive.first_injection() is None
+
+    def test_empty(self):
+        assert Campaign(name="x").empty
+        assert not self.campaign().empty
+
+
+class TestSelectors:
+    def test_roles_and_pids(self):
+        topo = topo2()
+        assert resolve_selector("executors", topo) == ("e0", "e1", "e2", "e3")
+        assert resolve_selector("coordinators", topo) == ("v0", "v1", "v2")
+        assert resolve_selector("outputs", topo) == ("op0",)
+        assert resolve_selector("verifiers", topo) == tuple(
+            f"v{i}" for i in range(6)
+        )
+        assert resolve_selector("e2", topo) == ("e2",)
+
+    def test_cluster_and_slices(self):
+        topo = topo2()
+        assert resolve_selector("cluster:1", topo) == ("v3", "v4", "v5")
+        assert resolve_selector("cluster:1[:2]", topo) == ("v3", "v4")
+        assert resolve_selector("executors[1:3]", topo) == ("e1", "e2")
+        assert resolve_selector("executors[:]", topo) == ("e0", "e1", "e2", "e3")
+
+    def test_event_field_selectors(self):
+        topo = topo2()
+        assigned = TaskAssigned(
+            time=1.0, pid="v0", task_id="t1", executor="e3", attempt=0
+        )
+        assert resolve_selector("event:executor", topo, assigned) == ("e3",)
+        detected = FaultDetected(
+            time=1.0, pid="v3", reason="digest-mismatch", culprit="e1"
+        )
+        assert resolve_selector("event:culprit", topo, detected) == ("e1",)
+
+    def test_event_new_leader(self):
+        topo = topo2()
+        election = LeaderElection(time=2.0, pid="v4", vp_index=1, term=2)
+        assert resolve_selector("event:new-leader", topo, election) == (
+            topo.cluster(1).leader_at(2),
+        )
+
+    def test_errors(self):
+        topo = topo2()
+        with pytest.raises(AdversaryError):
+            resolve_selector("event:pid", topo)  # outside a trigger
+        with pytest.raises(AdversaryError):
+            resolve_selector("e9", topo)
+        with pytest.raises(AdversaryError):
+            resolve_selector("e0[:1]", topo)
+        with pytest.raises(AdversaryError):
+            resolve_selector("executors[0]", topo)  # index, not a range
+        with pytest.raises(AdversaryError):
+            resolve_selector("cluster:x", topo)
+        with pytest.raises(AdversaryError):
+            # task-id field is not a pid
+            assigned = TaskAssigned(
+                time=1.0, pid="v0", task_id="t1", executor="e0", attempt=0
+            )
+            resolve_selector("event:attempt", topo, assigned)

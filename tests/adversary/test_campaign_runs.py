@@ -1,0 +1,137 @@
+"""End-to-end campaign runs: safety regressions and recovery reporting.
+
+These are the scenario-level regression tests the campaign engine was
+built to express:
+
+* a mismatching executor against the *anomaly* app must be detected
+  (its records carry no payload, so a corrupted-but-valid-key record is
+  outside A(s, t) — a gap the attack matrix originally exposed);
+* the slow/silent × speculative-reassignment race must keep acceptance
+  exactly-once (two attempts of the same task racing verified chunks to
+  the OP);
+* campaign runs must fold a recovery report into the scenario result.
+"""
+
+from repro import api
+from repro.adversary import Action, Campaign, FaultSpec, Phase
+from repro.adversary.library import silent_minority, slow_then_recover
+
+
+def run_synthetic(campaign, n_tasks=12, records_per_task=5, n=5, **spec_over):
+    spec_kwargs = dict(
+        workload="synthetic",
+        workload_params=(
+            ("compute_cost", 0.12),
+            ("n_tasks", n_tasks),
+            ("records_per_task", records_per_task),
+        ),
+        n=n,
+        seed=0,
+        config=(("suspect_timeout", 0.5),),
+        faults=campaign,
+        sanitize=True,
+    )
+    spec_kwargs.update(spec_over)
+    return api.run(api.DeploymentSpec(**spec_kwargs))
+
+
+def campaign_of(kind, select="e0", at=0.0, **params):
+    return Campaign(
+        name=f"test-{kind}",
+        phases=(
+            Phase(
+                at=at,
+                actions=(
+                    Action(
+                        op="set",
+                        select=select,
+                        fault=FaultSpec(
+                            role="executor",
+                            kind=kind,
+                            params=tuple(params.items()),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestAnomalyMismatchDetection:
+    """Regression: anomaly records are bare match tuples; a record with
+    corrupted payload data must fail ``is_valid`` (r ∈ A(s, t) is on the
+    whole record), not slip through to the OP."""
+
+    def run_mm(self, campaign):
+        return api.run(
+            api.DeploymentSpec(
+                workload="anomaly",
+                workload_params=(("n_tasks", 20), ("profile", "MM")),
+                n=8,
+                seed=0,
+                config=(("suspect_timeout", 2.0),),
+                faults=campaign,
+                sanitize=True,
+            )
+        )
+
+    def test_corrupt_record_is_detected_and_never_committed(self):
+        result = self.run_mm(campaign_of("corrupt-record", select="e0"))
+        assert result.extra["sanitizer_violations"] == 0
+        assert result.extra["faults_detected"] > 0
+        report = result.extra["recovery_report"]
+        assert report.safe is True
+        assert report.detections > 0
+
+    def test_fabricated_record_is_detected(self):
+        result = self.run_mm(campaign_of("fabricate-record", select="e0"))
+        assert result.extra["sanitizer_violations"] == 0
+        assert result.extra["faults_detected"] > 0
+
+
+class TestReassignmentRaceExactlyOnce:
+    """Slow/silent × speculative reassignment: the losing attempt's
+    chunks must never double-accept records (ConservationSink guards
+    the invariant; the totals pin it at scenario level)."""
+
+    def test_slow_executor_race(self):
+        campaign = campaign_of("slow", select="e0", delay=5.0)
+        result = run_synthetic(campaign)
+        assert result.records == 12 * 5  # exactly once, no duplicates
+        assert result.extra["sanitizer_violations"] == 0
+        assert result.extra["reassignments"] > 0  # the race actually ran
+
+    def test_silent_executor_race(self):
+        campaign = campaign_of("silent", select="e0", at=1.0)
+        result = run_synthetic(campaign)
+        assert result.records == 12 * 5
+        assert result.extra["sanitizer_violations"] == 0
+        assert result.extra["reassignments"] > 0
+
+    def test_slow_then_recover_clears_mid_race(self):
+        campaign = slow_then_recover(at=0.0, until=3.0, count=1, delay=4.0)
+        result = run_synthetic(campaign)
+        assert result.records == 12 * 5
+        assert result.extra["sanitizer_violations"] == 0
+
+
+class TestRecoveryFoldedIntoResult:
+    def test_report_and_flattened_scalars(self):
+        result = run_synthetic(silent_minority(at=1.0, count=1))
+        report = result.extra["recovery_report"]
+        assert report.campaign == "silent-minority"
+        assert report.injected_at == 1.0
+        assert report.safe is True
+        assert result.extra["recovery_injected_at"] == 1.0
+        assert result.extra["recovery_records_accepted"] == result.records
+        assert result.extra["recovery_safe"] is True
+
+    def test_scalars_survive_serialization(self):
+        result = run_synthetic(silent_minority(at=1.0, count=1))
+        d = result.to_dict()
+        assert d["extra"]["recovery_injected_at"] == 1.0
+        assert "recovery_report" not in d["extra"]  # live handle dropped
+
+    def test_no_campaign_no_recovery_keys(self):
+        result = run_synthetic(None)
+        assert "recovery_report" not in result.extra

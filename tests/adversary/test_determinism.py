@@ -1,0 +1,93 @@
+"""Adaptive campaigns are deterministic: triggers react to simulation
+events through the bus, never to wall-clock or RNG, so the same campaign
+on the same seed replays bit-identically — including the exact moment a
+trigger fires and the fault it plants."""
+
+import hashlib
+import io
+import json
+import pathlib
+
+from repro import api
+from repro.adversary.library import turncoat
+from repro.obs import JsonlTraceSink
+
+
+def traced_run(seed=0, n_tasks=12):
+    buf = io.StringIO()
+    spec = api.DeploymentSpec(
+        workload="anomaly",
+        workload_params=(("n_tasks", n_tasks), ("profile", "MM")),
+        n=8,
+        seed=seed,
+        config=(("suspect_timeout", 2.0),),
+        faults=turncoat(),
+        sinks=(JsonlTraceSink(buf),),
+    )
+    result = api.run(spec)
+    return buf.getvalue(), result
+
+
+class TestSameProcessReplay:
+    def test_same_seed_same_campaign_identical_traces(self):
+        text_a, result_a = traced_run(seed=3)
+        text_b, result_b = traced_run(seed=3)
+        assert text_a.encode() == text_b.encode()
+        report_a = result_a.extra["recovery_report"]
+        report_b = result_b.extra["recovery_report"]
+        assert report_a.injected_at == report_b.injected_at
+
+    def test_trigger_time_moves_with_the_seed(self):
+        # sanity: the adaptive injection point is seed-dependent, so the
+        # equality above is not pinning a hard-coded constant
+        _, result_a = traced_run(seed=3)
+        _, result_b = traced_run(seed=4)
+        a = result_a.extra["recovery_report"].injected_at
+        b = result_b.extra["recovery_report"].injected_at
+        assert a is not None and b is not None
+        assert a != b
+
+
+class TestGoldenCampaignTrace:
+    """Cross-session determinism for the adaptive path, mirroring the
+    fig5 golden: the turncoat MM n=8 trace — honest warmup, triggered
+    betrayal, detection, reassignment — is pinned to a committed
+    fingerprint."""
+
+    FIXTURE = (
+        pathlib.Path(__file__).parent.parent
+        / "obs"
+        / "fixtures"
+        / "turncoat_mm_n8.json"
+    )
+
+    def test_turncoat_mm_n8_trace_matches_committed_fingerprint(self):
+        expected = json.loads(self.FIXTURE.read_text())
+        buf = io.StringIO()
+        spec = api.DeploymentSpec(
+            workload="anomaly",
+            workload_params=(
+                ("n_tasks", expected["n_tasks"]),
+                ("profile", expected["profile"]),
+            ),
+            n=expected["n"],
+            seed=expected["seed"],
+            config=(("suspect_timeout", expected["suspect_timeout"]),),
+            faults=turncoat(),
+            sanitize=True,
+            sinks=(JsonlTraceSink(buf),),
+        )
+        result = api.run(spec)
+        text = buf.getvalue()
+        assert len(text.splitlines()) == expected["lines"]
+        assert (
+            hashlib.sha256(text.encode()).hexdigest() == expected["sha256"]
+        ), (
+            "same-seed campaign trace diverged from the committed golden "
+            "fingerprint — a refactor changed when the trigger fires or "
+            "what the fault does"
+        )
+        # the golden run is also a safety regression: the betrayal is
+        # detected and nothing invalid is ever committed
+        assert result.extra["recovery_report"].detections > 0
+        assert result.extra["sanitizer_violations"] == 0

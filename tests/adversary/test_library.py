@@ -1,0 +1,60 @@
+"""Built-in campaign library: shape, serializability, registry."""
+
+from repro.adversary import BUILTIN, Campaign
+from repro.adversary.library import coup, fig7a, slow_then_recover, turncoat
+
+
+class TestRegistry:
+    def test_every_builtin_is_a_valid_serializable_campaign(self):
+        for name, factory in BUILTIN.items():
+            campaign = factory()
+            assert campaign.name == name
+            assert not campaign.empty
+            assert campaign.note
+            assert Campaign.from_json(campaign.to_json()) == campaign
+
+    def test_names_match_keys(self):
+        assert set(BUILTIN) == {
+            "fig7a",
+            "mass-equivocation",
+            "silent-minority",
+            "negligent-cluster",
+            "slow-then-recover",
+            "turncoat",
+            "coup",
+        }
+
+
+class TestShapes:
+    def test_fig7a_hits_all_executors_at_45(self):
+        campaign = fig7a()
+        assert campaign.first_injection() == 45.0
+        (phase,) = campaign.phases
+        (action,) = phase.actions
+        assert action.select == "executors"
+        assert action.fault.kind == "corrupt-record"
+
+    def test_fig7a_is_retimeable(self):
+        assert fig7a(at=10.0).first_injection() == 10.0
+
+    def test_slow_then_recover_has_remission(self):
+        campaign = slow_then_recover(at=5.0, until=9.0)
+        ops = [a.op for p in campaign.phases for a in p.actions]
+        assert ops == ["set", "clear"]
+        assert [p.at for p in campaign.phases] == [5.0, 9.0]
+
+    def test_turncoat_is_purely_adaptive(self):
+        campaign = turncoat()
+        assert not campaign.phases
+        assert campaign.first_injection() is None
+        (trigger,) = campaign.triggers
+        assert trigger.on == "chunk-accepted"
+        assert trigger.once
+
+    def test_coup_corrupts_the_successor(self):
+        campaign = coup(index=1)
+        (trigger,) = campaign.triggers
+        assert trigger.on == "leader-election"
+        assert dict(trigger.where) == {"vp_index": 1}
+        (action,) = trigger.actions
+        assert action.select == "event:new-leader"

@@ -1,0 +1,94 @@
+"""Legacy entry points are deprecation shims over repro.api — they warn,
+and they produce results identical to the spec path they delegate to."""
+
+import pytest
+
+from repro import api
+from repro.bench.scenarios import run_osiris, run_rcp, run_zft
+from repro.bench.workloads import synthetic_bench
+from repro.core.config import OsirisConfig
+from repro.core.faults import SlowFault
+
+
+def workload():
+    return synthetic_bench(n_tasks=4, records_per_task=3, compute_cost=0.05)
+
+
+def spec_result(**over):
+    kw = dict(workload=workload(), n=5)
+    kw.update(over)
+    return api.run(api.DeploymentSpec(**kw))
+
+
+class TestDeprecationWarnings:
+    def test_run_osiris_warns(self):
+        with pytest.deprecated_call():
+            run_osiris(workload(), n=5)
+
+    def test_run_zft_warns(self):
+        with pytest.deprecated_call():
+            run_zft(workload(), n=4)
+
+    def test_run_rcp_warns(self):
+        with pytest.deprecated_call():
+            run_rcp(workload(), n=4)
+
+
+class TestShimEquivalence:
+    """Shim and direct spec runs must be *identical* measurements, not
+    merely similar — both paths drive the same deterministic simulation."""
+
+    def test_run_osiris_matches_spec_path(self):
+        with pytest.deprecated_call():
+            legacy = run_osiris(workload(), n=5, seed=3)
+        direct = spec_result(seed=3)
+        assert legacy.to_dict() == direct.to_dict()
+
+    def test_run_osiris_with_legacy_config_object(self):
+        config = OsirisConfig(f=1, suspect_timeout=2.0)
+        with pytest.deprecated_call():
+            legacy = run_osiris(workload(), n=5, config=config)
+        direct = spec_result(config=api.config_overrides(config))
+        assert legacy.to_dict() == direct.to_dict()
+
+    def test_run_osiris_with_legacy_fault_mapping(self):
+        # config=OsirisConfig(...) historically pinned the *full* config,
+        # not just the changed fields — the spec side must mirror that
+        config = OsirisConfig(f=1, suspect_timeout=0.5)
+        with pytest.deprecated_call():
+            legacy = run_osiris(
+                workload(), n=5, config=config,
+                faults={"e0": SlowFault(delay=2.0)},
+            )
+        direct = spec_result(
+            config=api.config_overrides(config),
+            faults={"e0": SlowFault(delay=2.0)},
+        )
+        # identical fault handling: same reassignment churn, same totals
+        assert legacy.to_dict() == direct.to_dict()
+        assert legacy.extra["reassignments"] > 0
+
+    def test_run_osiris_per_role_fault_dicts_still_work(self):
+        config = OsirisConfig(f=1, suspect_timeout=0.5)
+        with pytest.deprecated_call():
+            legacy = run_osiris(
+                workload(), n=5, config=config,
+                executor_faults={"e0": SlowFault(delay=2.0)},
+            )
+        direct = spec_result(
+            config=api.config_overrides(config),
+            faults={"e0": SlowFault(delay=2.0)},
+        )
+        assert legacy.to_dict() == direct.to_dict()
+
+    def test_run_zft_matches_spec_path(self):
+        with pytest.deprecated_call():
+            legacy = run_zft(workload(), n=4, seed=2)
+        direct = spec_result(system="zft", n=4, seed=2)
+        assert legacy.to_dict() == direct.to_dict()
+
+    def test_run_rcp_matches_spec_path(self):
+        with pytest.deprecated_call():
+            legacy = run_rcp(workload(), n=4, seed=2)
+        direct = spec_result(system="rcp", n=4, seed=2)
+        assert legacy.to_dict() == direct.to_dict()
