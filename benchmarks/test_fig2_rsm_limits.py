@@ -9,17 +9,34 @@ achieves similar throughput to only 8 nodes without fault tolerance".
 
 import pytest
 
+from repro.api import DeploymentSpec, run
 from repro.bench import (
-    anomaly_bench,
     print_figure,
     print_table,
     rsm_parallel_tasks,
-    run_rcp,
-    run_zft,
 )
 
 N_TASKS = 160
 SEED = 2
+
+
+def _baseline(system: str, n: int, f: int = 1):
+    """One fig2b point through the declarative spec path (the seed goes
+    to the workload, matching the legacy ``run_zft``/``run_rcp`` calls)."""
+    return run(
+        DeploymentSpec(
+            workload="anomaly",
+            workload_params={
+                "profile": "fig5b",
+                "n_tasks": N_TASKS,
+                "seed": SEED,
+            },
+            n=n,
+            system=system,
+            f=f,
+            deadline=3000.0,
+        )
+    )
 
 
 class TestFig2aParallelTasks:
@@ -60,25 +77,11 @@ class TestFig2bRcpThroughput:
         def build():
             out = {}
             for n in (4, 8, 16, 32):
-                out[("zft", n)] = run_zft(
-                    anomaly_bench("fig5b", n_tasks=N_TASKS, seed=SEED),
-                    n=n,
-                    deadline=3000,
-                )
+                out[("zft", n)] = _baseline("zft", n)
                 if n >= 3:
-                    out[("rcp1", n)] = run_rcp(
-                        anomaly_bench("fig5b", n_tasks=N_TASKS, seed=SEED),
-                        n=n,
-                        f=1,
-                        deadline=3000,
-                    )
+                    out[("rcp1", n)] = _baseline("rcp", n, f=1)
                 if n >= 5:
-                    out[("rcp2", n)] = run_rcp(
-                        anomaly_bench("fig5b", n_tasks=N_TASKS, seed=SEED),
-                        n=n,
-                        f=2,
-                        deadline=3000,
-                    )
+                    out[("rcp2", n)] = _baseline("rcp", n, f=2)
             return out
 
         return scenario_cache("fig2b", build)

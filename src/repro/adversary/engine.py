@@ -36,7 +36,12 @@ from repro.obs.events import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.deploy import OsirisCluster
 
-__all__ = ["CampaignController", "KIND_CATEGORIES", "install_campaign"]
+__all__ = [
+    "CampaignController",
+    "KIND_CATEGORIES",
+    "apply_action_to_core",
+    "install_campaign",
+]
 
 
 def _kind_categories() -> dict[str, str]:
@@ -195,49 +200,61 @@ class CampaignController:
 
     def _apply_to(self, pid: str, action: Action) -> str:
         """Install/clear the strategy on ``pid``'s injection point."""
-        core = self.cluster.worker(pid)
-        if action.op == "clear":
-            # honest again: clear every injection point the process carries
-            # (Executor exposes ``fault`` as a read-only view of its
-            # engine's, so only the engine slot is written there)
-            cleared = []
-            engine = getattr(core, "engine", None)
-            if engine is not None:
-                if engine.fault is not None:
-                    cleared.append("executor")
-                engine.fault = None
-            if not isinstance(getattr(type(core), "fault", None), property):
-                if getattr(core, "fault", None) is not None:
-                    cleared.append(
-                        "output" if pid in self.topo.output_pids else "verifier"
-                    )
-                    core.fault = None
-            return "+".join(cleared) or "none"
-        spec = action.fault
-        strategy = spec.build()
-        if spec.role == "executor":
-            engine = getattr(core, "engine", None)
-            if engine is None:
-                raise AdversaryError(
-                    f"{pid} has no execution engine for executor fault "
-                    f"{spec.kind!r} (selector {action.select!r})"
+        return apply_action_to_core(
+            self.cluster.worker(pid), self.topo, pid, action
+        )
+
+
+def apply_action_to_core(core, topo, pid: str, action: Action) -> str:
+    """Install/clear one action's strategy on ``pid``'s injection point.
+
+    Shared by the DES :class:`CampaignController` (which holds every core
+    in-process) and the live backend (where each child process applies
+    the action to its own core on receipt of a control envelope).
+    Returns the role label the action landed on.
+    """
+    if action.op == "clear":
+        # honest again: clear every injection point the process carries
+        # (Executor exposes ``fault`` as a read-only view of its
+        # engine's, so only the engine slot is written there)
+        cleared = []
+        engine = getattr(core, "engine", None)
+        if engine is not None:
+            if engine.fault is not None:
+                cleared.append("executor")
+            engine.fault = None
+        if not isinstance(getattr(type(core), "fault", None), property):
+            if getattr(core, "fault", None) is not None:
+                cleared.append(
+                    "output" if pid in topo.output_pids else "verifier"
                 )
-            engine.fault = strategy
-        elif spec.role == "verifier":
-            if pid not in self.topo.all_verifier_pids():
-                raise AdversaryError(
-                    f"{pid} is not a verifier (fault {spec.kind!r}, "
-                    f"selector {action.select!r})"
-                )
-            core.fault = strategy
-        else:  # output
-            if pid not in self.topo.output_pids:
-                raise AdversaryError(
-                    f"{pid} is not an output process (fault {spec.kind!r}, "
-                    f"selector {action.select!r})"
-                )
-            core.fault = strategy
-        return spec.role
+                core.fault = None
+        return "+".join(cleared) or "none"
+    spec = action.fault
+    strategy = spec.build()
+    if spec.role == "executor":
+        engine = getattr(core, "engine", None)
+        if engine is None:
+            raise AdversaryError(
+                f"{pid} has no execution engine for executor fault "
+                f"{spec.kind!r} (selector {action.select!r})"
+            )
+        engine.fault = strategy
+    elif spec.role == "verifier":
+        if pid not in topo.all_verifier_pids():
+            raise AdversaryError(
+                f"{pid} is not a verifier (fault {spec.kind!r}, "
+                f"selector {action.select!r})"
+            )
+        core.fault = strategy
+    else:  # output
+        if pid not in topo.output_pids:
+            raise AdversaryError(
+                f"{pid} is not an output process (fault {spec.kind!r}, "
+                f"selector {action.select!r})"
+            )
+        core.fault = strategy
+    return spec.role
 
 
 def install_campaign(campaign: Campaign, cluster) -> CampaignController:

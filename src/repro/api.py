@@ -199,6 +199,7 @@ class DeploymentSpec:
     sinks: tuple = ()
     capture: tuple[str, ...] = ()
     sanitize: bool = False
+    backend: str = "des"
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -206,6 +207,11 @@ class DeploymentSpec:
             raise BenchmarkError(
                 f"unknown system {self.system!r}; "
                 f"expected 'osiris', 'zft' or 'rcp'"
+            )
+        if self.backend not in ("des", "live"):
+            raise BenchmarkError(
+                f"unknown backend {self.backend!r}; expected 'des' "
+                f"(discrete-event simulation) or 'live' (OS processes)"
             )
         if self.n < 1:
             raise BenchmarkError(f"cluster size must be >=1, got {self.n}")
@@ -224,6 +230,26 @@ class DeploymentSpec:
                 raise BenchmarkError(
                     f"faults/campaigns are OsirisBFT-only "
                     f"(spec targets {self.system!r})"
+                )
+        if self.backend == "live":
+            # every unsupported combination fails here, loudly — a live
+            # deployment that silently dropped a feature would hang or
+            # mis-measure instead of erroring
+            if self.system != "osiris":
+                raise BenchmarkError(
+                    f"backend='live' hosts OsirisBFT only "
+                    f"(spec targets {self.system!r}); baselines are DES-only"
+                )
+            if self.capture:
+                raise BenchmarkError(
+                    "replay capture needs the deterministic DES backend; "
+                    "drop capture= or use backend='des'"
+                )
+            plan: FaultPlan = self.faults
+            if plan.campaign is not None and plan.campaign.triggers:
+                raise BenchmarkError(
+                    "trigger campaigns need synchronous bus reentry and are "
+                    "DES-only; live runs support timed phases"
                 )
 
     # ------------------------------------------------------------- helpers
@@ -262,6 +288,7 @@ class DeploymentSpec:
             )
         return {
             "system": self.system,
+            "backend": self.backend,
             "workload": self.workload,
             "workload_params": [list(p) for p in self.workload_params],
             "n": self.n,
@@ -294,6 +321,7 @@ class DeploymentSpec:
             config=tuple((k, v) for k, v in d.get("config", ())),
             faults=d.get("campaign") or None,
             sanitize=d.get("sanitize", False),
+            backend=d.get("backend", "des"),
             label=d.get("label", ""),
         )
 
@@ -314,19 +342,27 @@ def _osiris_config(spec: DeploymentSpec, workload: BenchWorkload) -> OsirisConfi
 
 
 def build(spec: DeploymentSpec, **build_extra):
-    """Build (don't start) the OsirisBFT deployment a spec describes.
+    """Build (don't start) the deployment a spec describes.
 
-    The campaign (if any) is installed — its phase timers scheduled, its
-    trigger sink and a :class:`~repro.adversary.recovery.RecoverySink`
-    attached — and the spec's sinks are attached last.  ``build_extra``
-    passes through to the low-level builder (``synchrony``, ``n_inputs``,
-    ``n_outputs``).
+    ``backend="des"`` (the default) returns a wired
+    :class:`~repro.runtime.deploy.OsirisCluster`: the campaign (if any)
+    is installed — its phase timers scheduled, its trigger sink and a
+    :class:`~repro.adversary.recovery.RecoverySink` attached — and the
+    spec's sinks are attached last.  ``build_extra`` passes through to
+    the low-level builder (``synchrony``, ``n_inputs``, ``n_outputs``).
+
+    ``backend="live"`` returns an unstarted
+    :class:`~repro.live.runtime.LiveRuntime` built from the same
+    :class:`~repro.runtime.plan.ClusterPlan`; ``build_extra`` accepts
+    ``time_scale`` (wall seconds per simulated second).
     """
     if spec.system != "osiris":
         raise BenchmarkError(
             f"build() wires OsirisBFT deployments only; use run() for "
             f"{spec.system!r}"
         )
+    if spec.backend == "live":
+        return _build_live(spec, **build_extra)
     from repro.runtime.deploy import build_osiris_cluster
 
     workload = spec.resolve_workload()
@@ -348,6 +384,38 @@ def build(spec: DeploymentSpec, **build_extra):
     for sink in spec.sinks:
         cluster.bus.attach(sink)
     return cluster
+
+
+def _build_live(spec: DeploymentSpec, time_scale: float = 0.25, **extra):
+    """Plan the deployment and wrap it in an unstarted LiveRuntime."""
+    if extra:
+        raise BenchmarkError(
+            f"backend='live' accepts only time_scale as a builder "
+            f"override, got {sorted(extra)}"
+        )
+    from repro.live.runtime import LiveRuntime
+    from repro.runtime.plan import plan_osiris_cluster
+
+    workload = spec.resolve_workload()
+    plan = plan_osiris_cluster(
+        n_workers=spec.n,
+        k=spec.k,
+        seed=spec.seed,
+        config=_osiris_config(spec, workload),
+        bandwidth=(
+            spec.bandwidth if spec.bandwidth is not None else BENCH_BANDWIDTH
+        ),
+        faults=spec.faults,
+        capture=spec.capture,
+        sanitize=spec.sanitize,
+    )
+    return LiveRuntime(
+        plan,
+        workload.app,
+        workload=workload,
+        sinks=spec.sinks,
+        time_scale=time_scale,
+    )
 
 
 # --------------------------------------------------------------------- run
@@ -389,7 +457,7 @@ def _finish(system, n, f, metrics, net, busy_fn, cores, extra=None):
         active = metrics.time_to_fraction(0.9)
         op_bw = (
             net.nic("op0").ingress_meter.mean_rate(0.0, active)
-            if active > 0
+            if active > 0 and net is not None
             else 0.0
         )
     else:
@@ -490,6 +558,66 @@ def _run_osiris(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
     )
 
 
+def _run_live(spec: DeploymentSpec, time_scale: float = 0.25) -> ScenarioResult:
+    """Run the spec as real OS processes; same result shape as the DES.
+
+    Timing-derived numbers (throughput, latency, utilization) come from
+    the forwarded event stream and the emulated CPU banks — comparable
+    in shape, not in value, to DES results.  ``op_bandwidth`` is zero:
+    there is no modelled NIC on real queues.
+    """
+    workload = spec.resolve_workload()
+    rt = _build_live(spec, time_scale=time_scale)
+    report = rt.run(
+        deadline=spec.deadline,
+        duration=spec.duration,
+        target_tasks=workload.n_compute_tasks,
+    )
+    plan = rt.plan
+    executor_pids = set(plan.topo.executor_pids)
+
+    def busy():
+        busy_total = sum(
+            report.busy_seconds.get(pid, 0.0) for pid in executor_pids
+        )
+        # role-switched verifiers execute too (same approximation as the
+        # DES runner: count all their busy time)
+        switched = [
+            pid
+            for pid in report.tasks_executed
+            if pid not in executor_pids and report.tasks_executed[pid] > 0
+        ]
+        busy_total += sum(report.busy_seconds.get(pid, 0.0) for pid in switched)
+        return busy_total, len(executor_pids) + len(switched)
+
+    extra = {
+        "backend": "live",
+        "commits": report.commits,
+        "live_report": report,
+        "unhandled_messages": report.unhandled_messages,
+        "reassignments": len(rt.metrics.reassignments),
+        "role_switches": len(rt.metrics.role_switches),
+        "faults_detected": len(rt.metrics.faults_detected),
+    }
+    if rt.sanitizer_report is not None:
+        extra["sanitizer_violations"] = len(rt.sanitizer_report.violations)
+        extra["sanitizer_report"] = rt.sanitizer_report
+    if rt.recovery is not None:
+        recovery = rt.recovery.report(
+            campaign=plan.campaign.name if plan.campaign else "",
+            until=report.sim_seconds,
+            sanitizer_violations=extra.get("sanitizer_violations"),
+        )
+        extra["recovery_report"] = recovery
+        for key, value in recovery.to_dict().items():
+            if isinstance(value, _SCALARS) or isinstance(value, numbers.Real):
+                extra[f"recovery_{key}"] = value
+    return _finish(
+        "OsirisBFT", spec.n, spec.f, rt.metrics, None, busy,
+        plan.config.cores_per_node, extra,
+    )
+
+
 def _baseline_cores(spec: DeploymentSpec) -> int:
     cfg = dict(spec.config)
     cores = cfg.pop("cores_per_node", 1)
@@ -560,6 +688,8 @@ def run(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
     in ``result.extra`` (``recovery_*`` scalars plus the live
     ``recovery_report``).
     """
+    if spec.backend == "live":
+        return _run_live(spec, **build_extra)
     if spec.system == "osiris":
         return _run_osiris(spec, **build_extra)
     if build_extra:

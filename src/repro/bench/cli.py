@@ -33,15 +33,9 @@ import sys
 from pathlib import Path
 from typing import Callable
 
+from repro import api
 from repro.bench.analytic import rsm_parallel_tasks, table1
 from repro.bench.reporting import print_figure, print_table, write_sweep_json
-from repro.bench.scenarios import run_osiris
-from repro.bench.workloads import (
-    anomaly_bench,
-    planning_bench,
-    synthetic_bench,
-    video_bench,
-)
 from repro.baselines.store_models import (
     basil_updates_per_sec,
     kauri_updates_per_sec,
@@ -166,29 +160,44 @@ def _fig7b_spec(args) -> SweepSpec:
 
 
 # --------------------------------------------------------------------- trace
+def _trace_spec(args, sinks, workload: str, workload_params: dict, **kw):
+    return api.run(
+        api.DeploymentSpec(
+            workload=workload,
+            workload_params=workload_params,
+            n=kw.pop("n", args.n),
+            seed=args.seed,
+            deadline=DEADLINE,
+            sinks=sinks,
+            **kw,
+        )
+    )
+
+
 def _trace_anomaly(profile: str):
     def run(args, sinks):
-        wl = anomaly_bench(profile, n_tasks=args.tasks, seed=args.seed)
-        return run_osiris(
-            wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks
+        return _trace_spec(
+            args, sinks, "anomaly",
+            {"profile": profile, "n_tasks": args.tasks, "seed": args.seed},
         )
 
     return run
 
 
 def _trace_synthetic(args, sinks):
-    wl = synthetic_bench(args.tasks)
-    return run_osiris(wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks)
+    return _trace_spec(args, sinks, "synthetic", {"n_tasks": args.tasks})
 
 
 def _trace_planning(args, sinks):
-    wl = planning_bench(n_tasks=args.tasks, seed=args.seed)
-    return run_osiris(wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks)
+    return _trace_spec(
+        args, sinks, "planning", {"n_tasks": args.tasks, "seed": args.seed}
+    )
 
 
 def _trace_video(args, sinks):
-    wl = video_bench(n_compute=args.tasks, seed=args.seed)
-    return run_osiris(wl, n=args.n, seed=args.seed, deadline=3000, sinks=sinks)
+    return _trace_spec(
+        args, sinks, "video", {"n_compute": args.tasks, "seed": args.seed}
+    )
 
 
 def _trace_recovery(args, sinks):
@@ -196,14 +205,6 @@ def _trace_recovery(args, sinks):
     starts corrupting records mid-run; the trace shows fault detection,
     reassignment and role-switch recovery on the timeline."""
     rate = 12.0
-    wl = synthetic_bench(
-        args.tasks,
-        records_per_task=10,
-        compute_cost=250e-3,
-        record_bytes=4096,
-        rate=rate,
-        verify_cost_ratio=0.15,
-    )
     config = OsirisConfig(
         f=1,
         chunk_bytes=1_000_000,
@@ -214,20 +215,26 @@ def _trace_recovery(args, sinks):
         switch_patience=2,
         switch_cooldown=3,
     )
-    n = max(args.n, 14)
     activate = 0.3 * (args.tasks / rate)
     faults = {
         f"e{i}": CorruptRecordFault(activate_at=activate) for i in range(5)
     }
-    return run_osiris(
-        wl,
-        n=n,
+    return _trace_spec(
+        args,
+        sinks,
+        "synthetic",
+        {
+            "n_tasks": args.tasks,
+            "records_per_task": 10,
+            "compute_cost": 250e-3,
+            "record_bytes": 4096,
+            "rate": rate,
+            "verify_cost_ratio": 0.15,
+        },
+        n=max(args.n, 14),
         k=3,
-        seed=args.seed,
-        deadline=3000,
-        config=config,
-        executor_faults=faults,
-        sinks=sinks,
+        config=api.config_overrides(config),
+        faults=faults,
     )
 
 

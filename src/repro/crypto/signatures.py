@@ -105,6 +105,18 @@ class KeyRegistry:
         self._secrets[pid] = secret
         return Signer(pid, secret)
 
+    def provision(self, pid: str) -> None:
+        """Install ``pid``'s verification material without issuing its
+        signer.  Key derivation is deterministic per (seed, pid), so
+        every process of a live deployment can provision the same PKI
+        view independently — the distributed analogue of sharing one
+        registry object — while the one-issuance guard still keeps each
+        private signer local to the process that registers it."""
+        if pid not in self._secrets:
+            self._secrets[pid] = hashlib.sha256(
+                self._seed + pid.encode()
+            ).digest()
+
     def known(self, pid: str) -> bool:
         """Whether ``pid`` has a registered key."""
         return pid in self._secrets

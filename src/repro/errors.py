@@ -66,3 +66,10 @@ class AdversaryError(ReproError):
 class ReplayError(ReproError):
     """A captured inbox log cannot be replayed against the given core
     (missing continuation, malformed log line, undecodable message)."""
+
+
+class LiveError(ReproError):
+    """Live OS-process backend failure: a child died or failed its
+    ready/start handshake, a queue hop carried an undecodable payload,
+    or the deployment requests a feature the live backend cannot host
+    (trigger campaigns, replay capture)."""

@@ -1,0 +1,22 @@
+"""Live OS-process backend: the protocol cores as real processes.
+
+The same pure :class:`~repro.runtime.core.ProtocolCore` state machines
+the DES hosts, run as one OS process per node over ``multiprocessing``
+queues, selected by ``backend="live"`` on a
+:class:`~repro.api.DeploymentSpec`.  See :mod:`repro.live.host` (child
+side), :mod:`repro.live.runtime` (parent side) and
+:mod:`repro.live.crossval` (DES ↔ live semantic equivalence harness).
+"""
+
+from repro.live.crossval import CrossValReport, commit_outcomes, cross_validate
+from repro.live.host import LiveHost
+from repro.live.runtime import LiveReport, LiveRuntime
+
+__all__ = [
+    "LiveHost",
+    "LiveReport",
+    "LiveRuntime",
+    "CrossValReport",
+    "commit_outcomes",
+    "cross_validate",
+]

@@ -1,0 +1,401 @@
+"""Parent-side orchestration of the live OS-process backend.
+
+:class:`LiveRuntime` instantiates a backend-agnostic
+:class:`~repro.runtime.plan.ClusterPlan` as one forked OS process per
+node (``multiprocessing`` fork context: children inherit the plan, the
+application and the queue handles without any pickling) and then acts
+as the deployment's *substrate services* for the duration of the run:
+
+* **observability pump** — children forward every emitted trace event
+  over a shared up-queue; the parent decodes and re-emits them on a
+  regular :class:`~repro.obs.bus.EventBus`, so the existing sinks
+  (:class:`~repro.core.metrics.MetricsHub`, JSONL writers,
+  :class:`~repro.check.conservation.ConservationSink`,
+  :class:`~repro.adversary.recovery.RecoverySink`) run unmodified;
+* **adversary clock** — timed campaign phases are scheduled against the
+  shared wall-clock epoch; when a phase comes due the parent resolves
+  its selectors and ships :class:`~repro.live.wire.CtrlAction`
+  envelopes to the targeted children (trigger campaigns need
+  synchronous bus reentry and are rejected at spec validation);
+* **completion detection** — drain-to-completion runs finish when the
+  pumped ``TaskCompleted`` count reaches the workload target (plus all
+  phases fired); fixed-``duration`` runs finish at the simulated time;
+* **graceful shutdown** — broadcast :class:`~repro.live.wire.CtrlShutdown`,
+  collect every child's :class:`~repro.live.wire.ChildExit` report
+  (output processes attach their commit summaries), join with a
+  deadline, and kill stragglers so a wedged child can never hang the
+  harness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adversary.campaign import Phase, resolve_selector
+from repro.errors import BenchmarkError, LiveError
+from repro.live.host import child_main
+from repro.live.wire import (
+    ChildEvent,
+    ChildExit,
+    ChildReady,
+    CtrlAction,
+    CtrlShutdown,
+    CtrlStart,
+    register_wire,
+)
+from repro.obs import events as _events
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CATEGORY_ADVERSARY,
+    AdversaryAction,
+    AdversaryPhase,
+)
+from repro.runtime.codec import decode_json, encode_json
+from repro.runtime.plan import ClusterPlan
+
+__all__ = ["LiveReport", "LiveRuntime"]
+
+#: wall seconds to wait for every child's ready handshake
+_READY_TIMEOUT_S = 30.0
+#: wall seconds to wait for exit reports + process joins at shutdown
+_JOIN_TIMEOUT_S = 10.0
+#: wall-clock lead given to CtrlStart so every child sees t0 in its future
+_START_LEAD_S = 0.05
+
+_ALL_CATEGORIES = frozenset(
+    getattr(_events, name)
+    for name in _events.__all__
+    if name.startswith("CATEGORY_")
+)
+
+
+@dataclass
+class LiveReport:
+    """Everything a live run produces (the wall-clock ScenarioResult
+    ingredients plus the commit summaries cross-validation compares)."""
+
+    #: op pid → commit outcome map (see :func:`repro.live.crossval.commit_outcomes`)
+    commits: dict = field(default_factory=dict)
+    #: pid → emulated-CPU busy seconds
+    busy_seconds: dict = field(default_factory=dict)
+    #: pid → tasks executed by that node's execution engine
+    tasks_executed: dict = field(default_factory=dict)
+    unhandled_messages: int = 0
+    tasks_completed: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    #: conservation violations observed by the parent-side sink
+    violations: int = 0
+    #: (sim time, op, target pid, role, fault kind) of applied actions
+    applied_actions: list = field(default_factory=list)
+
+
+class LiveRuntime:
+    """One live deployment: build once, :meth:`run` once."""
+
+    def __init__(
+        self,
+        plan: ClusterPlan,
+        app,
+        workload=None,
+        sinks: Iterable = (),
+        time_scale: float = 1.0,
+    ) -> None:
+        register_wire()
+        if plan.capture:
+            raise LiveError(
+                "replay capture needs the deterministic DES backend; "
+                "run this spec with backend='des'"
+            )
+        if plan.campaign is not None and plan.campaign.triggers:
+            raise LiveError(
+                "trigger campaigns need synchronous bus reentry and are "
+                "DES-only; live runs support timed phases"
+            )
+        if time_scale <= 0:
+            raise LiveError(f"time_scale must be positive, got {time_scale}")
+        self.plan = plan
+        self.app = app
+        self.workload = workload
+        self.time_scale = time_scale
+        self.bus = EventBus()
+        from repro.core.metrics import MetricsHub
+
+        self.metrics = MetricsHub()
+        self.bus.attach(self.metrics)
+        self.sanitizer_report = None
+        if plan.sanitize:
+            from repro.check.conservation import ConservationSink
+            from repro.check.report import SanitizerReport
+
+            # the full substrate sanitizer shadows simulated NICs and CPU
+            # banks; live runs get its event-stream conservation checks
+            self.sanitizer_report = SanitizerReport()
+            self.bus.attach(ConservationSink(self.sanitizer_report))
+        self.recovery = None
+        if plan.campaign is not None:
+            from repro.adversary.recovery import RecoverySink
+
+            self.recovery = RecoverySink()
+            self.bus.attach(self.recovery)
+        for sink in sinks:
+            self.bus.attach(sink)
+        self._ran = False
+
+    # ------------------------------------------------------------- plumbing
+    def _wanted(self) -> frozenset[str]:
+        """Category snapshot shipped to children at fork: what any
+        parent-side sink wants now (attach-after-start is not supported
+        across the process boundary)."""
+        return frozenset(
+            c for c in _ALL_CATEGORIES if self.bus.wants(c)
+        )
+
+    def _broadcast(self, payload: str) -> None:
+        for box in self._inboxes.values():
+            box.put(payload)
+
+    # ------------------------------------------------------------ lifecycle
+    def run(
+        self,
+        deadline: float,
+        duration: Optional[float] = None,
+        target_tasks: int = 0,
+    ) -> LiveReport:
+        """Execute the deployment; wall time ≈ sim time × ``time_scale``.
+
+        ``deadline``/``duration`` are *simulated* seconds, mirroring the
+        DES driver: with ``duration`` the run streams for that long;
+        otherwise it drains until ``target_tasks`` tasks completed (and
+        every campaign phase fired), failing loudly at ``deadline``.
+        """
+        if self._ran:
+            raise LiveError("a LiveRuntime instance runs once; build a new one")
+        self._ran = True
+        ctx = mp.get_context("fork")
+        self._up = ctx.Queue()
+        self._inboxes = {spec.pid: ctx.Queue() for spec in self.plan.nodes}
+        wanted = self._wanted()
+        primary_ip = (
+            self.plan.topo.input_pids[0] if self.plan.topo.input_pids else None
+        )
+        procs: dict[str, mp.Process] = {}
+        t_wall0 = time.monotonic()
+        try:
+            for spec in self.plan.nodes:
+                stream = (
+                    self.workload.stream
+                    if (spec.pid == primary_ip and self.workload is not None)
+                    else None
+                )
+                p = ctx.Process(
+                    target=child_main,
+                    args=(
+                        self.plan,
+                        spec,
+                        self.app,
+                        stream,
+                        self._inboxes,
+                        self._up,
+                        wanted,
+                    ),
+                    name=f"live-{spec.pid}",
+                    daemon=True,
+                )
+                p.start()
+                procs[spec.pid] = p
+            self._procs = procs
+            self._await_ready(procs)
+            t0 = time.monotonic() + _START_LEAD_S
+            self._broadcast(
+                encode_json(CtrlStart(t0=t0, time_scale=self.time_scale))
+            )
+            report = LiveReport()
+            self._exited = set()
+            self._pump(t0, deadline, duration, target_tasks, report)
+            self._shutdown(t0, procs, report)
+            report.wall_seconds = time.monotonic() - t_wall0
+            if self.sanitizer_report is not None:
+                report.violations = len(self.sanitizer_report.violations)
+            if (
+                duration is None
+                and target_tasks > 0
+                and report.tasks_completed < target_tasks
+            ):
+                raise BenchmarkError(
+                    f"scenario missed deadline: "
+                    f"{report.tasks_completed}/{target_tasks} tasks "
+                    f"by t={deadline}"
+                )
+            return report
+        finally:
+            self._cleanup(procs)
+
+    def _await_ready(self, procs: dict) -> None:
+        ready: set[str] = set()
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        while len(ready) < len(procs):
+            self._reap(procs, ready)
+            try:
+                item = decode_json(
+                    self._up.get(timeout=min(0.25, _READY_TIMEOUT_S))
+                )
+            except queue.Empty:
+                if time.monotonic() > deadline:
+                    missing = sorted(set(procs) - ready)
+                    raise LiveError(
+                        f"live start handshake timed out; not ready: {missing}"
+                    )
+                continue
+            if isinstance(item, ChildReady):
+                ready.add(item.pid)
+
+    def _reap(self, procs: dict, ok_missing: set) -> None:
+        """A dead child that never reported is a hard failure."""
+        for pid, p in procs.items():
+            if not p.is_alive() and p.exitcode not in (0, None):
+                raise LiveError(
+                    f"child {pid} died with exit code {p.exitcode} "
+                    f"(see its stderr for the traceback)"
+                )
+
+    def _pump(
+        self,
+        t0: float,
+        deadline: float,
+        duration: Optional[float],
+        target_tasks: int,
+        report: LiveReport,
+    ) -> None:
+        campaign = self.plan.campaign
+        pending: list[Phase] = (
+            sorted(campaign.phases, key=lambda ph: ph.at) if campaign else []
+        )
+        last_reap = time.monotonic()
+        while True:
+            now_sim = max(0.0, (time.monotonic() - t0) / self.time_scale)
+            while pending and pending[0].at <= now_sim:
+                self._apply_phase(pending.pop(0), now_sim, report)
+            report.tasks_completed = self.metrics.tasks_completed
+            if duration is not None:
+                if now_sim >= duration:
+                    return
+            elif (
+                target_tasks > 0
+                and report.tasks_completed >= target_tasks
+                and not pending
+            ):
+                return
+            if now_sim >= deadline:
+                return  # the caller turns a missed target into an error
+            if time.monotonic() - last_reap > 1.0:
+                self._reap(self._procs, set())
+                last_reap = time.monotonic()
+            next_phase_wall = (
+                t0 + pending[0].at * self.time_scale if pending else None
+            )
+            timeout = 0.05
+            if next_phase_wall is not None:
+                timeout = min(
+                    timeout, max(0.0, next_phase_wall - time.monotonic())
+                )
+            try:
+                item = decode_json(self._up.get(timeout=timeout))
+            except queue.Empty:
+                continue
+            self._dispatch_up(item, report)
+
+    def _dispatch_up(self, item, report: LiveReport) -> None:
+        if isinstance(item, ChildEvent):
+            self.bus.emit(item.event)
+            report.sim_seconds = max(
+                report.sim_seconds, getattr(item.event, "time", 0.0)
+            )
+        elif isinstance(item, ChildExit):
+            self._fold_exit(item, report)
+        # late ChildReady duplicates are harmless; ignore anything else
+
+    def _apply_phase(self, phase: Phase, now_sim: float, report: LiveReport) -> None:
+        campaign = self.plan.campaign
+        if self.bus.wants(CATEGORY_ADVERSARY):
+            self.bus.emit(
+                AdversaryPhase(
+                    time=now_sim,
+                    pid="adversary",
+                    campaign=campaign.name,
+                    phase=phase.name or f"t={phase.at:g}",
+                )
+            )
+        for action in phase.actions:
+            for pid in resolve_selector(action.select, self.plan.topo):
+                self._inboxes[pid].put(
+                    encode_json(CtrlAction(pid=pid, action=action.to_dict()))
+                )
+                kind = action.fault.kind if action.fault is not None else ""
+                role = action.fault.role if action.fault is not None else ""
+                report.applied_actions.append(
+                    (now_sim, action.op, pid, role, kind)
+                )
+                if self.bus.wants(CATEGORY_ADVERSARY):
+                    self.bus.emit(
+                        AdversaryAction(
+                            time=now_sim,
+                            pid="adversary",
+                            campaign=campaign.name,
+                            op=action.op,
+                            target=pid,
+                            role=role,
+                            fault=kind,
+                        )
+                    )
+
+    def _fold_exit(self, item: ChildExit, report: LiveReport) -> None:
+        if item.summary:
+            report.commits[item.pid] = item.summary
+        report.busy_seconds[item.pid] = item.busy_seconds
+        if item.tasks_executed:
+            report.tasks_executed[item.pid] = item.tasks_executed
+        report.unhandled_messages += item.unhandled
+        self._exited.add(item.pid)
+
+    def _shutdown(self, t0: float, procs: dict, report: LiveReport) -> None:
+        """Drain, collect exit reports, join with deadline, kill stragglers."""
+        self._broadcast(encode_json(CtrlShutdown(grace=0.2)))
+        deadline = time.monotonic() + _JOIN_TIMEOUT_S
+        while (
+            len(self._exited) < len(procs) and time.monotonic() < deadline
+        ):
+            try:
+                item = decode_json(self._up.get(timeout=0.25))
+            except queue.Empty:
+                continue
+            self._dispatch_up(item, report)
+        for pid, p in procs.items():
+            p.join(timeout=max(0.0, deadline - time.monotonic()) + 0.5)
+        stragglers = [pid for pid, p in procs.items() if p.is_alive()]
+        for pid in stragglers:
+            procs[pid].terminate()
+            procs[pid].join(timeout=1.0)
+            if procs[pid].is_alive():  # pragma: no cover - last resort
+                procs[pid].kill()
+                procs[pid].join(timeout=1.0)
+        missing = sorted(set(procs) - self._exited)
+        if missing:
+            raise LiveError(
+                f"children never reported exit summaries: {missing} "
+                f"(killed: {sorted(stragglers)})"
+            )
+
+    def _cleanup(self, procs: dict) -> None:
+        for p in procs.values():
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        for q in list(self._inboxes.values()) + [self._up]:
+            q.close()
+            q.cancel_join_thread()
+        self.bus.close()

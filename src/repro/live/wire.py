@@ -1,0 +1,133 @@
+"""Control-plane envelopes for the live OS-process backend.
+
+Everything that crosses a process boundary is one codec-JSON string
+(:mod:`repro.runtime.codec`): protocol messages ride inside a
+:class:`NetEnvelope` (content form — ``sender``/``_neq`` are transport
+stamps applied at send/delivery, exactly like the DES network), trace
+events ride up to the parent inside a :class:`ChildEvent`, and the
+parent drives children with the ``Ctrl*`` types.  :func:`register_wire`
+installs every envelope *and* the full trace-event vocabulary in the
+codec registry; both the parent and each child call it once at startup
+(idempotent).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import events as _events
+from repro.obs.events import TraceEvent
+from repro.runtime import codec
+
+__all__ = [
+    "NetEnvelope",
+    "CtrlStart",
+    "CtrlAction",
+    "CtrlShutdown",
+    "ChildReady",
+    "ChildEvent",
+    "ChildExit",
+    "register_wire",
+]
+
+
+@dataclass(slots=True)
+class NetEnvelope:
+    """One inter-node message hop: src → dst, payload in content form."""
+
+    src: str
+    dst: str
+    neq: bool
+    payload: str  # codec JSON of the protocol message (no sender stamp)
+
+
+@dataclass(slots=True)
+class CtrlStart:
+    """Parent → every child: begin running.
+
+    ``t0`` is a shared ``time.monotonic()`` epoch (comparable across
+    processes on Linux — CLOCK_MONOTONIC is system-wide); sim time is
+    ``(monotonic() - t0) / time_scale`` everywhere, so one wall second
+    carries ``1/time_scale`` simulated seconds.
+    """
+
+    t0: float
+    time_scale: float
+
+
+@dataclass(slots=True)
+class CtrlAction:
+    """Parent → one child: apply an adversary action to the local core.
+
+    ``action`` is ``Action.to_dict()`` — the campaign layer's canonical
+    serialization, reused instead of registering fault specs with the
+    codec.
+    """
+
+    pid: str
+    action: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class CtrlShutdown:
+    """Parent → every child: stop the loop, report, and exit."""
+
+    grace: float = 0.0  # wall seconds to keep draining before reporting
+
+
+@dataclass(slots=True)
+class ChildReady:
+    """Child → parent: core built and bound, inbox being served."""
+
+    pid: str
+
+
+@dataclass(slots=True)
+class ChildEvent:
+    """Child → parent: one trace event for the parent-side bus pump."""
+
+    pid: str
+    event: Any = None
+
+
+@dataclass(slots=True)
+class ChildExit:
+    """Child → parent: final report, sent in response to CtrlShutdown.
+
+    ``summary`` carries the commit outcomes for output processes (see
+    :func:`repro.live.crossval.commit_outcomes`) and is empty for other
+    roles.
+    """
+
+    pid: str
+    summary: dict = field(default_factory=dict)
+    busy_seconds: float = 0.0
+    tasks_executed: int = 0
+    unhandled: int = 0
+    crashed: bool = False
+
+
+_WIRE = (
+    NetEnvelope,
+    CtrlStart,
+    CtrlAction,
+    CtrlShutdown,
+    ChildReady,
+    ChildEvent,
+    ChildExit,
+)
+
+
+def register_wire() -> None:
+    """Install the envelopes and the trace-event vocabulary (idempotent)."""
+    codec.register(*_WIRE)
+    for name in _events.__all__:
+        obj = getattr(_events, name)
+        if (
+            inspect.isclass(obj)
+            and issubclass(obj, TraceEvent)
+            and obj is not TraceEvent
+        ):
+            codec.register(obj)

@@ -1,31 +1,84 @@
-"""JSON round-tripping of protocol messages for capture logs.
+"""Canonical JSON wire format for protocol messages and control types.
 
-A captured inbox must survive a process boundary (JSONL file → later
-debugging session), so delivered messages are encoded structurally:
-every registered dataclass (wire messages, ``Task``/``Assignment``/
-``Chunk``/``Record``/``Signature``) becomes a tagged object, bytes
-become hex, tuples are distinguished from lists, and the ``Opcode``
-enum round-trips by value.  Closures are never serialized — callback
+Anything that crosses a process boundary goes through this module: the
+replay capture logs (a captured inbox must survive a JSONL file → later
+debugging session) and every queue hop of the live OS-process backend
+(:mod:`repro.live`) — protocol messages, forwarded trace events and the
+parent↔child control envelopes.  Values are encoded structurally: every
+registered dataclass (wire messages, ``Task``/``Assignment``/``Chunk``/
+``Record``/``Signature``, trace events, live control types) becomes a
+tagged object, bytes become hex, tuples are distinguished from lists,
+sets are sorted into deterministic order, and registered enums
+round-trip by value.  Closures are never serialized — callback
 continuations are captured *by identifier* (see
-:mod:`repro.runtime.replay`), which is what keeps the log format this
+:mod:`repro.runtime.replay`), which is what keeps the wire format this
 small.
 
-The class registry is built lazily on first use: the message modules of
-the baselines import their deployment builders, which import the DES
-backend, so an import-time registry would be cyclic.
+The base class registry is built lazily on first use: the message
+modules of the baselines import their deployment builders, which import
+the DES backend, so an import-time registry would be cyclic.  Layers
+above the runtime (observability, the live backend) extend the registry
+with :func:`register` / :func:`register_enum` instead of being imported
+from here.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import fields, is_dataclass
+from enum import Enum
 from typing import Any, Optional
 
 from repro.errors import ReplayError
 
-__all__ = ["encode", "decode", "encode_json", "decode_json"]
+__all__ = [
+    "encode",
+    "decode",
+    "encode_json",
+    "decode_json",
+    "register",
+    "register_enum",
+    "registered_types",
+]
 
 _REGISTRY: Optional[dict[str, type]] = None
+#: classes added by upper layers (obs events, live control types)
+_EXTRA: dict[str, type] = {}
+#: enum classes that round-trip by value; ``Opcode`` is installed lazily
+_ENUMS: dict[str, type] = {}
+
+
+def register(*classes: type) -> None:
+    """Add dataclasses to the wire registry (idempotent per class).
+
+    Registration is by class *name* — the decoder's tag — so two
+    distinct classes may not share one.
+    """
+    global _REGISTRY
+    for cls in classes:
+        if not is_dataclass(cls):
+            raise ReplayError(f"{cls.__name__} is not a dataclass")
+        current = _EXTRA.get(cls.__name__)
+        if current is not None and current is not cls:
+            raise ReplayError(
+                f"wire name {cls.__name__!r} already registered to a "
+                f"different class"
+            )
+        _EXTRA[cls.__name__] = cls
+    _REGISTRY = None  # fold extras in on next use
+
+
+def register_enum(cls: type) -> None:
+    """Add an :class:`~enum.Enum` class to the wire registry."""
+    if not (isinstance(cls, type) and issubclass(cls, Enum)):
+        raise ReplayError(f"{cls!r} is not an Enum class")
+    current = _ENUMS.get(cls.__name__)
+    if current is not None and current is not cls:
+        raise ReplayError(
+            f"enum name {cls.__name__!r} already registered to a "
+            f"different class"
+        )
+    _ENUMS[cls.__name__] = cls
 
 
 def _registry() -> dict[str, type]:
@@ -36,7 +89,7 @@ def _registry() -> dict[str, type]:
         import repro.consensus.messages as cs_messages
         import repro.consensus.pbft as pbft
         import repro.core.messages as core_messages
-        from repro.core.tasks import Assignment, Chunk, Record, Task
+        from repro.core.tasks import Assignment, Chunk, Opcode, Record, Task
         from repro.crypto.signatures import Signature
 
         reg: dict[str, type] = {}
@@ -50,8 +103,23 @@ def _registry() -> dict[str, type]:
                     reg[name] = cls
         for cls in (Task, Record, Assignment, Chunk, Signature):
             reg[cls.__name__] = cls
+        _ENUMS.setdefault("Opcode", Opcode)
+        reg.update(_EXTRA)
         _REGISTRY = reg
     return _REGISTRY
+
+
+def registered_types() -> dict[str, type]:
+    """Snapshot of the wire registry (name → class), extras included."""
+    return dict(_registry())
+
+
+def _enum_for(name: str) -> type:
+    _registry()  # ensure the base enums are installed
+    cls = _ENUMS.get(name)
+    if cls is None:
+        raise ReplayError(f"unknown enum {name!r}")
+    return cls
 
 
 def encode(value: Any, with_sender: bool = True) -> Any:
@@ -64,6 +132,14 @@ def encode(value: Any, with_sender: bool = True) -> Any:
         return {"__t": [encode(v, with_sender) for v in value]}
     if isinstance(value, list):
         return [encode(v, with_sender) for v in value]
+    if isinstance(value, (set, frozenset)):
+        # sets are unordered; sort by encoded form for a deterministic wire
+        body = sorted(
+            (encode(v, with_sender) for v in value),
+            key=lambda e: json.dumps(e, sort_keys=True, default=str),
+        )
+        tag = "__fs" if isinstance(value, frozenset) else "__s"
+        return {tag: body}
     if isinstance(value, dict):
         return {
             "__d": [
@@ -72,11 +148,9 @@ def encode(value: Any, with_sender: bool = True) -> Any:
             ]
         }
     cls = type(value)
-    from enum import Enum
-
     if isinstance(value, Enum):
         return {"__e": cls.__name__, "v": value.value}
-    if is_dataclass(value) and cls.__name__ in _registry():
+    if is_dataclass(value) and _registry().get(cls.__name__) is cls:
         body = {
             f.name: encode(getattr(value, f.name), with_sender)
             for f in fields(value)
@@ -106,14 +180,14 @@ def decode(value: Any) -> Any:
             return bytes.fromhex(value["__b"])
         if "__t" in value:
             return tuple(decode(v) for v in value["__t"])
+        if "__s" in value:
+            return {decode(v) for v in value["__s"]}
+        if "__fs" in value:
+            return frozenset(decode(v) for v in value["__fs"])
         if "__d" in value:
             return {decode(k): decode(v) for k, v in value["__d"]}
         if "__e" in value:
-            from repro.core.tasks import Opcode
-
-            if value["__e"] != "Opcode":
-                raise ReplayError(f"unknown enum {value['__e']!r}")
-            return Opcode(value["v"])
+            return _enum_for(value["__e"])(value["v"])
         if "__c" in value:
             cls = _registry().get(value["__c"])
             if cls is None:

@@ -1,19 +1,15 @@
 """Deployment builder: bind protocol cores to the DES backend.
 
-Maps the paper's Sec 7 setup onto the substrate: ``n_workers`` worker
-processes are split into ``k`` verifier sub-clusters of 2f+1 (the first
-being VP_CO) and a pool of executors; one node acts as IP and one as OP
-unless told otherwise.  The paper starts runs with |WP|/(2f+1) verifier
-sub-clusters and lets role-switching converge; we default to the
-converged ballpark ``max(1, n // (2 · (2f+1)))`` so short simulations
-measure steady state, and expose ``k`` for the Fig 6d experiment that
-studies convergence itself.
-
-Every role is a pure :class:`~repro.runtime.core.ProtocolCore`; this
-module is the only place where cores meet the simulator — each one is
-wrapped in a :class:`~repro.runtime.des.DesHost` immediately after
-construction (preserving the pre-refactor event-seq order of initial
-timers) and registered on the network.
+Layout decisions (topology, role assignment, fault normalization) live
+in :mod:`repro.runtime.plan`; this module instantiates a computed
+:class:`~repro.runtime.plan.ClusterPlan` on the simulated substrate.
+Every role is a pure :class:`~repro.runtime.core.ProtocolCore`; this is
+the only place where cores meet the simulator — each one is wrapped in
+a :class:`~repro.runtime.des.DesHost` immediately after construction
+(preserving the pre-refactor event-seq order of initial timers) and
+registered on the network.  The live OS-process backend
+(:mod:`repro.live`) instantiates the *same* plan with one child process
+per node instead.
 """
 
 from __future__ import annotations
@@ -31,15 +27,24 @@ from repro.core.metrics import MetricsHub
 from repro.core.tasks import Task
 from repro.core.verifier import Verifier
 from repro.crypto.signatures import KeyRegistry
-from repro.errors import ProtocolError
 from repro.net.links import DEFAULT_BANDWIDTH, Network
 from repro.net.partial_synchrony import SynchronyModel
-from repro.net.topology import SubCluster, Topology
+from repro.net.topology import Topology
 from repro.obs.bus import EventBus
 from repro.runtime.des import DesHost
+from repro.runtime.plan import (
+    ClusterPlan,
+    default_cluster_count,
+    plan_osiris_cluster,
+)
 from repro.sim.kernel import Simulator
 
-__all__ = ["OsirisCluster", "build_osiris_cluster", "default_cluster_count"]
+__all__ = [
+    "OsirisCluster",
+    "build_osiris_cluster",
+    "instantiate_plan_des",
+    "default_cluster_count",
+]
 
 
 @dataclass
@@ -93,9 +98,72 @@ class OsirisCluster:
         return list(self.coordinators) + list(self.verifiers)
 
 
-def default_cluster_count(n_workers: int, config: OsirisConfig) -> int:
-    """Steady-state verifier sub-cluster count heuristic (see module doc)."""
-    return max(1, n_workers // (2 * config.subcluster_size))
+def instantiate_plan_des(
+    plan: ClusterPlan,
+    app: VerifiableApplication,
+    workload: Optional[Iterator[tuple[float, Task]]] = None,
+    sinks: Iterable = (),
+) -> OsirisCluster:
+    """Instantiate a computed plan on the DES substrate."""
+    sim = Simulator(seed=plan.seed)
+    net = Network(sim, synchrony=plan.synchrony, bandwidth=plan.bandwidth)
+    registry = KeyRegistry()
+    metrics = MetricsHub()
+    sim.bus.attach(metrics)
+    sanitizer = None
+    if plan.sanitize:
+        from repro.check.sanitizer import Sanitizer  # lazy: optional layer
+
+        sanitizer = Sanitizer(net)
+        sanitizer.attach(sim.bus)
+    for sink in sinks:
+        sim.bus.attach(sink)
+
+    hosts: dict[str, DesHost] = {}
+    by_role: dict[str, list] = {
+        "coordinator": [],
+        "verifier": [],
+        "executor": [],
+        "input": [],
+        "output": [],
+    }
+    primary_ip = plan.topo.input_pids[0] if plan.topo.input_pids else None
+    for spec in plan.nodes:
+        wl = workload if (spec.pid == primary_ip and spec.role == "input") else None
+        core = plan.make_core(spec, app, registry, workload=wl)
+        host = DesHost(
+            sim, net, core, cores=spec.cores, capture=spec.pid in plan.capture
+        )
+        net.register(host)
+        hosts[spec.pid] = host
+        by_role[spec.role].append(core)
+
+    cluster = OsirisCluster(
+        sim=sim,
+        net=net,
+        topo=plan.topo,
+        registry=registry,
+        metrics=metrics,
+        bus=sim.bus,
+        config=plan.config,
+        app=app,
+        inputs=by_role["input"],
+        outputs=by_role["output"],
+        executors=by_role["executor"],
+        verifiers=by_role["verifier"],
+        coordinators=by_role["coordinator"],
+        hosts=hosts,
+        sanitizer=sanitizer,
+    )
+    if plan.campaign is not None:
+        from repro.adversary.engine import install_campaign
+        from repro.adversary.recovery import RecoverySink
+
+        # recovery first, so it observes even t=0 phase injections
+        cluster.recovery = RecoverySink()
+        sim.bus.attach(cluster.recovery)
+        cluster.campaign = install_campaign(plan.campaign, cluster)
+    return cluster
 
 
 def build_osiris_cluster(
@@ -117,7 +185,7 @@ def build_osiris_cluster(
     capture: Iterable[str] = (),
     sanitize: bool = False,
 ) -> OsirisCluster:
-    """Build and wire an OsirisBFT deployment.
+    """Build and wire an OsirisBFT deployment on the DES backend.
 
     Parameters
     ----------
@@ -155,138 +223,20 @@ def build_osiris_cluster(
         ``cluster.sanitizer.audit(cluster)`` after the run for the
         post-run checks.
     """
-    config = config or OsirisConfig()
-    size = config.subcluster_size
-    if k is None:
-        k = default_cluster_count(n_workers, config)
-    if k < 1:
-        raise ProtocolError("need at least one verifier sub-cluster")
-    if n_workers < k * size:
-        raise ProtocolError(
-            f"n_workers={n_workers} cannot host {k} sub-clusters of {size}"
-        )
-    n_exec = n_workers - k * size
-
-    clusters = []
-    vpid = 0
-    for idx in range(k):
-        members = tuple(f"v{vpid + j}" for j in range(size))
-        clusters.append(SubCluster(index=idx, members=members, f=config.f))
-        vpid += size
-    topo = Topology(
-        input_pids=tuple(f"ip{i}" for i in range(n_inputs)),
-        output_pids=tuple(f"op{i}" for i in range(n_outputs)),
-        executor_pids=tuple(f"e{i}" for i in range(n_exec)),
-        verifier_clusters=tuple(clusters),
-        f=config.f,
-    )
-
-    sim = Simulator(seed=seed)
-    net = Network(
-        sim, synchrony=synchrony or SynchronyModel(), bandwidth=bandwidth
-    )
-    registry = KeyRegistry()
-    metrics = MetricsHub()
-    sim.bus.attach(metrics)
-    sanitizer = None
-    if sanitize:
-        from repro.check.sanitizer import Sanitizer  # lazy: optional layer
-
-        sanitizer = Sanitizer(net)
-        sanitizer.attach(sim.bus)
-    for sink in sinks:
-        sim.bus.attach(sink)
-    from repro.api import normalize_faults  # lazy: api sits above runtime
-
-    plan = normalize_faults(
-        faults,
-        executors=executor_faults,
-        verifiers=verifier_faults,
-        outputs=output_faults,
-    )
-    executor_faults = plan.executor_map()
-    verifier_faults = plan.verifier_map()
-    output_faults = plan.output_map()
-    captured = frozenset(capture)
-    hosts: dict[str, DesHost] = {}
-
-    def deploy(core, cores: int) -> DesHost:
-        host = DesHost(sim, net, core, cores=cores, capture=core.pid in captured)
-        net.register(host)
-        hosts[core.pid] = host
-        return host
-
-    coordinators: list[Coordinator] = []
-    verifiers: list[Verifier] = []
-    for cluster in topo.verifier_clusters:
-        for pid in cluster.members:
-            cls = Coordinator if cluster.index == 0 else Verifier
-            core = cls(
-                pid,
-                topo,
-                registry,
-                registry.register(pid),
-                app,
-                config,
-                cluster=cluster,
-                fault=verifier_faults.get(pid),
-            )
-            deploy(core, config.cores_per_node)
-            (coordinators if cluster.index == 0 else verifiers).append(core)
-
-    executors: list[Executor] = []
-    for pid in topo.executor_pids:
-        core = Executor(
-            pid,
-            topo,
-            registry,
-            registry.register(pid),
-            app,
-            config,
-            fault=executor_faults.get(pid),
-        )
-        deploy(core, config.cores_per_node)
-        executors.append(core)
-
-    inputs = []
-    for i, pid in enumerate(topo.input_pids):
-        ip = InputProcess(
-            pid,
-            topo,
-            workload if (i == 0 and workload is not None) else iter(()),
-        )
-        deploy(ip, 2)
-        inputs.append(ip)
-
-    outputs = []
-    for pid in topo.output_pids:
-        op = OutputProcess(pid, topo, config, fault=output_faults.get(pid))
-        deploy(op, 2)
-        outputs.append(op)
-
-    cluster = OsirisCluster(
-        sim=sim,
-        net=net,
-        topo=topo,
-        registry=registry,
-        metrics=metrics,
-        bus=sim.bus,
+    plan = plan_osiris_cluster(
+        n_workers=n_workers,
         config=config,
-        app=app,
-        inputs=inputs,
-        outputs=outputs,
-        executors=executors,
-        verifiers=verifiers,
-        coordinators=coordinators,
-        hosts=hosts,
-        sanitizer=sanitizer,
+        k=k,
+        seed=seed,
+        synchrony=synchrony,
+        bandwidth=bandwidth,
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        faults=faults,
+        executor_faults=executor_faults,
+        verifier_faults=verifier_faults,
+        output_faults=output_faults,
+        capture=capture,
+        sanitize=sanitize,
     )
-    if plan.campaign is not None:
-        from repro.adversary.engine import install_campaign
-        from repro.adversary.recovery import RecoverySink
-
-        # recovery first, so it observes even t=0 phase injections
-        cluster.recovery = RecoverySink()
-        sim.bus.attach(cluster.recovery)
-        cluster.campaign = install_campaign(plan.campaign, cluster)
-    return cluster
+    return instantiate_plan_des(plan, app, workload, sinks=sinks)

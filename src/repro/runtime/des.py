@@ -1,7 +1,9 @@
 """Discrete-event backend: hosts one :class:`ProtocolCore` on the DES.
 
 A :class:`DesHost` is the glue between a pure core and the simulated
-substrate.  It interprets every effect with exactly the calls the
+substrate.  Effect dispatch, capture and continuation plumbing live in
+the shared :class:`~repro.runtime.interpreter.EffectInterpreter`; this
+module supplies the DES primitives with exactly the calls the
 pre-refactor inline role code made — same ``Network.send`` order, same
 ``CpuBank.submit`` / ``Simulator.schedule_at`` sequence, same guard
 closures — so same-seed traces are bit-identical across the refactor.
@@ -35,7 +37,8 @@ from repro.runtime.effects import (
     Send,
     SetTimer,
 )
-from repro.runtime.replay import effect_signature, encode_message
+from repro.runtime.interpreter import EffectInterpreter
+from repro.runtime.replay import effect_signature
 from repro.sim.process import SimProcess
 
 __all__ = ["DesHost"]
@@ -45,7 +48,7 @@ def _noop() -> None:
     return None
 
 
-class DesHost(SimProcess):
+class DesHost(SimProcess, EffectInterpreter):
     """One simulated node running one protocol core."""
 
     def __init__(
@@ -80,55 +83,18 @@ class DesHost(SimProcess):
 
     # SimProcess already provides timer_armed()
 
-    def perform(self, effect) -> None:
-        if self.capture:
-            self.sim.bus.emit(
-                ReplayEffect(
-                    time=self.sim.now,
-                    pid=self.pid,
-                    signature=effect_signature(effect),
-                )
-            )
-        if type(effect) is Send:
-            self.net.send(self.pid, effect.dst, effect.msg)
-        elif type(effect) is Multicast:
-            self.net.multicast(self.pid, effect.dsts, effect.msg)
-        elif type(effect) is NeqMulticast:
-            self.net.neq_multicast(self.pid, effect.dsts, effect.msg)
-        elif type(effect) is SetTimer:
-            self.set_timer(
-                effect.name, effect.delay, self._fire_timer, effect
-            )
-        elif type(effect) is CancelTimer:
-            self.cancel_timer(effect.name)
-        elif type(effect) is Schedule:
-            self.sim.schedule(effect.delay, self._fire_sched, effect)
-        elif type(effect) is Job:
-            run = self._job_thunk(effect)
-            handle = self.cpu.submit(
-                effect.cost, self._guard(run) if effect.guarded else run
-            )
-            start = handle.time - effect.cost
-            for idx in range(len(effect.milestones)):
-                offset = effect.milestones[idx][0]
-                self.sim.schedule_at(
-                    start + offset,
-                    self._fire_milestone,
-                    effect,
-                    idx,
-                )
-        elif type(effect) is CtrlJob:
-            self.ctrl.submit(effect.cost, self._guard(self._job_thunk(effect)))
-        elif type(effect) is ApplyUpdate:
-            self.cpu.submit(effect.cost, self._guard(_noop))
-        elif type(effect) is Emit:
-            self.sim.bus.emit(effect.event)
-        elif type(effect) is Halt:
-            self.crash()
-        else:  # pragma: no cover - vocabulary is closed
-            raise TypeError(f"unknown effect {effect!r}")
+    perform = EffectInterpreter.interpret
 
-    # -------------------------------------------------------- continuations
+    # -------------------------------------------------------- capture hooks
+    def _capture_effect(self, effect) -> None:
+        self.sim.bus.emit(
+            ReplayEffect(
+                time=self.sim.now,
+                pid=self.pid,
+                signature=effect_signature(effect),
+            )
+        )
+
     def _record_input(self, kind: str, ref: str) -> None:
         self.sim.bus.emit(
             ReplayInput(
@@ -136,38 +102,57 @@ class DesHost(SimProcess):
             )
         )
 
-    def _fire_timer(self, effect: SetTimer) -> None:
-        if self.capture:
-            self._record_input("timer", effect.name)
-        effect.fn(*effect.args)
+    # ------------------------------------------------------- DES primitives
+    def _do_send(self, effect: Send) -> None:
+        self.net.send(self.pid, effect.dst, effect.msg)
 
-    def _fire_sched(self, effect: Schedule) -> None:
-        if self.capture:
-            self._record_input("sched", str(effect.sched_id))
-        effect.fn(*effect.args)
+    def _do_multicast(self, effect: Multicast) -> None:
+        self.net.multicast(self.pid, effect.dsts, effect.msg)
 
-    def _job_thunk(self, effect):
-        def run() -> None:
-            if self.capture:
-                self._record_input("job", str(effect.job_id))
-            effect.fn(*effect.args)
+    def _do_neq_multicast(self, effect: NeqMulticast) -> None:
+        self.net.neq_multicast(self.pid, effect.dsts, effect.msg)
 
-        return run
+    def _do_set_timer(self, effect: SetTimer) -> None:
+        self.set_timer(effect.name, effect.delay, self._fire_timer, effect)
 
-    def _fire_milestone(self, effect: Job, idx: int) -> None:
-        if self.capture:
-            self._record_input("milestone", f"{effect.job_id}:{idx}")
-        _, fn, args = effect.milestones[idx]
-        fn(*args)
+    def _do_cancel_timer(self, effect: CancelTimer) -> None:
+        self.cancel_timer(effect.name)
+
+    def _do_schedule(self, effect: Schedule) -> None:
+        self.sim.schedule(effect.delay, self._fire_sched, effect)
+
+    def _do_job(self, effect: Job) -> None:
+        run = self._job_thunk(effect)
+        handle = self.cpu.submit(
+            effect.cost, self._guard(run) if effect.guarded else run
+        )
+        start = handle.time - effect.cost
+        for idx in range(len(effect.milestones)):
+            offset = effect.milestones[idx][0]
+            self.sim.schedule_at(
+                start + offset,
+                self._fire_milestone,
+                effect,
+                idx,
+            )
+
+    def _do_ctrl_job(self, effect: CtrlJob) -> None:
+        self.ctrl.submit(effect.cost, self._guard(self._job_thunk(effect)))
+
+    def _do_apply_update(self, effect: ApplyUpdate) -> None:
+        self.cpu.submit(effect.cost, self._guard(_noop))
+
+    def _do_emit(self, effect: Emit) -> None:
+        self.sim.bus.emit(effect.event)
+
+    def _do_halt(self, effect: Halt) -> None:
+        self.crash()
 
     # ------------------------------------------------------------ messaging
     def deliver(self, msg: Any) -> None:
         if self.crashed:
             return
-        if self.capture:
-            self._record_input("msg", encode_message(msg))
-        self.core.handle(msg)
-        self.unhandled_messages = self.core.unhandled_messages
+        self._deliver_to_core(msg)
 
     # ---------------------------------------------------------------- crash
     def crash(self) -> None:

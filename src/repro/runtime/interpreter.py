@@ -1,0 +1,161 @@
+"""Host-side effect interpretation shared by every *executing* backend.
+
+A backend that actually runs a :class:`~repro.runtime.core.ProtocolCore`
+(the DES backend, the live OS-process backend) has to do the same three
+things regardless of its substrate: dispatch each performed effect to a
+substrate primitive, wrap callback-carrying effects in continuation
+thunks that honour replay capture, and feed delivered messages into the
+core.  :class:`EffectInterpreter` owns exactly that shared skeleton; a
+concrete host supplies the primitives (``_do_send`` … ``_do_halt``) that
+map onto its substrate — simulated NICs and CPU banks for
+:class:`~repro.runtime.des.DesHost`, multiprocessing queues and
+wall-clock timers for :class:`~repro.live.host.LiveHost`.
+
+The dispatch order and the capture hook placement are part of the byte-
+identical-trace contract: capture emission happens *before* the
+primitive runs, and primitives execute synchronously in perform order,
+exactly as the pre-extraction inline ``DesHost.perform`` did (pinned by
+the golden fig5/turncoat fixtures).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.core import ProtocolCore
+from repro.runtime.effects import (
+    ApplyUpdate,
+    CancelTimer,
+    CtrlJob,
+    Emit,
+    Halt,
+    Job,
+    Multicast,
+    NeqMulticast,
+    Schedule,
+    Send,
+    SetTimer,
+)
+from repro.runtime.replay import encode_message
+
+__all__ = ["EffectInterpreter"]
+
+
+class EffectInterpreter:
+    """Effect dispatch + capture + continuation plumbing for real hosts.
+
+    Subclasses set :attr:`core` and :attr:`capture` and implement the
+    ``_do_*`` primitives plus the two capture emitters
+    (:meth:`_capture_effect`, :meth:`_record_input`).
+    """
+
+    core: ProtocolCore
+    #: opt-in replay capture: when set, every performed effect and every
+    #: consumed input is published through the capture emitters.
+    capture: bool = False
+
+    # ------------------------------------------------------------ dispatch
+    def interpret(self, effect) -> None:
+        """Realise one effect through the host's substrate primitives."""
+        if self.capture:
+            self._capture_effect(effect)
+        t = type(effect)
+        if t is Send:
+            self._do_send(effect)
+        elif t is Multicast:
+            self._do_multicast(effect)
+        elif t is NeqMulticast:
+            self._do_neq_multicast(effect)
+        elif t is SetTimer:
+            self._do_set_timer(effect)
+        elif t is CancelTimer:
+            self._do_cancel_timer(effect)
+        elif t is Schedule:
+            self._do_schedule(effect)
+        elif t is Job:
+            self._do_job(effect)
+        elif t is CtrlJob:
+            self._do_ctrl_job(effect)
+        elif t is ApplyUpdate:
+            self._do_apply_update(effect)
+        elif t is Emit:
+            self._do_emit(effect)
+        elif t is Halt:
+            self._do_halt(effect)
+        else:  # pragma: no cover - vocabulary is closed
+            raise TypeError(f"unknown effect {effect!r}")
+
+    # ------------------------------------------------------ capture hooks
+    def _capture_effect(self, effect) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _record_input(self, kind: str, ref: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------- continuations
+    def _fire_timer(self, effect: SetTimer) -> None:
+        if self.capture:
+            self._record_input("timer", effect.name)
+        effect.fn(*effect.args)
+
+    def _fire_sched(self, effect: Schedule) -> None:
+        if self.capture:
+            self._record_input("sched", str(effect.sched_id))
+        effect.fn(*effect.args)
+
+    def _job_thunk(self, effect):
+        def run() -> None:
+            if self.capture:
+                self._record_input("job", str(effect.job_id))
+            effect.fn(*effect.args)
+
+        return run
+
+    def _fire_milestone(self, effect: Job, idx: int) -> None:
+        if self.capture:
+            self._record_input("milestone", f"{effect.job_id}:{idx}")
+        _, fn, args = effect.milestones[idx]
+        fn(*args)
+
+    # ------------------------------------------------------------ delivery
+    def _deliver_to_core(self, msg: Any) -> None:
+        """Feed one delivered message into the core (capture included);
+        the host's own crash gating happens *before* this call."""
+        if self.capture:
+            self._record_input("msg", encode_message(msg))
+        self.core.handle(msg)
+        self.unhandled_messages = self.core.unhandled_messages
+
+    # ---------------------------------------------------------- primitives
+    def _do_send(self, effect: Send) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_multicast(self, effect: Multicast) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_neq_multicast(self, effect: NeqMulticast) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_set_timer(self, effect: SetTimer) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_cancel_timer(self, effect: CancelTimer) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_schedule(self, effect: Schedule) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_job(self, effect: Job) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_ctrl_job(self, effect: CtrlJob) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_apply_update(self, effect: ApplyUpdate) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _do_emit(self, effect: Emit) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_halt(self, effect: Halt) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,237 @@
+"""Backend-agnostic deployment planning.
+
+Splitting a deployment into *plan* and *instantiate* phases is what lets
+the DES backend and the live OS-process backend share one construction
+path: :func:`plan_osiris_cluster` computes everything that is pure
+decision-making — topology and role layout, sub-cluster membership,
+normalized fault assignment, per-node CPU-bank widths, capture set — and
+returns a :class:`ClusterPlan`; each backend then walks
+:attr:`ClusterPlan.nodes` **in order** and asks :meth:`ClusterPlan.make_core`
+for the pure protocol core of each pid.
+
+Two invariants matter:
+
+* Node order is canonical (verifier clusters ascending with VP_CO first,
+  then executors, inputs, outputs).  The DES backend binds hosts in this
+  order, which fixes the event-seq numbering of the cores' birth timers
+  — the golden trace fixtures pin it.
+* ``make_core`` is deterministic given (plan, pid): key material comes
+  from :class:`~repro.crypto.signatures.KeyRegistry`'s per-pid seeded
+  derivation, so a live child process can rebuild its own registry and
+  arrive at the same keys the parent (and every sibling) derives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.api import VerifiableApplication
+from repro.core.config import OsirisConfig
+from repro.core.coordinator import Coordinator
+from repro.core.executor import Executor
+from repro.core.faults import ExecutorFault, OutputFault, VerifierFault
+from repro.core.input_output import InputProcess, OutputProcess
+from repro.core.tasks import Task
+from repro.core.verifier import Verifier
+from repro.crypto.signatures import KeyRegistry
+from repro.errors import ProtocolError
+from repro.net.links import DEFAULT_BANDWIDTH
+from repro.net.partial_synchrony import SynchronyModel
+from repro.net.topology import SubCluster, Topology
+from repro.runtime.core import ProtocolCore
+
+__all__ = [
+    "NodeSpec",
+    "ClusterPlan",
+    "plan_osiris_cluster",
+    "default_cluster_count",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of the deployment: which role runs where, on how many
+    (emulated or simulated) cores."""
+
+    pid: str
+    role: str  # coordinator | verifier | executor | input | output
+    cores: int
+    cluster_index: Optional[int] = None  # verifier roles only
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """Everything both backends need to construct the same deployment."""
+
+    topo: Topology
+    config: OsirisConfig
+    seed: int
+    bandwidth: float
+    synchrony: SynchronyModel
+    nodes: tuple[NodeSpec, ...]
+    executor_faults: dict[str, ExecutorFault] = field(default_factory=dict)
+    verifier_faults: dict[str, VerifierFault] = field(default_factory=dict)
+    output_faults: dict[str, OutputFault] = field(default_factory=dict)
+    #: normalized adversary campaign (``repro.adversary.Campaign``), if any
+    campaign: Optional[object] = None
+    capture: frozenset = frozenset()
+    sanitize: bool = False
+
+    def node(self, pid: str) -> NodeSpec:
+        for spec in self.nodes:
+            if spec.pid == pid:
+                return spec
+        raise ProtocolError(f"no node {pid!r} in plan")
+
+    def make_core(
+        self,
+        spec: NodeSpec,
+        app: VerifiableApplication,
+        registry: KeyRegistry,
+        workload: Optional[Iterator[tuple[float, Task]]] = None,
+    ) -> ProtocolCore:
+        """Construct the pure core for one node.
+
+        ``registry`` may be shared across all nodes (DES) or private to
+        the calling process (live) — key derivation is per-pid
+        deterministic either way.  ``workload`` is only consumed by the
+        primary input role; see :func:`plan_osiris_cluster`.
+        """
+        topo, config = self.topo, self.config
+        if spec.role in ("coordinator", "verifier"):
+            cluster = topo.verifier_clusters[spec.cluster_index]
+            cls = Coordinator if spec.role == "coordinator" else Verifier
+            return cls(
+                spec.pid,
+                topo,
+                registry,
+                registry.register(spec.pid),
+                app,
+                config,
+                cluster=cluster,
+                fault=self.verifier_faults.get(spec.pid),
+            )
+        if spec.role == "executor":
+            return Executor(
+                spec.pid,
+                topo,
+                registry,
+                registry.register(spec.pid),
+                app,
+                config,
+                fault=self.executor_faults.get(spec.pid),
+            )
+        if spec.role == "input":
+            return InputProcess(
+                spec.pid,
+                topo,
+                workload if workload is not None else iter(()),
+            )
+        if spec.role == "output":
+            return OutputProcess(
+                spec.pid, topo, config, fault=self.output_faults.get(spec.pid)
+            )
+        raise ProtocolError(f"unknown role {spec.role!r}")  # pragma: no cover
+
+
+def default_cluster_count(n_workers: int, config: OsirisConfig) -> int:
+    """Steady-state verifier sub-cluster count heuristic: the paper
+    starts at |WP|/(2f+1) clusters and role-switching converges near
+    half; defaulting to the converged ballpark lets short simulations
+    measure steady state (``k`` stays exposed for Fig 6d)."""
+    return max(1, n_workers // (2 * config.subcluster_size))
+
+
+def plan_osiris_cluster(
+    n_workers: int = 8,
+    config: Optional[OsirisConfig] = None,
+    k: Optional[int] = None,
+    seed: int = 0,
+    synchrony: Optional[SynchronyModel] = None,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    n_inputs: int = 1,
+    n_outputs: int = 1,
+    faults: Optional[object] = None,
+    executor_faults: Optional[dict[str, ExecutorFault]] = None,
+    verifier_faults: Optional[dict[str, VerifierFault]] = None,
+    output_faults: Optional[dict[str, OutputFault]] = None,
+    capture: Iterable[str] = (),
+    sanitize: bool = False,
+) -> ClusterPlan:
+    """Lay out an OsirisBFT deployment (no substrate objects created).
+
+    Maps the paper's Sec 7 setup onto roles: ``n_workers`` worker
+    processes split into ``k`` verifier sub-clusters of 2f+1 (the first
+    being VP_CO) and a pool of executors; ``n_inputs``/``n_outputs``
+    dedicated IP/OP nodes.  ``faults`` accepts anything
+    :func:`repro.api.normalize_faults` does.
+    """
+    config = config or OsirisConfig()
+    size = config.subcluster_size
+    if k is None:
+        k = default_cluster_count(n_workers, config)
+    if k < 1:
+        raise ProtocolError("need at least one verifier sub-cluster")
+    if n_workers < k * size:
+        raise ProtocolError(
+            f"n_workers={n_workers} cannot host {k} sub-clusters of {size}"
+        )
+    n_exec = n_workers - k * size
+
+    clusters = []
+    vpid = 0
+    for idx in range(k):
+        members = tuple(f"v{vpid + j}" for j in range(size))
+        clusters.append(SubCluster(index=idx, members=members, f=config.f))
+        vpid += size
+    topo = Topology(
+        input_pids=tuple(f"ip{i}" for i in range(n_inputs)),
+        output_pids=tuple(f"op{i}" for i in range(n_outputs)),
+        executor_pids=tuple(f"e{i}" for i in range(n_exec)),
+        verifier_clusters=tuple(clusters),
+        f=config.f,
+    )
+
+    from repro.api import normalize_faults  # lazy: api sits above runtime
+
+    plan = normalize_faults(
+        faults,
+        executors=executor_faults,
+        verifiers=verifier_faults,
+        outputs=output_faults,
+    )
+
+    nodes: list[NodeSpec] = []
+    for cluster in topo.verifier_clusters:
+        role = "coordinator" if cluster.index == 0 else "verifier"
+        for pid in cluster.members:
+            nodes.append(
+                NodeSpec(
+                    pid=pid,
+                    role=role,
+                    cores=config.cores_per_node,
+                    cluster_index=cluster.index,
+                )
+            )
+    for pid in topo.executor_pids:
+        nodes.append(NodeSpec(pid=pid, role="executor", cores=config.cores_per_node))
+    for pid in topo.input_pids:
+        nodes.append(NodeSpec(pid=pid, role="input", cores=2))
+    for pid in topo.output_pids:
+        nodes.append(NodeSpec(pid=pid, role="output", cores=2))
+
+    return ClusterPlan(
+        topo=topo,
+        config=config,
+        seed=seed,
+        bandwidth=bandwidth,
+        synchrony=synchrony or SynchronyModel(),
+        nodes=tuple(nodes),
+        executor_faults=plan.executor_map(),
+        verifier_faults=plan.verifier_map(),
+        output_faults=plan.output_map(),
+        campaign=plan.campaign,
+        capture=frozenset(capture),
+        sanitize=sanitize,
+    )

@@ -1,0 +1,75 @@
+"""Wire-level control types: registration and codec round-trips.
+
+The live backend puts exactly two payload shapes on its queues: codec
+JSON of ``repro.live.wire`` control dataclasses, and codec JSON of
+protocol messages wrapped in :class:`NetEnvelope`.  These tests pin the
+control plane; protocol message coverage lives in
+``tests/runtime/test_codec_completeness.py``.
+"""
+
+from repro.live.wire import (
+    ChildEvent,
+    ChildExit,
+    ChildReady,
+    CtrlAction,
+    CtrlShutdown,
+    CtrlStart,
+    NetEnvelope,
+    register_wire,
+)
+from repro.obs.events import ChunkAccepted, TaskCompleted
+from repro.runtime import codec
+
+
+def setup_module():
+    register_wire()
+
+
+def _round_trip(obj):
+    return codec.decode(codec.encode(obj))
+
+
+def test_register_wire_is_idempotent():
+    before = set(codec.registered_types())
+    register_wire()
+    register_wire()
+    assert set(codec.registered_types()) == before
+
+
+def test_net_envelope_round_trips():
+    env = NetEnvelope(src="e1", dst="v0", neq=True, payload='{"x": 1}')
+    back = _round_trip(env)
+    assert back == env
+    assert back.neq is True
+
+
+def test_ctrl_types_round_trip():
+    for obj in (
+        CtrlStart(t0=123.5, time_scale=0.25),
+        CtrlAction(pid="e0", action={"op": "set", "select": "executors"}),
+        CtrlShutdown(grace=0.2),
+        ChildReady(pid="v3"),
+    ):
+        assert _round_trip(obj) == obj
+
+
+def test_child_event_carries_trace_events():
+    for event in (
+        TaskCompleted(time=1.25, pid="op0", task_id="t-3"),
+        ChunkAccepted(time=2.0, pid="op0", task_id="t-3", index=1, records=4),
+    ):
+        back = _round_trip(ChildEvent(pid="op0", event=event))
+        assert type(back.event) is type(event)
+        assert back.event == event
+
+
+def test_child_exit_round_trips():
+    exit_ = ChildExit(
+        pid="op0",
+        summary={"completed": ["t-1"], "chunks": {"t-1:0": "ab"}},
+        busy_seconds=1.5,
+        tasks_executed=3,
+        unhandled=0,
+        crashed=False,
+    )
+    assert _round_trip(exit_) == exit_

@@ -1,0 +1,173 @@
+"""Codec completeness: every registered wire type round-trips.
+
+Replay capture only ever exercised the message subset one pid's inbox
+happens to contain; the live backend routes *every* cross-process send
+through the codec, so every registered message/control type must encode
+and decode without dropping or mangling a field.  The sample builder
+fills each init field with a representative non-default value, so a
+field the codec silently loses fails the equality check instead of
+comparing default-to-default.
+"""
+
+from dataclasses import MISSING, fields
+
+import pytest
+
+from repro.core.tasks import Assignment, Chunk, Opcode, Record, Task
+from repro.crypto.signatures import Signature
+from repro.net.message import Message
+from repro.runtime import codec
+
+SAMPLE_TASK = Task(
+    task_id="t-7",
+    opcode=Opcode.BOTH,
+    update_payload=("add", 3, 4),
+    compute_payload={"edge": [3, 4]},
+    timestamp=12,
+    submitted_at=0.25,
+    size_bytes=96,
+)
+SAMPLE_RECORDS = (
+    Record(key=(1, 2), data=("m", 5), size_bytes=32),
+    Record(key=(2, 9), data=None, size_bytes=48),
+)
+SAMPLE_CHUNK = Chunk(
+    task_id="t-7", index=1, records=SAMPLE_RECORDS, final=True
+)
+SAMPLE_ASSIGNMENT = Assignment(
+    task=SAMPLE_TASK, executor="e1", vp_index=2, attempt=1
+)
+SAMPLE_SIG = Signature(signer="v0", mac=b"\x01\x02\xfe")
+
+#: field-name overrides where the generic by-name/type fill is wrong
+_BY_NAME = {
+    "task": SAMPLE_TASK,
+    "chunk": SAMPLE_CHUNK,
+    "assignment": SAMPLE_ASSIGNMENT,
+    "sig": SAMPLE_SIG,
+    "assignment_sigs": (SAMPLE_SIG, Signature(signer="v1", mac=b"\xaa")),
+    "opcode": Opcode.COMPUTE,
+    "records": SAMPLE_RECORDS,
+    "key": (4, 2),
+    "mac": b"\x99\x88",
+    # consensus batches: (request_id, payload, payload_size) triples
+    "batch": (("r1", SAMPLE_TASK, 64), ("r2", {"p": (1, 2)}, 32)),
+    # view-change state transfer: (seq, view, batch, batch_digest)
+    "slots": ((3, 1, (("r1", "p", 8),), b"\xbb"),),
+    "payload": {"nested": [1, (2, 3), {"k": b"\x01"}]},
+}
+
+
+def _scalar_sample(annotation: str):
+    if "bytes" in annotation:
+        return b"\x07\x11"
+    if "str" in annotation:
+        return "sample"
+    if "bool" in annotation:
+        return True
+    if "float" in annotation:
+        return 1.75
+    if "int" in annotation:
+        return 5
+    if "tuple" in annotation:
+        return (1, "a")
+    return ("any", 1)
+
+
+def build_sample(cls):
+    """Instantiate ``cls`` with every init field set non-default."""
+    kwargs = {}
+    for f in fields(cls):
+        if not f.init:
+            continue
+        if f.name in _BY_NAME:
+            kwargs[f.name] = _BY_NAME[f.name]
+        else:
+            kwargs[f.name] = _scalar_sample(str(f.type))
+    obj = cls(**kwargs)
+    # guard against vacuous equality: at least one field differs from
+    # an all-defaults instance (when the class has any defaults at all)
+    for f in fields(cls):
+        if f.init and f.default is not MISSING:
+            assert getattr(obj, f.name) != f.default or f.default in (
+                (),
+            ), f"{cls.__name__}.{f.name} sample equals its default"
+    return obj
+
+
+REGISTERED = sorted(codec.registered_types().items())
+
+
+@pytest.mark.parametrize(
+    "name,cls", REGISTERED, ids=[name for name, _ in REGISTERED]
+)
+def test_round_trip(name, cls):
+    obj = build_sample(cls)
+    back = codec.decode_json(codec.encode_json(obj))
+    assert type(back) is cls
+    assert back == obj
+    for f in fields(cls):
+        assert getattr(back, f.name) == getattr(obj, f.name), f.name
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [(n, c) for n, c in REGISTERED if issubclass(c, Message)],
+    ids=[n for n, c in REGISTERED if issubclass(c, Message)],
+)
+def test_transport_stamps_round_trip(name, cls):
+    """sender/_neq ride the inbox form and are absent from content form."""
+    obj = build_sample(cls)
+    obj.sender = "e3"
+    obj._neq = True
+    back = codec.decode_json(codec.encode_json(obj, with_sender=True))
+    assert back.sender == "e3"
+    assert back._neq is True
+    bare = codec.decode_json(codec.encode_json(obj, with_sender=False))
+    assert bare.sender is None
+    assert bare._neq is False
+
+
+class TestContainers:
+    def test_sets_round_trip_deterministically(self):
+        value = {"b", "a", 3}
+        assert codec.decode_json(codec.encode_json(value)) == value
+        assert codec.encode_json(value) == codec.encode_json({3, "a", "b"})
+
+    def test_frozenset_distinct_from_set(self):
+        value = frozenset({1, 2})
+        back = codec.decode_json(codec.encode_json(value))
+        assert back == value
+        assert isinstance(back, frozenset)
+
+    def test_tuple_keys_in_dicts(self):
+        value = {(1, "a"): [b"\x00", (2,)]}
+        assert codec.decode_json(codec.encode_json(value)) == value
+
+
+class TestRegistration:
+    def test_register_rejects_non_dataclass(self):
+        from repro.errors import ReplayError
+
+        with pytest.raises(ReplayError):
+            codec.register(int)
+
+    def test_register_enum_round_trips(self):
+        import enum
+
+        from repro.errors import ReplayError
+
+        class Mood(enum.Enum):
+            UP = "up"
+            DOWN = "down"
+
+        codec.register_enum(Mood)
+        assert codec.decode_json(codec.encode_json(Mood.DOWN)) is Mood.DOWN
+        with pytest.raises(ReplayError):
+            codec.register_enum(int)
+
+    def test_unknown_class_is_a_clear_error(self):
+        from repro.errors import ReplayError
+
+        with pytest.raises(ReplayError):
+            codec.decode({"__c": "NoSuchMessage", "f": {}})
