@@ -84,10 +84,16 @@ class AnomalyApp(VerifiableApplication):
         self.step_cost = step_cost
         self.verify_step_cost = verify_step_cost
         self.record_bytes = record_bytes or (8 * pattern.size + 16)
+        self._state_template: Optional[MultiVersionGraph] = None
 
     # ----------------------------------------------------------------- state
     def initial_state(self) -> MultiVersionGraph:
-        return MultiVersionGraph(self.base_edges)
+        # built once, cloned per replica: every replica starts from the
+        # identical base state either way, but sorting + boxing the base
+        # adjacency happens once per deployment instead of once per node
+        if self._state_template is None:
+            self._state_template = MultiVersionGraph(self.base_edges)
+        return self._state_template.clone()
 
     # ------------------------------------------------------------------- T
     def valid_task(self, task: Task) -> bool:

@@ -16,8 +16,9 @@ system.
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_right
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -71,11 +72,53 @@ class MultiVersionGraph(VersionedState):
             self._hist[vertex] = (
                 [0], [arr], [tuple(ordered)], [frozenset(ordered)]
             )
+        # content fingerprint chain: one SHA-256 per applied timestamp,
+        # chaining the normalized op list onto the previous digest.  Two
+        # graphs with the same base and the same applied op sequence have
+        # identical fingerprints at every version — the soundness basis
+        # for cross-replica memoization of pure computations
+        # (see EdgeAnchoredMatcher): equal fingerprint implies equal
+        # state, while divergent (e.g. Byzantine) histories get distinct
+        # chains and are never conflated.
+        canon = sorted(
+            (v, n) for v, nbrs in base.items() for n in nbrs if v < n
+        )
+        self._fp_ts: list[int] = [0]
+        self._fp: list[bytes] = [
+            hashlib.sha256(repr(canon).encode()).digest()
+        ]
+        # fingerprints are only exact for ts >= this floor (compaction
+        # rewrites what older snapshots resolve to)
+        self._fp_min = 0
 
     @property
     def version(self) -> int:
         """Highest applied update timestamp."""
         return self._version
+
+    def clone(self) -> "MultiVersionGraph":
+        """Independent copy sharing immutable per-version payloads.
+
+        The copy-on-write discipline (arrays/tuples/frozensets are never
+        mutated in place, only replaced) makes element sharing safe: each
+        clone gets its own history *lists*, so replicas diverge freely.
+        Cloning a prepared base graph is how a deployment hands every
+        replica the same initial state without re-sorting and re-boxing
+        the base adjacency N times.
+        """
+        g = MultiVersionGraph.__new__(MultiVersionGraph)
+        g._hist = {
+            v: (tss[:], arrs[:], tups[:], sets_[:])
+            for v, (tss, arrs, tups, sets_) in self._hist.items()
+        }
+        g._version = self._version
+        g.update_cost_per_degree = self.update_cost_per_degree
+        g.update_cost_base = self.update_cost_base
+        g.edges_applied = self.edges_applied
+        g._fp_ts = self._fp_ts[:]
+        g._fp = self._fp[:]
+        g._fp_min = self._fp_min
+        return g
 
     # ------------------------------------------------------------------ U
     def apply(self, ts: int, payload) -> float:
@@ -99,6 +142,10 @@ class MultiVersionGraph(VersionedState):
                 raise StoreError(f"unknown graph op {kind!r}")
             self.edges_applied += 1
         self._version = ts
+        self._fp_ts.append(ts)
+        self._fp.append(
+            hashlib.sha256(self._fp[-1] + repr(ops).encode()).digest()
+        )
         return cost
 
     def _mutate(self, ts: int, vertex: int, nbr: int, add: bool) -> float:
@@ -133,6 +180,22 @@ class MultiVersionGraph(VersionedState):
     # -------------------------------------------------------------- reads
     def snapshot(self, ts: int) -> "GraphView":
         return GraphView(self, ts)
+
+    def state_fingerprint_at(self, ts: int) -> Optional[bytes]:
+        """Content fingerprint of the graph state visible at ``ts``.
+
+        Equal fingerprints imply bit-identical adjacency state (same base
+        edges, same applied op sequence).  Returns ``None`` when the
+        state at ``ts`` is not exactly reconstructible (pre-base reads,
+        or versions rewritten by :meth:`compact`) — callers must then
+        skip caching, never guess.
+        """
+        if ts < self._fp_min:
+            return None
+        idx = bisect_right(self._fp_ts, ts) - 1
+        if idx < 0:
+            return None
+        return self._fp[idx]
 
     def neighbors_at(self, vertex: int, ts: int) -> np.ndarray:
         entry = self._hist.get(vertex)
@@ -171,6 +234,8 @@ class MultiVersionGraph(VersionedState):
         timestamp).  Returns the number of versions discarded.
         """
         dropped = 0
+        if min_ts > self._fp_min:
+            self._fp_min = min_ts
         for tss, arrs, tups, sets in self._hist.values():
             idx = bisect_right(tss, min_ts) - 1
             if idx > 0:
@@ -208,6 +273,11 @@ class GraphView:
     def neighbor_set(self, vertex: int) -> frozenset[int]:
         """Frozenset of the neighborhood at this version."""
         return self._graph.adjacency_at(vertex, self.ts)[1]
+
+    def fingerprint(self) -> Optional[bytes]:
+        """Content fingerprint of this snapshot (``None`` = uncacheable);
+        see :meth:`MultiVersionGraph.state_fingerprint_at`."""
+        return self._graph.state_fingerprint_at(self.ts)
 
     def degree(self, vertex: int) -> int:
         return len(self.neighbors(vertex))

@@ -93,6 +93,17 @@ class EdgeAnchoredMatcher:
                 )
                 placed.add(w)
             self._plans.append((a, b, order, constraints))
+        # cross-replica memo: enumerate/count are pure functions of
+        # (graph content, anchor edge), and replicated protocols make
+        # every replica compute the same answers on the same state.  The
+        # real system pays that cost per replica; the simulator need not
+        # — results (including the ``steps`` work counter feeding the
+        # CPU charge) are identical, so the DES timeline is unchanged.
+        # Keyed by the graph's content fingerprint chain (None =
+        # uncacheable, e.g. post-compaction reads), which distinguishes
+        # divergent Byzantine states by construction.
+        self._enum_memo: dict[tuple, MatchOutput] = {}
+        self._count_memo: dict[tuple, CountOutput] = {}
 
     def _anchored_order(self, a: int, b: int) -> list[int]:
         order = [a, b]
@@ -113,6 +124,18 @@ class EdgeAnchoredMatcher:
     # ------------------------------------------------------------ enumerate
     def enumerate(self, view: GraphView, u: int, v: int) -> MatchOutput:
         """All canonical instances containing edge (u, v) at ``view``."""
+        fp = view.fingerprint()
+        if fp is not None:
+            key = (fp, u, v)
+            hit = self._enum_memo.get(key)
+            if hit is not None:
+                return hit
+        out = self._enumerate_impl(view, u, v)
+        if fp is not None:
+            self._enum_memo[key] = out
+        return out
+
+    def _enumerate_impl(self, view: GraphView, u: int, v: int) -> MatchOutput:
         if not view.has_edge(u, v):
             return MatchOutput(matches=(), steps=1)
         if self._is_clique:
@@ -125,7 +148,7 @@ class EdgeAnchoredMatcher:
         for a, b, order, constraints in self._plans:
             mapping = {a: u, b: v}
             steps += self._extend(
-                view, adj_cache, order, constraints, 0, mapping, found
+                view, adj_cache, order, constraints, 0, mapping, {u, v}, found
             )
         matches = tuple(sorted(found))
         return MatchOutput(matches=matches, steps=max(1, steps))
@@ -178,6 +201,7 @@ class EdgeAnchoredMatcher:
         constraints: list[tuple[int, ...]],
         depth: int,
         mapping: dict[int, int],
+        used: set[int],
         found: set[tuple[int, ...]],
     ) -> int:
         if depth == len(order):
@@ -209,21 +233,44 @@ class EdgeAnchoredMatcher:
                 if not candidates:
                     return 1
         w = order[depth]
-        used = set(mapping.values())
+        # ``used`` is threaded through the recursion (add before descend,
+        # remove after) instead of rebuilt from mapping.values() per call
+        # — identical membership at every depth, no per-call set alloc
         steps = 1
         for c in candidates:
             if c in used:
                 continue
             mapping[w] = c
+            used.add(c)
             steps += self._extend(
-                view, adj_cache, order, constraints, depth + 1, mapping, found
+                view,
+                adj_cache,
+                order,
+                constraints,
+                depth + 1,
+                mapping,
+                used,
+                found,
             )
+            used.discard(c)
             del mapping[w]
         return steps
 
     # ---------------------------------------------------------------- count
     def count(self, view: GraphView, u: int, v: int) -> CountOutput:
         """Exact count of instances containing (u, v), the cheap way."""
+        fp = view.fingerprint()
+        if fp is not None:
+            key = (fp, u, v)
+            hit = self._count_memo.get(key)
+            if hit is not None:
+                return hit
+        out = self._count_impl(view, u, v)
+        if fp is not None:
+            self._count_memo[key] = out
+        return out
+
+    def _count_impl(self, view: GraphView, u: int, v: int) -> CountOutput:
         if not view.has_edge(u, v):
             return CountOutput(count=0, steps=1)
         if self._is_clique:

@@ -40,8 +40,15 @@ def _encode(value: Any, out: list[bytes]) -> None:
         return
     if t is tuple or t is list:
         out.append(b"l" + _INT.pack(len(value)))
+        # int items (record keys, sequence numbers) are encoded inline —
+        # byte-identical to the recursive call, minus the call overhead
+        # on the dominant container-of-small-ints shape
         for item in value:
-            _encode(item, out)
+            if type(item) is int and -(2**63) <= item < 2**63:
+                out.append(b"i")
+                out.append(_INT.pack(item))
+            else:
+                _encode(item, out)
         return
     if t is str:
         enc = value.encode("utf-8")

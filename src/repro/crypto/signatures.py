@@ -95,6 +95,12 @@ class KeyRegistry:
         self._seed = seed
         self._secrets: dict[str, bytes] = {}
         self._issued: set[str] = set()
+        # (signer, payload bytes) -> MAC.  The MAC is a pure function of
+        # that pair, and broadcast protocols make every receiver verify
+        # the same signature over the same bytes — the registry computes
+        # it once.  Keyed by content, never by object identity, so
+        # tampered payloads can never alias a cached entry.
+        self._mac_cache: dict[tuple[str, bytes], bytes] = {}
 
     def register(self, pid: str) -> Signer:
         """Create the signer for ``pid``.  Each pid can be issued once."""
@@ -130,9 +136,13 @@ class KeyRegistry:
         secret = self._secrets.get(sig.signer)
         if secret is None:
             return False
-        expected = hmac.new(
-            secret, canonical_bytes(payload), hashlib.sha256
-        ).digest()
+        pb = canonical_bytes(payload)
+        key = (sig.signer, pb)
+        expected = self._mac_cache.get(key)
+        if expected is None:
+            expected = self._mac_cache[key] = hmac.new(
+                secret, pb, hashlib.sha256
+            ).digest()
         return hmac.compare_digest(expected, sig.mac)
 
     def verify_quorum(

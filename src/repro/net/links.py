@@ -11,6 +11,15 @@ The ingress serialization is what reproduces the paper's Sec 7.2 finding:
 the only bandwidth bottleneck is the *link to OP where records converge* —
 executor→verifier replication is spread across many NICs.
 Per-node byte meters feed the bandwidth-profiling bench.
+
+Hot-path structure (DESIGN.md §14): :meth:`Network.send` validates its
+endpoints and delegates to the flyweight :meth:`Network._fanout`, which
+:meth:`Network.multicast` / :meth:`Network.neq_multicast` drive directly —
+endpoints are resolved once per group, propagation latencies come from a
+buffered vectorized RNG draw that consumes the ``network`` stream exactly
+like the historical one-scalar-per-send path (so same-seed traces are
+bit-identical), and :class:`ByteMeter` ingest is an append into pending
+arrays that are folded into bins only when a meter is first read.
 """
 
 from __future__ import annotations
@@ -19,9 +28,11 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
+import numpy as np
+
 from repro.errors import NetworkError
 from repro.net.message import Message
-from repro.obs.events import CATEGORY_NET, LinkTransfer
+from repro.obs.events import LinkTransfer
 from repro.net.partial_synchrony import SynchronyModel
 from repro.sim.kernel import Simulator
 
@@ -33,28 +44,78 @@ __all__ = ["Network", "Nic", "ByteMeter"]
 #: Default NIC bandwidth: the paper's 100 Gbps Infiniband, in bytes/second.
 DEFAULT_BANDWIDTH = 100e9 / 8
 
+#: Vectorized latency draw size (amortizes one RNG call over this many sends).
+_LATENCY_BUF = 512
+
 
 class ByteMeter:
-    """Per-second histogram of bytes, for bandwidth time-series reporting."""
+    """Per-second histogram of bytes, for bandwidth time-series reporting.
+
+    Ingest is O(1) and allocation-light: ``add`` appends to pending
+    ``(time, nbytes)`` arrays and the per-bin histogram is materialized
+    lazily on first read (:meth:`rate_series` / :meth:`mean_rate`), so the
+    send hot path never pays per-add dict updates.  :attr:`total` stays
+    exact at all times.
+    """
+
+    __slots__ = ("bin_seconds", "total", "_binned", "_pending_t", "_pending_b")
 
     def __init__(self, bin_seconds: float = 1.0) -> None:
         if bin_seconds <= 0:
             raise NetworkError("bin_seconds must be positive")
         self.bin_seconds = bin_seconds
         self.total = 0
-        self._bins: dict[int, int] = {}
+        self._binned: dict[int, int] = {}
+        self._pending_t: list[float] = []
+        self._pending_b: list[int] = []
 
     def add(self, time: float, nbytes: int) -> None:
         """Record ``nbytes`` transferred at simulated ``time``."""
         self.total += nbytes
-        idx = int(time // self.bin_seconds)
-        self._bins[idx] = self._bins.get(idx, 0) + nbytes
+        self._pending_t.append(time)
+        self._pending_b.append(nbytes)
+
+    def _flush(self) -> dict[int, int]:
+        """Fold pending samples into the bin histogram; returns the bins.
+
+        Large backlogs are binned vectorized: one ``np.unique`` over the
+        bin indices plus a weighted ``bincount``, folding one value per
+        *bin* into the dict instead of one per sample.  Bin sums are
+        integers far below 2**53, so the float accumulation is exact and
+        the result matches the scalar fold bit for bit.
+        """
+        pending_t = self._pending_t
+        binned = self._binned
+        if pending_t:
+            bs = self.bin_seconds
+            get = binned.get
+            if len(pending_t) > 64:
+                idxs = (np.asarray(pending_t) // bs).astype(np.int64)
+                uniq, inv = np.unique(idxs, return_inverse=True)
+                sums = np.bincount(
+                    inv, weights=np.asarray(self._pending_b, dtype=np.float64)
+                )
+                for i, s in zip(uniq.tolist(), sums.tolist()):
+                    binned[i] = get(i, 0) + int(s)
+            else:
+                for t, b in zip(pending_t, self._pending_b):
+                    idx = int(t // bs)
+                    binned[idx] = get(idx, 0) + b
+            pending_t.clear()
+            self._pending_b.clear()
+        return binned
+
+    @property
+    def _bins(self) -> dict[int, int]:
+        """Materialized per-bin histogram (kept under the historical name:
+        the sanitizer's meter audit probes it directly)."""
+        return self._flush()
 
     def rate_series(self) -> list[tuple[float, float]]:
         """(bin_start_time, bytes/sec) pairs, sorted by time."""
         return [
             (idx * self.bin_seconds, count / self.bin_seconds)
-            for idx, count in sorted(self._bins.items())
+            for idx, count in sorted(self._flush().items())
         ]
 
     def mean_rate(self, start: float, end: float) -> float:
@@ -70,7 +131,7 @@ class ByteMeter:
         bs = self.bin_seconds
         lo = int(start // bs)
         hi = int(math.ceil(end / bs))
-        bins = self._bins
+        bins = self._flush()
         if hi - lo > len(bins):
             items: Iterable[tuple[int, int]] = (
                 (i, c) for i, c in bins.items() if lo <= i < hi
@@ -142,11 +203,22 @@ class Network:
         self._endpoints: dict[str, tuple] = {}
         self._fifo_tail: dict[tuple[str, str], float] = {}
         self._rng = sim.rng("network")
+        # buffered propagation-latency draws (base already added): the
+        # i-th value consumed equals the i-th value the historical scalar
+        # sample() path would have produced, so traces stay bit-identical
+        self._lat_buf: list[float] = []
+        self._lat_pos = 0
+        self._lat_base = self.synchrony.base_latency
+        self._lat_jitter = self.synchrony.jitter
         self.messages_sent = 0
         self.neq_multicasts = 0
         #: individual link sends performed on behalf of neq_multicast —
         #: the sanitizer cross-checks this against neq-labeled transfers
         self.neq_sends = 0
+        # stale FIFO-tail entries are swept between kernel dispatch
+        # batches (passive: dropping a tail that is behind sim.now can
+        # never change a future max(tail, deliver_at))
+        sim.add_batch_hook(self._sweep_fifo_tails)
 
     # ------------------------------------------------------------- topology
     def register(self, proc: "SimProcess") -> None:
@@ -177,6 +249,42 @@ class Network:
         """All registered process ids, in registration order."""
         return list(self._procs)
 
+    # ------------------------------------------------------------ latencies
+    def _draw_latencies(self, n: int) -> list[float]:
+        """``n`` post-GST propagation latencies (base + jitter), from the
+        buffered vectorized draw.
+
+        Stream-compatible with the scalar path by construction: a size-k
+        ``Generator.uniform`` draw yields the same values as k sequential
+        scalar draws, and the buffer is consumed strictly in draw order.
+        A mid-run change of the synchrony's base/jitter discards the
+        buffer (still deterministic — the discard point is a pure function
+        of the schedule), keeping latencies consistent with the new
+        parameters.
+        """
+        syn = self.synchrony
+        if syn.jitter != self._lat_jitter or syn.base_latency != self._lat_base:
+            self._lat_buf = []
+            self._lat_pos = 0
+            self._lat_jitter = syn.jitter
+            self._lat_base = syn.base_latency
+        buf = self._lat_buf
+        pos = self._lat_pos
+        avail = len(buf) - pos
+        if avail >= n:
+            self._lat_pos = pos + n
+            return buf[pos : pos + n]
+        out = buf[pos:]
+        need = n - avail
+        fill = _LATENCY_BUF if _LATENCY_BUF > need else need
+        fresh = (
+            syn.base_latency + self._rng.uniform(0.0, syn.jitter, fill)
+        ).tolist()
+        self._lat_buf = fresh
+        self._lat_pos = need
+        out.extend(fresh[:need])
+        return out
+
     # ----------------------------------------------------------------- send
     def send(self, src: str, dst: str, msg: Message, neq: bool = False) -> float:
         """Send ``msg`` from ``src`` to ``dst``; returns the delivery time.
@@ -192,61 +300,112 @@ class Network:
         latency premium applies and ``msg._neq`` is stamped at *delivery*
         so the receiver sees the channel of this send — never a stale flag
         left over from how the same object was sent earlier.
+
+        This is the validating path; the arithmetic lives in the shared
+        flyweight :meth:`_fanout`, so unicast and multicast sends are the
+        same float operations in the same order.
         """
         endpoints = self._endpoints
-        src_entry = endpoints.get(src)
-        if src_entry is None:
+        if src not in endpoints:
             raise NetworkError(f"unknown sender {src!r}")
-        dst_entry = endpoints.get(dst)
-        if dst_entry is None:
+        entry = endpoints.get(dst)
+        if entry is None:
             raise NetworkError(f"unknown process {dst!r}")
-        deliver, dst_nic = dst_entry
-        src_nic = src_entry[1]
+        return self._fanout(src, (dst,), (entry,), msg, neq)
+
+    def _fanout(
+        self,
+        src: str,
+        dsts: tuple,
+        entries: tuple,
+        msg: Message,
+        neq: bool,
+    ) -> float:
+        """Flyweight send core: one resolved group, one vectorized latency
+        draw, meter ingest via pending-array appends.  Returns the last
+        delivery time.  Per-destination arithmetic is kept operation-for-
+        operation identical to the historical per-send path (pinned by the
+        golden trace fixtures)."""
         msg.sender = src
         size = msg.wire_size()
         sim = self.sim
         now = sim.now
         tx = size / self.bandwidth
+        src_nic: Nic = self._endpoints[src][1]
+        syn = self.synchrony
+        n = len(dsts)
 
-        egress_start = src_nic.egress_free
-        if now > egress_start:
-            egress_start = now
-        src_nic.egress_free = egress_start + tx
-        src_nic.egress_meter.add(egress_start, size)
+        # one vectorized draw per group; the pre-GST adversarial-delay
+        # case interleaves two draws per send and so must stay scalar
+        if syn.pre_gst_extra > 0.0 and now < syn.gst:
+            rng = self._rng
+            lats: Optional[list[float]] = [
+                syn.sample(now, rng) for _ in range(n)
+            ]
+        elif syn.jitter > 0.0:
+            lats = self._draw_latencies(n)
+        else:
+            lats = None  # constant base latency, no stream consumption
 
-        latency = self.synchrony.sample(now, self._rng)
-        if neq:
-            latency *= self.neq_latency_factor
-        arrive = src_nic.egress_free + latency
-
-        ingress_start = dst_nic.ingress_free
-        if arrive > ingress_start:
-            ingress_start = arrive
-        dst_nic.ingress_free = ingress_start + tx
-        dst_nic.ingress_meter.add(ingress_start, size)
-
-        deliver_at = dst_nic.ingress_free
-        key = (src, dst)
-        tail = self._fifo_tail.get(key, 0.0)
-        if tail > deliver_at:
-            deliver_at = tail
-        self._fifo_tail[key] = deliver_at
-
-        self.messages_sent += 1
+        base = syn.base_latency
+        factor = self.neq_latency_factor
+        fifo = self._fifo_tail
         bus = sim.bus
-        if bus.wants(CATEGORY_NET):
-            bus.emit(
-                LinkTransfer(
-                    time=now,
-                    pid=src,
-                    dst=dst,
-                    nbytes=size,
-                    msg_type=type(msg).__name__,
-                    deliver_at=deliver_at,
-                    neq=neq,
+        want_net = bus._want_net
+        egress_meter = src_nic.egress_meter
+        eg_t = egress_meter._pending_t
+        eg_b = egress_meter._pending_b
+        post_at = sim.post_at
+        deliver_fn = self._deliver
+        msg_type = type(msg).__name__ if want_net else ""
+        deliver_at = 0.0
+
+        for i in range(n):
+            egress_start = src_nic.egress_free
+            if now > egress_start:
+                egress_start = now
+            egress_end = src_nic.egress_free = egress_start + tx
+            eg_t.append(egress_start)
+            eg_b.append(size)
+
+            latency = base if lats is None else lats[i]
+            if neq:
+                latency = latency * factor
+            arrive = egress_end + latency
+
+            deliver, dst_nic = entries[i]
+            ingress_start = dst_nic.ingress_free
+            if arrive > ingress_start:
+                ingress_start = arrive
+            deliver_at = dst_nic.ingress_free = ingress_start + tx
+            im = dst_nic.ingress_meter
+            im.total += size
+            im._pending_t.append(ingress_start)
+            im._pending_b.append(size)
+
+            dst = dsts[i]
+            key = (src, dst)
+            tail = fifo.get(key, 0.0)
+            if tail > deliver_at:
+                deliver_at = tail
+            fifo[key] = deliver_at
+
+            if want_net:
+                bus.emit(
+                    LinkTransfer(
+                        time=now,
+                        pid=src,
+                        dst=dst,
+                        nbytes=size,
+                        msg_type=msg_type,
+                        deliver_at=deliver_at,
+                        neq=neq,
+                    )
                 )
-            )
-        sim.post_at(deliver_at, self._deliver, deliver, msg, neq)
+            post_at(deliver_at, deliver_fn, deliver, msg, neq)
+
+        egress_meter.total += size * n
+        self.messages_sent += n
         return deliver_at
 
     @staticmethod
@@ -254,6 +413,24 @@ class Network:
         if msg._neq is not neq:
             msg._neq = neq  # type: ignore[attr-defined]
         deliver(msg)
+
+    # ---------------------------------------------------------- maintenance
+    def _sweep_fifo_tails(self) -> None:
+        """Drop FIFO-tail entries whose delivery time is behind ``sim.now``.
+
+        Runs between kernel dispatch batches (:meth:`Simulator.
+        add_batch_hook`).  A stale tail can never win the ``max(tail,
+        deliver_at)`` race again — every future delivery lands at or after
+        ``now`` — so the sweep is invisible to the simulation and merely
+        bounds the map to pairs with in-flight traffic.
+        """
+        tails = self._fifo_tail
+        if not tails:
+            return
+        now = self.sim.now
+        stale = [key for key, tail in tails.items() if tail <= now]
+        for key in stale:
+            del tails[key]
 
     # ------------------------------------------------------------ multicast
     def multicast(self, src: str, dsts: Iterable[str], msg: Message) -> None:
@@ -264,8 +441,17 @@ class Network:
         substrate cannot prevent that — the protocols must (Sec 5.2.2,
         "Limited Equivocation").
         """
-        for dst in dsts:
-            self.send(src, dst, msg)
+        dsts = dsts if type(dsts) is tuple else tuple(dsts)
+        if not dsts:
+            return
+        endpoints = self._endpoints
+        if src not in endpoints:
+            raise NetworkError(f"unknown sender {src!r}")
+        try:
+            entries = tuple(endpoints[d] for d in dsts)
+        except KeyError as exc:
+            raise NetworkError(f"unknown process {exc.args[0]!r}") from None
+        self._fanout(src, dsts, entries, msg, False)
 
     def neq_multicast(self, src: str, group: Iterable[str], msg: Message) -> None:
         """Non-equivocating multicast (Mu-style reliable broadcast [3, 4]).
@@ -281,10 +467,16 @@ class Network:
         It is heavyweight: propagation latency is multiplied by
         ``neq_latency_factor``.
         """
-        group = list(group)
+        group = group if type(group) is tuple else tuple(group)
         if not group:
             raise NetworkError("neq_multicast to empty group")
+        endpoints = self._endpoints
+        if src not in endpoints:
+            raise NetworkError(f"unknown sender {src!r}")
+        try:
+            entries = tuple(endpoints[d] for d in group)
+        except KeyError as exc:
+            raise NetworkError(f"unknown process {exc.args[0]!r}") from None
         self.neq_multicasts += 1
-        for dst in group:
-            self.send(src, dst, msg, neq=True)
-            self.neq_sends += 1
+        self._fanout(src, group, entries, msg, True)
+        self.neq_sends += len(group)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ObservabilityError
-from repro.obs.events import CATEGORY_KERNEL
+from repro.obs.events import CATEGORY_CPU, CATEGORY_KERNEL, CATEGORY_NET
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.events import TraceEvent
@@ -54,9 +54,14 @@ class EventBus:
         # per-category dispatch list, built lazily by emit(); invalidated
         # on every attach/detach
         self._routes: dict[str, list[Sink]] = {}
-        # the kernel fires one potential emission per DES event, so its
-        # guard is precomputed as a plain attribute read
+        # hot-path guards: the kernel fires one potential emission per DES
+        # event and the network/CPU banks one per send/job, so their
+        # wants() results are precomputed as plain attribute reads,
+        # invalidated on every attach/detach.  Zero-sink runs then skip
+        # even the guard set lookup on those paths.
         self._want_kernel = False
+        self._want_net = False
+        self._want_cpu = False
 
     # -------------------------------------------------------------- plumbing
     def _rebuild(self) -> None:
@@ -67,7 +72,10 @@ class EventBus:
                 wanted |= s.categories
         self._wanted = frozenset(wanted)
         self._routes = {}
-        self._want_kernel = self._want_all or CATEGORY_KERNEL in wanted
+        want_all = self._want_all
+        self._want_kernel = want_all or CATEGORY_KERNEL in wanted
+        self._want_net = want_all or CATEGORY_NET in wanted
+        self._want_cpu = want_all or CATEGORY_CPU in wanted
 
     def attach(self, sink: Sink) -> Sink:
         """Attach a sink; emission order follows attach order."""

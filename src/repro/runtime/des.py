@@ -62,6 +62,12 @@ class DesHost(SimProcess, EffectInterpreter):
         super().__init__(sim, core.pid, cores=cores)
         self.net = net
         self.core = core
+        # pre-bound network entry points: the Send/Multicast/NeqMulticast
+        # arms route straight into the flyweight fan-out without
+        # re-resolving attributes per performed effect
+        self._net_send = net.send
+        self._net_multicast = net.multicast
+        self._net_neq_multicast = net.neq_multicast
         #: opt-in replay capture (see module docstring).  Pass it at
         #: construction to also capture the core's birth effects (the
         #: initial timers performed during ``bind``) — a replayed core
@@ -104,13 +110,13 @@ class DesHost(SimProcess, EffectInterpreter):
 
     # ------------------------------------------------------- DES primitives
     def _do_send(self, effect: Send) -> None:
-        self.net.send(self.pid, effect.dst, effect.msg)
+        self._net_send(self.pid, effect.dst, effect.msg)
 
     def _do_multicast(self, effect: Multicast) -> None:
-        self.net.multicast(self.pid, effect.dsts, effect.msg)
+        self._net_multicast(self.pid, effect.dsts, effect.msg)
 
     def _do_neq_multicast(self, effect: NeqMulticast) -> None:
-        self.net.neq_multicast(self.pid, effect.dsts, effect.msg)
+        self._net_neq_multicast(self.pid, effect.dsts, effect.msg)
 
     def _do_set_timer(self, effect: SetTimer) -> None:
         self.set_timer(effect.name, effect.delay, self._fire_timer, effect)

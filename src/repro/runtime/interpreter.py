@@ -47,6 +47,11 @@ class EffectInterpreter:
     Subclasses set :attr:`core` and :attr:`capture` and implement the
     ``_do_*`` primitives plus the two capture emitters
     (:meth:`_capture_effect`, :meth:`_record_input`).
+
+    Dispatch is a per-host table of bound primitives built lazily from
+    :data:`_PRIMITIVES` on first use of each effect type — one dict lookup
+    per performed effect instead of an 11-arm type chain, with subclass
+    overrides picked up by the late binding.
     """
 
     core: ProtocolCore
@@ -54,36 +59,42 @@ class EffectInterpreter:
     #: consumed input is published through the capture emitters.
     capture: bool = False
 
+    #: effect type → host primitive name (the closed effect vocabulary)
+    _PRIMITIVES = {
+        Send: "_do_send",
+        Multicast: "_do_multicast",
+        NeqMulticast: "_do_neq_multicast",
+        SetTimer: "_do_set_timer",
+        CancelTimer: "_do_cancel_timer",
+        Schedule: "_do_schedule",
+        Job: "_do_job",
+        CtrlJob: "_do_ctrl_job",
+        ApplyUpdate: "_do_apply_update",
+        Emit: "_do_emit",
+        Halt: "_do_halt",
+    }
+
     # ------------------------------------------------------------ dispatch
     def interpret(self, effect) -> None:
         """Realise one effect through the host's substrate primitives."""
         if self.capture:
             self._capture_effect(effect)
-        t = type(effect)
-        if t is Send:
-            self._do_send(effect)
-        elif t is Multicast:
-            self._do_multicast(effect)
-        elif t is NeqMulticast:
-            self._do_neq_multicast(effect)
-        elif t is SetTimer:
-            self._do_set_timer(effect)
-        elif t is CancelTimer:
-            self._do_cancel_timer(effect)
-        elif t is Schedule:
-            self._do_schedule(effect)
-        elif t is Job:
-            self._do_job(effect)
-        elif t is CtrlJob:
-            self._do_ctrl_job(effect)
-        elif t is ApplyUpdate:
-            self._do_apply_update(effect)
-        elif t is Emit:
-            self._do_emit(effect)
-        elif t is Halt:
-            self._do_halt(effect)
-        else:  # pragma: no cover - vocabulary is closed
-            raise TypeError(f"unknown effect {effect!r}")
+        try:
+            fn = self._dispatch[type(effect)]
+        except (AttributeError, KeyError):
+            fn = self._bind_primitive(type(effect))
+        fn(effect)
+
+    def _bind_primitive(self, effect_type):
+        """Bind (and cache) the primitive for one effect type."""
+        name = self._PRIMITIVES.get(effect_type)
+        if name is None:  # pragma: no cover - vocabulary is closed
+            raise TypeError(f"unknown effect type {effect_type!r}")
+        table = getattr(self, "_dispatch", None)
+        if table is None:
+            table = self._dispatch = {}
+        fn = table[effect_type] = getattr(self, name)
+        return fn
 
     # ------------------------------------------------------ capture hooks
     def _capture_effect(self, effect) -> None:  # pragma: no cover - abstract

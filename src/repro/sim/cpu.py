@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
-from repro.obs.events import CATEGORY_CPU, CpuCancel, CpuSpan
+from repro.obs.events import CpuCancel, CpuSpan
 from repro.sim.kernel import EventHandle, Simulator
 
 __all__ = ["CpuBank", "JobHandle"]
@@ -57,6 +57,9 @@ class JobHandle(EventHandle):
         if not self._alive:
             return
         self._alive = False
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
         self.bank._rollback(self)
 
 
@@ -128,7 +131,7 @@ class CpuBank:
         self.busy_seconds += cost
         self._jobs_done += 1
         bus = self.sim.bus
-        if cost > 0 and bus.wants(CATEGORY_CPU):
+        if cost > 0 and bus._want_cpu:
             bus.emit(
                 CpuSpan(
                     time=start, pid=self.owner, bank=self.name, core=idx, end=end
@@ -167,7 +170,7 @@ class CpuBank:
         if self._free_at[handle.core] == end:
             self._free_at[handle.core] = start + consumed
         bus = self.sim.bus
-        if cost > 0 and bus.wants(CATEGORY_CPU):
+        if cost > 0 and bus._want_cpu:
             bus.emit(
                 CpuCancel(
                     time=now,

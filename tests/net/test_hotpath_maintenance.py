@@ -1,0 +1,150 @@
+"""Regression tests for hot-path maintenance in the network layer.
+
+Two properties the batched-dispatch refactor introduced and must keep:
+
+* ``Network._fifo_tail`` is bounded: entries for (src, dst) pairs with no
+  in-flight traffic are swept between kernel dispatch batches rather than
+  accumulating for the lifetime of the simulation.
+* ``ByteMeter`` bins lazily: ``add()`` only appends; binning happens on
+  the first read, via a vectorized fold for large pending batches and a
+  scalar fold for small ones — both byte-exact against a reference fold.
+"""
+
+from dataclasses import dataclass
+
+from repro.net import Message, Network
+from repro.net.links import ByteMeter
+from repro.sim import Simulator, SimProcess
+
+
+@dataclass
+class Data(Message):
+    seq: int = 0
+    nbytes: int = 0
+
+    def payload_bytes(self) -> int:
+        return self.nbytes
+
+
+class Sink(SimProcess):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid, cores=1)
+        self.received = []
+
+    def on_Data(self, msg):
+        self.received.append((self.sim.now, msg.seq, msg.sender))
+
+
+class TestFifoTailBound:
+    def test_stale_tails_are_swept_during_long_run(self):
+        """Many distinct (src, dst) pairs, each active briefly: the tail
+        map must not retain every pair ever used (the pre-refactor
+        behavior), and a final sweep after quiescence empties it."""
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        n = 8
+        procs = [Sink(sim, f"p{i}") for i in range(n)]
+        for p in procs:
+            net.register(p)
+
+        rounds = 400
+        for r in range(rounds):
+            src = r % n
+            dst = (r + 1 + (r // n) % (n - 1)) % n
+            sim.schedule(
+                r * 0.5,
+                lambda s=src, d=dst, q=r: net.send(
+                    f"p{s}", f"p{d}", Data(seq=q)
+                ),
+            )
+
+        max_size = 0
+
+        def watch():
+            nonlocal max_size
+            max_size = max(max_size, len(net._fifo_tail))
+
+        sim.add_batch_hook(watch)
+        sim.run()
+
+        pairs_used = n * (n - 1)  # every ordered pair gets traffic
+        assert sum(len(p.received) for p in procs) == rounds
+        # bounded: the map never holds anywhere near every pair ever used
+        assert max_size < pairs_used
+        # after quiescence every tail is stale; one sweep empties the map
+        net._sweep_fifo_tails()
+        assert net._fifo_tail == {}
+
+    def test_sweep_keeps_future_tails(self):
+        """The sweep only drops tails at or behind ``sim.now`` — a pair
+        with in-flight traffic keeps its FIFO anchor."""
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        for p in (Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")):
+            net.register(p)
+
+        net.send("a", "b", Data(seq=1))
+        net.send("a", "c", Data(seq=2))
+        t_ab = net._fifo_tail[("a", "b")]
+        # land between the two deliveries, then sweep by hand
+        sim.run(until=t_ab)
+        net._sweep_fifo_tails()
+        assert ("a", "b") not in net._fifo_tail
+        assert ("a", "c") in net._fifo_tail
+        sim.run()
+        net._sweep_fifo_tails()
+        assert net._fifo_tail == {}
+
+
+class TestLazyMeterFlush:
+    @staticmethod
+    def _reference_bins(samples, bin_seconds):
+        bins: dict[int, int] = {}
+        for t, b in samples:
+            i = int(t // bin_seconds)
+            bins[i] = bins.get(i, 0) + b
+        return bins
+
+    def test_vectorized_flush_matches_reference(self):
+        """> 64 pending samples takes the numpy fold; totals per bin must
+        be exact (integer byte counts, not float-rounded)."""
+        meter = ByteMeter(bin_seconds=0.1)
+        samples = [
+            (((i * 37) % 1000) / 100.0, 100 + (i * 13) % 1500)
+            for i in range(5000)
+        ]
+        for t, b in samples:
+            meter.add(t, b)
+        assert meter._flush() == self._reference_bins(samples, 0.1)
+        assert meter.total == sum(b for _, b in samples)
+
+    def test_scalar_flush_matches_reference(self):
+        """<= 64 pending samples takes the scalar fold — same answer."""
+        meter = ByteMeter(bin_seconds=0.1)
+        samples = [(i * 0.03, 1500) for i in range(50)]
+        for t, b in samples:
+            meter.add(t, b)
+        assert meter._flush() == self._reference_bins(samples, 0.1)
+
+    def test_add_is_append_only_until_read(self):
+        """``add()`` must not bin eagerly; the first read drains pending."""
+        meter = ByteMeter(bin_seconds=1.0)
+        for i in range(10):
+            meter.add(i * 0.5, 100)
+        assert len(meter._pending_t) == 10
+        series = meter.rate_series()
+        assert meter._pending_t == []
+        assert sum(v for _, v in series) * 1.0 == meter.total
+
+    def test_incremental_flushes_accumulate(self):
+        """Reading mid-stream and again later merges into the same bins
+        an eager meter would have produced."""
+        meter = ByteMeter(bin_seconds=0.1)
+        first = [(i * 0.01, 10 + i) for i in range(200)]
+        second = [(i * 0.01, 7 * i % 97) for i in range(200)]
+        for t, b in first:
+            meter.add(t, b)
+        meter._flush()
+        for t, b in second:
+            meter.add(t, b)
+        assert meter._flush() == self._reference_bins(first + second, 0.1)
