@@ -33,7 +33,7 @@ from typing import Any, Iterable, Mapping, Optional
 
 from repro.adversary.campaign import Campaign
 from repro.bench.scenarios import BENCH_BANDWIDTH, ScenarioResult
-from repro.bench.workloads import WORKLOADS, BenchWorkload
+from repro.bench.workloads import WORKLOADS, BenchWorkload, TenantTaggedSource
 from repro.core.config import OsirisConfig
 from repro.core.faults import ExecutorFault, OutputFault, VerifierFault
 from repro.errors import BenchmarkError
@@ -200,6 +200,13 @@ class DeploymentSpec:
     capture: tuple[str, ...] = ()
     sanitize: bool = False
     backend: str = "des"
+    #: number of independent IP→OP pipelines over the shared verifier
+    #: fleet; >1 requires the OsirisBFT DES backend
+    shards: int = 1
+    #: tenants>1 round-robin-tags the workload's tasks (``t0``..``tN-1``)
+    #: so results carry per-tenant SLO breakdowns; tasks route to shards
+    #: by tenant-key hash
+    tenants: int = 1
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -219,6 +226,24 @@ class DeploymentSpec:
             raise BenchmarkError(
                 f"duration must be positive, got {self.duration}"
             )
+        if self.shards < 1:
+            raise BenchmarkError(f"shards must be >=1, got {self.shards}")
+        if self.tenants < 1:
+            raise BenchmarkError(f"tenants must be >=1, got {self.tenants}")
+        if self.shards > 1 or self.tenants > 1:
+            # sharded routing and tenant SLO accounting ride OsirisBFT's
+            # verified-output metadata; baselines and the live backend
+            # would silently drop both, so they fail loudly instead
+            if self.system != "osiris":
+                raise BenchmarkError(
+                    f"shards/tenants are OsirisBFT-only "
+                    f"(spec targets {self.system!r})"
+                )
+            if self.backend != "des":
+                raise BenchmarkError(
+                    "shards/tenants need the DES backend; "
+                    "use backend='des'"
+                )
         object.__setattr__(self, "workload_params", _kv(self.workload_params))
         object.__setattr__(self, "config", _kv(self.config))
         object.__setattr__(self, "faults", normalize_faults(self.faults))
@@ -261,16 +286,24 @@ class DeploymentSpec:
         return replace(self, **changes)
 
     def resolve_workload(self) -> BenchWorkload:
-        """Instantiate the workload (registry lookup for named specs)."""
+        """Instantiate the workload (registry lookup for named specs);
+        ``tenants > 1`` wraps the task source so untagged tasks get
+        round-robin tenant keys."""
         if isinstance(self.workload, BenchWorkload):
-            return self.workload
-        factory = WORKLOADS.get(self.workload)
-        if factory is None:
-            raise BenchmarkError(
-                f"unknown workload {self.workload!r}; "
-                f"registered: {sorted(WORKLOADS)}"
+            wl = self.workload
+        else:
+            factory = WORKLOADS.get(self.workload)
+            if factory is None:
+                raise BenchmarkError(
+                    f"unknown workload {self.workload!r}; "
+                    f"registered: {sorted(WORKLOADS)}"
+                )
+            wl = factory(**dict(self.workload_params))
+        if self.tenants > 1 and not isinstance(wl.source, TenantTaggedSource):
+            wl = replace(
+                wl, source=TenantTaggedSource(wl.source, self.tenants)
             )
-        return factory(**dict(self.workload_params))
+        return wl
 
     def descriptor(self) -> dict[str, Any]:
         """Canonical JSON-able form.  Requires the fully-declarative
@@ -301,6 +334,8 @@ class DeploymentSpec:
             "config": [list(p) for p in self.config],
             "campaign": plan.campaign.to_json() if plan.campaign else "",
             "sanitize": self.sanitize,
+            "shards": self.shards,
+            "tenants": self.tenants,
         }
 
     @classmethod
@@ -322,6 +357,8 @@ class DeploymentSpec:
             faults=d.get("campaign") or None,
             sanitize=d.get("sanitize", False),
             backend=d.get("backend", "des"),
+            shards=d.get("shards", 1),
+            tenants=d.get("tenants", 1),
             label=d.get("label", ""),
         )
 
@@ -370,6 +407,7 @@ def build(spec: DeploymentSpec, **build_extra):
         workload.app,
         workload=workload.stream,
         n_workers=spec.n,
+        shards=spec.shards,
         k=spec.k,
         seed=spec.seed,
         config=_osiris_config(spec, workload),
@@ -448,18 +486,27 @@ def _run_to_completion(sim, metrics, workload: BenchWorkload, deadline: float):
         )
 
 
-def _finish(system, n, f, metrics, net, busy_fn, cores, extra=None):
+def _finish(
+    system, n, f, metrics, net, busy_fn, cores, extra=None,
+    horizon=0.0, output_pids=(),
+):
+    sharded = len(output_pids) > 1
     if metrics.completion_times:
         makespan = max(metrics.completion_times)
         # tail-insensitive: heavy-tailed task costs must not let one
         # straggler define a burst's capacity measurement
         throughput = metrics.p90_throughput()
         active = metrics.time_to_fraction(0.9)
-        op_bw = (
-            net.nic("op0").ingress_meter.mean_rate(0.0, active)
-            if active > 0 and net is not None
-            else 0.0
-        )
+        if active > 0 and net is not None:
+            # the legacy single-pipeline figure is op0's link; sharded
+            # runs report the aggregate over every output pipeline
+            pids = output_pids if sharded else ("op0",)
+            op_bw = sum(
+                net.nic(pid).ingress_meter.mean_rate(0.0, active)
+                for pid in pids
+            )
+        else:
+            op_bw = 0.0
     else:
         makespan = 0.0
         active = 0.0
@@ -483,6 +530,13 @@ def _finish(system, n, f, metrics, net, busy_fn, cores, extra=None):
         op_bandwidth=op_bw,
         executor_utilization=min(1.0, util),
         peak_throughput=metrics.peak_throughput(),
+        p50_latency=metrics.slo_percentile(50.0),
+        p999_latency=metrics.slo_percentile(99.9),
+        goodput=(
+            metrics.records_accepted / horizon if horizon > 0 else 0.0
+        ),
+        per_tenant=metrics.per_tenant(),
+        per_shard=metrics.per_shard() if sharded else {},
         extra=extra or {},
     )
 
@@ -555,6 +609,8 @@ def _run_osiris(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
     return _finish(
         "OsirisBFT", spec.n, spec.f, cluster.metrics, cluster.net, busy,
         cluster.config.cores_per_node, extra,
+        horizon=cluster.sim.now,
+        output_pids=tuple(cluster.topo.output_pids),
     )
 
 
@@ -615,6 +671,7 @@ def _run_live(spec: DeploymentSpec, time_scale: float = 0.25) -> ScenarioResult:
     return _finish(
         "OsirisBFT", spec.n, spec.f, rt.metrics, None, busy,
         plan.config.cores_per_node, extra,
+        horizon=report.sim_seconds,
     )
 
 
@@ -676,6 +733,7 @@ def _run_baseline(spec: DeploymentSpec) -> ScenarioResult:
     _audit_sanitizer(sanitizer, extra)
     return _finish(
         system, spec.n, f, cluster.metrics, cluster.net, busy, cores, extra,
+        horizon=cluster.sim.now,
     )
 
 

@@ -24,8 +24,14 @@ from repro.bench.scenarios import (
 )
 from repro.bench.workloads import (
     ANOMALY_PROFILES,
+    ArrivalProcess,
     BenchWorkload,
+    BurstSource,
+    OpenLoopSource,
+    TaskSource,
+    TenantTaggedSource,
     anomaly_bench,
+    open_loop_bench,
     planning_bench,
     synthetic_bench,
     update_only_bench,
@@ -35,10 +41,16 @@ from repro.bench.workloads import (
 __all__ = [
     "ANOMALY_PROFILES",
     "BENCH_BANDWIDTH",
+    "ArrivalProcess",
     "BenchWorkload",
+    "BurstSource",
+    "OpenLoopSource",
     "ScenarioResult",
     "Table1Row",
+    "TaskSource",
+    "TenantTaggedSource",
     "anomaly_bench",
+    "open_loop_bench",
     "basil_updates_per_sec",
     "kauri_updates_per_sec",
     "osiris_parallel_tasks",

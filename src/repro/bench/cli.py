@@ -143,6 +143,37 @@ def _fig5d_spec(args) -> SweepSpec:
     )
 
 
+def _slo_spec(args) -> SweepSpec:
+    """Offered load × shard count over the open-loop generator: every
+    point reports goodput and latency percentiles, sharded points add
+    per-tenant/per-shard breakdowns.  Cluster size is the largest
+    ``--sizes`` entry."""
+    n = max(args.sizes)
+    points = [
+        Point(
+            system="osiris",
+            workload="open_loop",
+            workload_params=kv(
+                {
+                    "n_tasks": args.tasks,
+                    "rate": rate,
+                    "process": "poisson",
+                    "seed": args.seed,
+                }
+            ),
+            n=n,
+            seed=args.seed,
+            deadline=DEADLINE,
+            shards=shards,
+            tenants=2 * shards,
+            label=f"s{shards}-r{rate:g}",
+        )
+        for shards in (1, 2)
+        for rate in (50.0, 100.0, 200.0)
+    ]
+    return SweepSpec.of("slo", points)
+
+
 def _fig7b_spec(args) -> SweepSpec:
     wp = kv(
         {
@@ -212,6 +243,25 @@ def _trace_video(args, sinks):
     )
 
 
+def _trace_sharded(args, sinks):
+    """Two tenant-tagged Poisson streams routed by tenant-key hash over
+    two IP→OP pipelines sharing one verifier fleet; the trace carries
+    the per-tenant admission/outcome events."""
+    return _trace_spec(
+        args,
+        sinks,
+        "open_loop",
+        {
+            "n_tasks": args.tasks,
+            "rate": 40.0,
+            "process": "poisson",
+            "seed": args.seed,
+        },
+        shards=2,
+        tenants=2,
+    )
+
+
 def _trace_recovery(args, sinks):
     """Fig 7a shape: a streaming workload where half the executor pool
     starts corrupting records mid-run; the trace shows fault detection,
@@ -258,6 +308,7 @@ TRACE_SCENARIOS: dict[str, Callable] = {
     "planning": _trace_planning,
     "video": _trace_video,
     "recovery": _trace_recovery,
+    "sharded": _trace_sharded,
 }
 
 
@@ -388,6 +439,7 @@ SWEEPS: dict[str, tuple[str, Callable]] = {
     "fig5c": ("Fig 5c: Motion Planning", _fig5c_spec),
     "fig5d": ("Fig 5d: Video Analysis", _fig5d_spec),
     "fig7b": ("Fig 7b: throughput vs fault level f (n=32)", _fig7b_spec),
+    "slo": ("Multi-tenant SLO: offered load × shard count", _slo_spec),
 }
 
 FIGURES: tuple[str, ...] = tuple(sorted({**ANALYTIC, **SWEEPS}))

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exp -> bench)
 
 __all__ = [
     "format_result_row",
+    "format_tenant_rows",
     "microbench_artifact",
     "print_figure",
     "print_series",
@@ -49,21 +50,47 @@ def _emit(line: str) -> None:
 
 
 def format_result_row(res: ScenarioResult) -> str:
-    """One aligned, printable table row for a scenario result."""
-    return (
+    """One aligned, printable table row for a scenario result.
+
+    Legacy (closed-loop) results render exactly as before; results
+    carrying SLO measurements grow a latency-percentile/goodput segment.
+    """
+    row = (
         f"{res.system:<10} n={res.n:<3} f={res.f} "
         f"thr={res.throughput:>12.0f} rec/s  "
         f"lat={res.mean_latency * 1e3:>8.1f} ms  "
         f"opbw={res.op_bandwidth / 1e9:>6.2f} GB/s  "
         f"cpu={res.executor_utilization * 100:>5.1f}%"
     )
+    if res.goodput or res.per_tenant:
+        row += (
+            f"  p50={res.p50_latency * 1e3:>7.1f} ms "
+            f"p99={res.p99_latency * 1e3:>7.1f} ms "
+            f"p999={res.p999_latency * 1e3:>7.1f} ms "
+            f"goodput={res.goodput:>10.0f} rec/s"
+        )
+    return row
+
+
+def format_tenant_rows(res: ScenarioResult) -> list[str]:
+    """Per-tenant breakdown rows (empty for untenanted results)."""
+    return [
+        f"{tenant:<10} tasks={s.get('count', 0):<6} "
+        f"p50={s.get('p50', 0.0) * 1e3:>7.1f} ms  "
+        f"p99={s.get('p99', 0.0) * 1e3:>7.1f} ms  "
+        f"p999={s.get('p999', 0.0) * 1e3:>7.1f} ms"
+        for tenant, s in res.per_tenant.items()
+    ]
 
 
 def print_figure(title: str, results: Iterable[ScenarioResult]) -> None:
-    """Print one figure's measurements as aligned rows."""
+    """Print one figure's measurements as aligned rows (multi-tenant
+    results additionally get an indented per-tenant breakdown)."""
     _emit(f"\n=== {title} ===")
     for res in results:
         _emit("  " + format_result_row(res))
+        for line in format_tenant_rows(res):
+            _emit("    " + line)
 
 
 def print_series(

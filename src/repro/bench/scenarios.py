@@ -54,6 +54,17 @@ class ScenarioResult:
     executor_utilization: float
     peak_throughput: float
     extra: dict = field(default_factory=dict)
+    # SLO fields (PR 8): defaulted so legacy dicts/shims round-trip
+    p50_latency: float = 0.0
+    p999_latency: float = 0.0
+    #: accepted records/sec over the run horizon — unlike ``throughput``
+    #: (capacity over the active window) this charges idle/shed time, so
+    #: it is the figure of merit under open-loop offered load
+    goodput: float = 0.0
+    #: tenant -> {count, p50, p99, p999} latency summary (seconds)
+    per_tenant: dict = field(default_factory=dict)
+    #: output pid -> completed-task count (sharded runs)
+    per_shard: dict = field(default_factory=dict)
 
     def row(self) -> str:
         """One printable table row (formatting lives in reporting)."""
@@ -78,6 +89,13 @@ class ScenarioResult:
             "op_bandwidth": self.op_bandwidth,
             "executor_utilization": self.executor_utilization,
             "peak_throughput": self.peak_throughput,
+            "p50_latency": self.p50_latency,
+            "p999_latency": self.p999_latency,
+            "goodput": self.goodput,
+            "per_tenant": {
+                t: dict(summary) for t, summary in self.per_tenant.items()
+            },
+            "per_shard": dict(self.per_shard),
             "extra": {
                 k: v
                 for k, v in self.extra.items()
@@ -101,6 +119,11 @@ class ScenarioResult:
             op_bandwidth=d["op_bandwidth"],
             executor_utilization=d["executor_utilization"],
             peak_throughput=d["peak_throughput"],
+            p50_latency=d.get("p50_latency", 0.0),
+            p999_latency=d.get("p999_latency", 0.0),
+            goodput=d.get("goodput", 0.0),
+            per_tenant=dict(d.get("per_tenant", {})),
+            per_shard=dict(d.get("per_shard", {})),
             extra=dict(d.get("extra", {})),
         )
 

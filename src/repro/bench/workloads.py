@@ -1,24 +1,36 @@
 """Calibrated workload factories for the paper's experiments.
 
-Each factory returns ``(app, workload_iterator, n_tasks)`` positioned on
-the CPU-cost × output-volume plane of Sec 7.2.  Graph sizes are
-simulation-scale substitutes for Orkut / Amazon-Products; the simulated
-per-step costs are calibrated so the three anomaly workloads land in the
-paper's regimes at n=32 with the harness's scaled-down OP link:
+Each factory returns a :class:`BenchWorkload` — an app plus a lazy
+:class:`TaskSource` — positioned on the CPU-cost × output-volume plane
+of Sec 7.2.  Graph sizes are simulation-scale substitutes for Orkut /
+Amazon-Products; the simulated per-step costs are calibrated so the
+three anomaly workloads land in the paper's regimes at n=32 with the
+harness's scaled-down OP link:
 
 * **HL** — 6-cliques: executor CPU ≈ 95%, OP link far from saturated;
 * **MM** — dense size-6: CPU ≈ 80%, OP link near saturation;
 * **LH** — 3-hop paths: cheap CPU, OP link saturated.
 
-Workloads are *bursts* by default (tasks submitted far faster than they
-complete) so throughput measures capacity — the quantity whose scaling
-the paper's figures plot — without per-run rate calibration.
+Closed-loop workloads are *bursts* by default (tasks submitted far
+faster than they complete) so throughput measures capacity — the
+quantity whose scaling the paper's figures plot — without per-run rate
+calibration.  The ``open_loop`` factory instead replaces burst submit
+times with a deterministic arrival process (Poisson, diurnal,
+burst-on-idle) so behaviour under *offered load* — admission, queueing,
+tail latency — becomes measurable.
+
+Task streams are lazy end to end: a source yields ``(time, Task)``
+pairs on demand and never materializes the stream, matching
+``InputProcess``'s contract that huge workloads never sit in memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+import inspect
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
 
 from repro.apps.anomaly import AnomalyApp, anomaly_workload, link_update_stream
 from repro.apps.planning import PlanningApp, instance_suite, make_planning_task
@@ -29,30 +41,191 @@ from repro.core.tasks import Task
 from repro.errors import BenchmarkError
 
 __all__ = [
+    "ArrivalProcess",
     "BenchWorkload",
+    "BurstSource",
+    "OpenLoopSource",
+    "TaskSource",
+    "TenantTaggedSource",
     "anomaly_bench",
+    "open_loop_bench",
     "planning_bench",
     "video_bench",
     "synthetic_bench",
     "two_phase_bench",
     "update_only_bench",
     "ANOMALY_PROFILES",
+    "ARRIVAL_KINDS",
     "WORKLOADS",
 ]
 
 
+# ------------------------------------------------------------------ sources
+class TaskSource:
+    """A lazy, re-iterable stream of ``(submit_time, Task)`` pairs.
+
+    Every iteration starts a fresh pass over the same deterministic
+    sequence; nothing is materialized, so million-task sources cost the
+    same memory as ten-task ones.
+    """
+
+    def __iter__(self) -> Iterator[tuple[float, Task]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class BurstSource(TaskSource):
+    """The closed-loop burst shape: a generator factory called per pass.
+
+    All the classic bench factories are this one implementation with a
+    different ``make`` closure; ``make`` must return a fresh iterator
+    (and re-seed any private RNG) each call so repeated passes are
+    identical.
+    """
+
+    def __init__(self, make: Callable[[], Iterator[tuple[float, Task]]]):
+        self._make = make
+
+    def __iter__(self) -> Iterator[tuple[float, Task]]:
+        return iter(self._make())
+
+
+#: Arrival process kinds understood by :class:`ArrivalProcess`.
+ARRIVAL_KINDS = ("poisson", "diurnal", "burst_idle")
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Deterministic open-loop arrival-time generator.
+
+    ``times()`` yields an unbounded, strictly reproducible sequence of
+    arrival instants drawn from a private ``random.Random`` seeded by a
+    stable string (so streams match across processes and platforms):
+
+    * ``poisson`` — exponential inter-arrivals at ``rate``/s;
+    * ``diurnal`` — inhomogeneous Poisson with intensity
+      ``rate * (1 + amplitude * sin(2πt / period))`` via thinning;
+    * ``burst_idle`` — ``burst_size`` simultaneous arrivals, then an
+      exponential idle gap with mean ``burst_size / rate`` (long-run
+      average rate stays ``rate``).
+    """
+
+    kind: str
+    rate: float
+    seed: int = 0
+    period: float = 60.0
+    amplitude: float = 0.8
+    burst_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise BenchmarkError(
+                f"unknown arrival process {self.kind!r}; "
+                f"expected one of {ARRIVAL_KINDS}"
+            )
+        if self.rate <= 0:
+            raise BenchmarkError(f"arrival rate must be positive, got {self.rate}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise BenchmarkError(
+                f"diurnal amplitude must be in [0, 1], got {self.amplitude}"
+            )
+        if self.period <= 0:
+            raise BenchmarkError(f"period must be positive, got {self.period}")
+        if self.burst_size < 1:
+            raise BenchmarkError(
+                f"burst_size must be >= 1, got {self.burst_size}"
+            )
+
+    def times(self) -> Iterator[float]:
+        """Fresh, unbounded arrival-time stream (same seed → same times)."""
+        # string seeds hash via SHA-512 in CPython — stable across
+        # processes regardless of PYTHONHASHSEED
+        rng = random.Random(f"arrivals:{self.kind}:{self.seed}")
+        if self.kind == "poisson":
+            t = 0.0
+            while True:
+                t += rng.expovariate(self.rate)
+                yield t
+        elif self.kind == "diurnal":
+            peak = self.rate * (1.0 + self.amplitude)
+            omega = 2.0 * math.pi / self.period
+            t = 0.0
+            while True:
+                t += rng.expovariate(peak)
+                intensity = self.rate * (
+                    1.0 + self.amplitude * math.sin(omega * t)
+                )
+                if rng.random() * peak <= intensity:
+                    yield t
+        else:  # burst_idle
+            t = 0.0
+            while True:
+                for _ in range(self.burst_size):
+                    yield t
+                t += rng.expovariate(self.rate / self.burst_size)
+
+
+class OpenLoopSource(TaskSource):
+    """Replace a base source's submit times with open-loop arrivals.
+
+    The base stream's tasks keep their identity and order; only the
+    submit instants change, so the same application work arrives under a
+    controlled offered load.  Consumption stays lazy — one base task is
+    pulled per arrival drawn.
+    """
+
+    def __init__(self, base: TaskSource, arrivals: ArrivalProcess):
+        self.base = base
+        self.arrivals = arrivals
+
+    def __iter__(self) -> Iterator[tuple[float, Task]]:
+        times = self.arrivals.times()
+        for (_, task), when in zip(iter(self.base), times):
+            yield (when, task)
+
+
+class TenantTaggedSource(TaskSource):
+    """Round-robin tenant tags (``t0``..``t{k-1}``) over a base source.
+
+    Tasks that already carry a tenant keep it; only untagged tasks are
+    assigned.  With ``tenants == 1`` everything lands on ``t0``.
+    """
+
+    def __init__(self, base: TaskSource, tenants: int):
+        if tenants < 1:
+            raise BenchmarkError(f"tenants must be >= 1, got {tenants}")
+        self.base = base
+        self.tenants = tenants
+
+    def __iter__(self) -> Iterator[tuple[float, Task]]:
+        for i, (when, task) in enumerate(iter(self.base)):
+            if not task.tenant:
+                task = replace(task, tenant=f"t{i % self.tenants}")
+            yield (when, task)
+
+
 @dataclass
 class BenchWorkload:
-    """An app plus its task stream, ready to hand to a scenario runner."""
+    """An app plus its lazy task source, ready for a scenario runner."""
 
     app: VerifiableApplication
-    tasks: list[tuple[float, Task]]
+    source: TaskSource
     n_compute_tasks: int
     chunk_bytes: int = 1_000_000
+    _tasks: list[tuple[float, Task]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def stream(self) -> Iterator[tuple[float, Task]]:
-        return iter(self.tasks)
+        """A fresh pass over the task source."""
+        return iter(self.source)
+
+    @property
+    def tasks(self) -> list[tuple[float, Task]]:
+        """Materialized view of the stream (cached; avoid for huge runs)."""
+        if self._tasks is None:
+            self._tasks = list(self.source)
+        return self._tasks
 
 
 #: Per-workload calibration: graph size, attachment, stream bias,
@@ -108,8 +281,8 @@ def anomaly_bench(
         record_bytes=profile["record_bytes"],
         verify_step_cost=profile["verify_step_cost"],
     )
-    tasks = list(
-        link_update_stream(
+    source = BurstSource(
+        lambda: link_update_stream(
             base,
             n_tasks=n_tasks,
             rate=rate,
@@ -118,7 +291,7 @@ def anomaly_bench(
             max_degree=profile["max_degree"],
         )
     )
-    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
+    return BenchWorkload(app=app, source=source, n_compute_tasks=n_tasks)
 
 
 def planning_bench(
@@ -130,12 +303,16 @@ def planning_bench(
     """Motion Planning bench: tasks cycle through the 107-instance suite."""
     suite = instance_suite(count=107, seed=seed)
     app = PlanningApp(instances=suite, node_cost=node_cost)
-    tasks = [
-        (i / rate, make_planning_task(i, i % len(suite)))
-        for i in range(n_tasks)
-    ]
+
+    def gen() -> Iterator[tuple[float, Task]]:
+        for i in range(n_tasks):
+            yield (i / rate, make_planning_task(i, i % len(suite)))
+
     return BenchWorkload(
-        app=app, tasks=tasks, n_compute_tasks=n_tasks, chunk_bytes=65536
+        app=app,
+        source=BurstSource(gen),
+        n_compute_tasks=n_tasks,
+        chunk_bytes=65536,
     )
 
 
@@ -152,23 +329,33 @@ def video_bench(
     """Video Analysis bench: frame updates interleaved with clustering
     tasks at the paper's update:compute ratio shape."""
     app = VideoApp(eval_cost=eval_cost)
-    frames = frame_stream(
-        n_compute * frames_per_compute + window,
-        points_per_frame=points_per_frame,
-        seed=seed,
-    )
-    tasks: list[tuple[float, Task]] = []
-    t = 0.0
-    made = 0
-    for i, frame in enumerate(frames):
-        tasks.append((t, make_frame_task(i, frame)))
-        t += 1.0 / rate
-        if i >= window and (i - window) % frames_per_compute == 0 and made < n_compute:
-            tasks.append((t, make_cluster_task(made, k=k, window=window)))
+    n_frames = n_compute * frames_per_compute + window
+
+    def gen() -> Iterator[tuple[float, Task]]:
+        frames = frame_stream(
+            n_frames, points_per_frame=points_per_frame, seed=seed
+        )
+        t = 0.0
+        made = 0
+        for i, frame in enumerate(frames):
+            yield (t, make_frame_task(i, frame))
             t += 1.0 / rate
-            made += 1
+            if (
+                i >= window
+                and (i - window) % frames_per_compute == 0
+                and made < n_compute
+            ):
+                yield (t, make_cluster_task(made, k=k, window=window))
+                t += 1.0 / rate
+                made += 1
+
+    # with n_frames = n_compute * frames_per_compute + window frames the
+    # interleave loop emits exactly n_compute cluster tasks
     return BenchWorkload(
-        app=app, tasks=tasks, n_compute_tasks=made, chunk_bytes=16384
+        app=app,
+        source=BurstSource(gen),
+        n_compute_tasks=n_compute,
+        chunk_bytes=16384,
     )
 
 
@@ -187,8 +374,14 @@ def synthetic_bench(
         record_bytes=record_bytes,
         verify_cost_ratio=verify_cost_ratio,
     )
-    tasks = [(i / rate, make_compute_task(i)) for i in range(n_tasks)]
-    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
+
+    def gen() -> Iterator[tuple[float, Task]]:
+        for i in range(n_tasks):
+            yield (i / rate, make_compute_task(i))
+
+    return BenchWorkload(
+        app=app, source=BurstSource(gen), n_compute_tasks=n_tasks
+    )
 
 
 def two_phase_bench(
@@ -214,25 +407,90 @@ def two_phase_bench(
         record_bytes=record_bytes,
         verify_cost_ratio=verify_cost_ratio,
     )
-    tasks: list[tuple[float, Task]] = []
     half = n_tasks // 2
-    for i in range(half):
-        tasks.append((i / rate, make_compute_task(i, n=records_light)))
-    for i in range(half, n_tasks):
-        tasks.append(
-            (phase_gap + (i - half) / rate, make_compute_task(i, n=records_heavy))
-        )
-    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=n_tasks)
+
+    def gen() -> Iterator[tuple[float, Task]]:
+        for i in range(half):
+            yield (i / rate, make_compute_task(i, n=records_light))
+        for i in range(half, n_tasks):
+            yield (
+                phase_gap + (i - half) / rate,
+                make_compute_task(i, n=records_heavy),
+            )
+
+    return BenchWorkload(
+        app=app, source=BurstSource(gen), n_compute_tasks=n_tasks
+    )
 
 
 def update_only_bench(n_updates: int, rate: float = 20_000.0) -> BenchWorkload:
     """Write-only workload for the Fig 5a state-update comparison."""
     app = SyntheticApp()
-    tasks = [
-        (i / rate, make_update_task(i, key=f"k{i % 64}", value=i))
-        for i in range(n_updates)
-    ]
-    return BenchWorkload(app=app, tasks=tasks, n_compute_tasks=0)
+
+    def gen() -> Iterator[tuple[float, Task]]:
+        for i in range(n_updates):
+            yield (i / rate, make_update_task(i, key=f"k{i % 64}", value=i))
+
+    return BenchWorkload(app=app, source=BurstSource(gen), n_compute_tasks=0)
+
+
+def open_loop_bench(
+    n_tasks: int,
+    rate: float = 200.0,
+    process: str = "poisson",
+    base: str = "synthetic",
+    seed: int = 0,
+    period: float = 60.0,
+    amplitude: float = 0.8,
+    burst_size: int = 8,
+    **base_params,
+) -> BenchWorkload:
+    """Open-loop traffic over any base workload's task stream.
+
+    The ``base`` factory supplies the application and the task sequence;
+    its burst submit times are replaced with arrivals from an
+    :class:`ArrivalProcess` (``process`` ∈ {poisson, diurnal,
+    burst_idle}) at offered load ``rate`` tasks/s.  Remaining keyword
+    params pass through to the base factory, whose own ``rate`` default
+    is irrelevant (its times are discarded).
+    """
+    if base == "open_loop":
+        raise BenchmarkError("open_loop cannot wrap itself")
+    if base not in WORKLOADS:
+        raise BenchmarkError(f"unknown base workload {base!r}")
+    factory = WORKLOADS[base]
+    sig = inspect.signature(factory)
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in sig.parameters.values()
+    )
+    names = set(sig.parameters)
+    params = dict(base_params)
+    # base factories name their task-count knob differently
+    if "n_tasks" in names or accepts_any:
+        params["n_tasks"] = n_tasks
+    elif "n_compute" in names:
+        params["n_compute"] = n_tasks
+    elif "n_updates" in names:
+        params["n_updates"] = n_tasks
+    else:  # pragma: no cover - all registered factories match above
+        raise BenchmarkError(f"cannot size base workload {base!r}")
+    if ("seed" in names or accepts_any) and "seed" not in params:
+        params["seed"] = seed
+    base_wl = factory(**params)
+    arrivals = ArrivalProcess(
+        kind=process,
+        rate=rate,
+        seed=seed,
+        period=period,
+        amplitude=amplitude,
+        burst_size=burst_size,
+    )
+    return BenchWorkload(
+        app=base_wl.app,
+        source=OpenLoopSource(base_wl.source, arrivals),
+        n_compute_tasks=base_wl.n_compute_tasks,
+        chunk_bytes=base_wl.chunk_bytes,
+    )
 
 
 def _anomaly_factory(profile: str, **params) -> BenchWorkload:
@@ -250,3 +508,4 @@ WORKLOADS = {
     "two_phase": two_phase_bench,
     "update_only": update_only_bench,
 }
+WORKLOADS["open_loop"] = open_loop_bench

@@ -176,6 +176,22 @@ def generate_point(rng: random.Random) -> Point:
     n = 8 if k == 2 else rng.choice((4, 5, 6, 8))
     n_exec = n - 3 * k
 
+    # A quarter of osiris draws are sharded multi-tenant open-loop
+    # deployments: tenant-tagged arrivals (Poisson/diurnal/burst-idle)
+    # routed by tenant-key hash across two IP→OP pipelines sharing the
+    # verifier fleet — the invariants must hold there too.
+    shards, tenants = 1, 1
+    if rng.random() < 0.25:
+        workload = "open_loop"
+        wparams = {
+            "n_tasks": rng.randint(6, 14),
+            "rate": rng.choice((50.0, 200.0)),
+            "process": rng.choice(("poisson", "diurnal", "burst_idle")),
+            "seed": rng.randrange(1 << 12),
+        }
+        shards = 2
+        tenants = rng.randint(2, 4)
+
     config: dict = {}
     if rng.random() < 0.4:
         # short suspect timeout: exercises reassignment + CPU cancellation
@@ -226,6 +242,8 @@ def generate_point(rng: random.Random) -> Point:
         executor_faults=tuple(executor_faults),
         verifier_faults=tuple(verifier_faults),
         campaign=campaign,
+        shards=shards,
+        tenants=tenants,
         label="fuzz",
     )
 
@@ -289,6 +307,13 @@ def _candidates(point: Point):
         yield replace(point, verifier_faults=faults)
     if point.config:
         yield replace(point, config=())
+    # tenancy/sharding shrink before any topology shrink: a violation
+    # that persists on the classic single-pipeline layout is the simpler
+    # reproducer
+    if point.tenants > 1:
+        yield replace(point, tenants=1)
+    if point.shards > 1:
+        yield replace(point, shards=1)
     wp = dict(point.workload_params)
     n_tasks = wp.get("n_tasks")
     if isinstance(n_tasks, int) and n_tasks > 2:

@@ -45,6 +45,14 @@ class OsirisConfig:
     non_equivocation:
         Whether the non-equivocating multicast primitive is available;
         without it sub-clusters need 3f+1 members (Sec 3).
+    admission_queue / admission_rate:
+        IP-side admission control for open-loop traffic.  ``None`` for
+        both (the default) keeps the exact legacy submit path: every
+        arrival is forwarded immediately.  ``admission_queue`` bounds
+        the IP's ingress queue — arrivals past the bound are *rejected*
+        (shed).  ``admission_rate`` drains the queue at that many
+        submits/second; arrivals that must wait behind the drain are
+        counted as *deferred*.
     """
 
     f: int = 1
@@ -67,6 +75,8 @@ class OsirisConfig:
     consensus_batch_delay: float = 0.5e-3
     consensus_view_timeout: float = 50e-3
     retained_outputs: int = 128
+    admission_queue: int | None = None
+    admission_rate: float | None = None
 
     def __post_init__(self) -> None:
         if self.f < 1:
@@ -75,6 +85,10 @@ class OsirisConfig:
             raise ProtocolError("chunk_bytes must be positive")
         if self.max_attempts < 1:
             raise ProtocolError("max_attempts must be >= 1")
+        if self.admission_queue is not None and self.admission_queue < 1:
+            raise ProtocolError("admission_queue must be >= 1 when set")
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise ProtocolError("admission_rate must be positive when set")
 
     @property
     def subcluster_size(self) -> int:

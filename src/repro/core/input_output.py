@@ -14,7 +14,8 @@ machines; scheduling and transmission happen through typed effects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
 from repro.consensus.fast_robust import ConsensusClient
@@ -33,7 +34,11 @@ from repro.obs.events import (
     CATEGORY_TASK,
     ChunkAccepted,
     RecordsAccepted,
+    TaskAdmitted,
     TaskCompleted,
+    TaskDeferred,
+    TaskOutcome,
+    TaskRejected,
     TaskSubmitted,
 )
 from repro.net.topology import Topology
@@ -48,6 +53,14 @@ class InputProcess(ProtocolCore):
     ``workload`` is a lazy iterator of ``(submit_time, Task)`` pairs in
     non-decreasing time order; tasks are scheduled one ahead so huge
     workloads never materialize in memory.
+
+    When ``config`` enables admission control (``admission_queue`` /
+    ``admission_rate``), arrivals pass through a bounded ingress queue
+    drained at the configured rate, with explicit shed accounting:
+    ``tasks_admitted`` were forwarded, ``tasks_deferred`` additionally
+    had to wait behind the drain, ``tasks_rejected`` were dropped at a
+    full queue.  With both knobs unset (the default) every arrival is
+    forwarded immediately on the exact legacy path.
     """
 
     def __init__(
@@ -55,12 +68,26 @@ class InputProcess(ProtocolCore):
         pid: str,
         topo: Topology,
         workload: Iterator[tuple[float, Task]],
+        config: Optional[OsirisConfig] = None,
     ) -> None:
         super().__init__(pid)
         self.topo = topo
+        self.config = config
         self._workload = iter(workload)
         self.client = ConsensusClient(self, topo.coordinator)
         self.tasks_submitted = 0
+        self.tasks_admitted = 0
+        self.tasks_deferred = 0
+        self.tasks_rejected = 0
+        self._queue: deque[Task] = deque()
+        self._draining = False
+
+    @property
+    def _admission(self) -> bool:
+        c = self.config
+        return c is not None and (
+            c.admission_queue is not None or c.admission_rate is not None
+        )
 
     def start(self) -> None:
         """Begin streaming tasks (call once after deployment wiring)."""
@@ -72,28 +99,86 @@ class InputProcess(ProtocolCore):
         except StopIteration:
             return
         delay = max(0.0, at - self.now)
-        self.schedule(delay, self._submit, task)
+        if self._admission:
+            self.schedule(delay, self._arrive, task)
+        else:
+            self.schedule(delay, self._submit, task)
+
+    def _forward(self, task: Task) -> None:
+        stamped = replace(task, submitted_at=self.now)
+        if self.wants(CATEGORY_TASK):
+            self.emit(
+                TaskSubmitted(
+                    time=self.now, pid=self.pid, task_id=task.task_id
+                )
+            )
+        self.client.submit(stamped, size=task.size_bytes)
+        self.tasks_submitted += 1
 
     def _submit(self, task: Task) -> None:
         if not self.crashed:
-            stamped = Task(
-                task_id=task.task_id,
-                opcode=task.opcode,
-                update_payload=task.update_payload,
-                compute_payload=task.compute_payload,
-                timestamp=task.timestamp,
-                submitted_at=self.now,
-                size_bytes=task.size_bytes,
-            )
-            if self.wants(CATEGORY_TASK):
-                self.emit(
-                    TaskSubmitted(
-                        time=self.now, pid=self.pid, task_id=task.task_id
-                    )
-                )
-            self.client.submit(stamped, size=task.size_bytes)
-            self.tasks_submitted += 1
+            self._forward(task)
         self._schedule_next()
+
+    # ----------------------------------------------------------- admission
+    def _arrive(self, task: Task) -> None:
+        if not self.crashed:
+            bound = self.config.admission_queue
+            if bound is not None and len(self._queue) >= bound:
+                self.tasks_rejected += 1
+                if self.wants(CATEGORY_TASK):
+                    self.emit(
+                        TaskRejected(
+                            time=self.now,
+                            pid=self.pid,
+                            task_id=task.task_id,
+                            tenant=task.tenant,
+                        )
+                    )
+            else:
+                if self._draining or self._queue:
+                    self.tasks_deferred += 1
+                    if self.wants(CATEGORY_TASK):
+                        self.emit(
+                            TaskDeferred(
+                                time=self.now,
+                                pid=self.pid,
+                                task_id=task.task_id,
+                                tenant=task.tenant,
+                                queue_depth=len(self._queue) + 1,
+                            )
+                        )
+                self._queue.append(task)
+                if not self._draining:
+                    self._draining = True
+                    self._drain()
+        self._schedule_next()
+
+    def _drain(self) -> None:
+        if self.crashed or not self._queue:
+            self._draining = False
+            return
+        task = self._queue.popleft()
+        self._forward(task)
+        self.tasks_admitted += 1
+        if self.wants(CATEGORY_TASK):
+            self.emit(
+                TaskAdmitted(
+                    time=self.now,
+                    pid=self.pid,
+                    task_id=task.task_id,
+                    tenant=task.tenant,
+                )
+            )
+        rate = self.config.admission_rate
+        if rate is not None:
+            # rate-limited drain: the pending tick spaces the next
+            # submit even if the queue is briefly empty when it fires
+            self.schedule(1.0 / rate, self._drain)
+        elif self._queue:
+            self.schedule(0.0, self._drain)
+        else:
+            self._draining = False
 
 
 @dataclass
@@ -112,6 +197,8 @@ class _OutTask:
     vp_index: int = -1
     completed: bool = False
     neg_terms: int = 0
+    tenant: str = ""
+    submitted_at: float = 0.0
 
 
 class OutputProcess(ProtocolCore):
@@ -144,6 +231,9 @@ class OutputProcess(ProtocolCore):
             ot.vp_index = msg.vp_index
         elif ot.vp_index != msg.vp_index:
             return None  # a task's output comes from one sub-cluster
+        if msg.tenant and not ot.tenant:
+            ot.tenant = msg.tenant
+            ot.submitted_at = msg.submitted_at
         if msg.final:
             ot.final_index = msg.index
         return ot, ot.slots.setdefault(msg.index, _ChunkSlot())
@@ -218,6 +308,18 @@ class OutputProcess(ProtocolCore):
                         time=self.now, pid=self.pid, task_id=task_id
                     )
                 )
+                if ot.tenant:
+                    # tenant-tagged runs additionally get the SLO record;
+                    # legacy traces never see this event (byte-identity)
+                    self.emit(
+                        TaskOutcome(
+                            time=self.now,
+                            pid=self.pid,
+                            task_id=task_id,
+                            tenant=ot.tenant,
+                            submitted_at=ot.submitted_at,
+                        )
+                    )
 
     # ----------------------------------------------------------- timeouts
     def _arm_wait_timer(self, task_id: str, index: int) -> None:

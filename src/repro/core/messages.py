@@ -109,6 +109,11 @@ class VerifiedChunkMsg(Message):
     chunk: Optional[Chunk] = None
     digest: bytes = b""
     total_records: int = 0
+    #: tenant metadata for the OP's SLO accounting; "" on legacy
+    #: (untenanted) traffic.  Deliberately excluded from payload_bytes —
+    #: it rides in the 96-byte header allowance.
+    tenant: str = ""
+    submitted_at: float = 0.0
 
     def payload_bytes(self) -> int:
         return self.chunk.payload_bytes() + 96
@@ -124,6 +129,8 @@ class VerifiedDigestMsg(Message):
     final: bool = False
     digest: bytes = b""
     total_records: int = 0
+    tenant: str = ""
+    submitted_at: float = 0.0
 
     def payload_bytes(self) -> int:
         return 96

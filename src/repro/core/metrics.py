@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.core.stats import StreamingPercentiles
 from repro.errors import BenchmarkError
 from repro.obs.bus import Sink
 from repro.obs.events import (
@@ -29,9 +30,13 @@ from repro.obs.events import (
     LeaderElection,
     RecordsAccepted,
     RoleSwitch,
+    TaskAdmitted,
     TaskCompleted,
+    TaskDeferred,
     TaskFallback,
+    TaskOutcome,
     TaskReassigned,
+    TaskRejected,
     TaskSubmitted,
     TraceEvent,
 )
@@ -53,8 +58,17 @@ class MetricsHub(Sink):
         self._accept_events: list[tuple[float, int]] = []
         self._task_submit: dict[str, float] = {}
         self.task_latencies: list[float] = []
+        #: streaming accumulator behind the p50/p99/p999 SLO fields —
+        #: O(log range) memory even for million-task open-loop runs
+        self.slo_latency = StreamingPercentiles()
         self.tasks_completed = 0
         self._completed_ids: set[str] = set()
+        self._outcome_ids: set[str] = set()
+        self._tenant_latency: dict[str, StreamingPercentiles] = {}
+        self._shard_completions: dict[str, int] = {}
+        self.tasks_admitted = 0
+        self.tasks_deferred = 0
+        self.tasks_rejected = 0
         self.completion_times: list[float] = []
         self.faults_detected: list[tuple[float, str, str]] = []
         self.reassignments: list[tuple[float, str, int]] = []
@@ -82,7 +96,9 @@ class MetricsHub(Sink):
         self._record_bins[idx] = self._record_bins.get(idx, 0) + count
         self._accept_events.append((time, count))
 
-    def on_task_output_complete(self, task_id: str, time: float) -> None:
+    def on_task_output_complete(
+        self, task_id: str, time: float, pid: str = ""
+    ) -> None:
         """OP saw the final verified chunk of a task.  Deduplicated by
         task id: with multiple output processes, the first acceptance
         defines completion (records_accepted, by contrast, sums over all
@@ -92,9 +108,36 @@ class MetricsHub(Sink):
         self._completed_ids.add(task_id)
         self.tasks_completed += 1
         self.completion_times.append(time)
+        if pid:
+            self._shard_completions[pid] = (
+                self._shard_completions.get(pid, 0) + 1
+            )
         start = self._task_submit.get(task_id)
         if start is not None:
             self.task_latencies.append(time - start)
+            self.slo_latency.add(time - start)
+
+    def on_task_outcome(
+        self, task_id: str, tenant: str, submitted_at: float, time: float
+    ) -> None:
+        """Tenant-tagged completion (multi-tenant runs only), dedup'd
+        like completions."""
+        if task_id in self._outcome_ids:
+            return
+        self._outcome_ids.add(task_id)
+        acc = self._tenant_latency.get(tenant)
+        if acc is None:
+            acc = self._tenant_latency[tenant] = StreamingPercentiles()
+        acc.add(time - submitted_at)
+
+    def on_task_admitted(self) -> None:
+        self.tasks_admitted += 1
+
+    def on_task_deferred(self) -> None:
+        self.tasks_deferred += 1
+
+    def on_task_rejected(self) -> None:
+        self.tasks_rejected += 1
 
     def on_fault_detected(self, time: float, kind: str, culprit: str) -> None:
         """A verifier proved a process faulty (``kind`` names the check)."""
@@ -124,7 +167,15 @@ class MetricsHub(Sink):
     _DISPATCH: dict[type, Callable[["MetricsHub", TraceEvent], None]] = {
         TaskSubmitted: lambda m, e: m.on_task_submitted(e.task_id, e.time),
         RecordsAccepted: lambda m, e: m.on_records_accepted(e.count, e.time),
-        TaskCompleted: lambda m, e: m.on_task_output_complete(e.task_id, e.time),
+        TaskCompleted: lambda m, e: m.on_task_output_complete(
+            e.task_id, e.time, e.pid
+        ),
+        TaskOutcome: lambda m, e: m.on_task_outcome(
+            e.task_id, e.tenant, e.submitted_at, e.time
+        ),
+        TaskAdmitted: lambda m, e: m.on_task_admitted(),
+        TaskDeferred: lambda m, e: m.on_task_deferred(),
+        TaskRejected: lambda m, e: m.on_task_rejected(),
         FaultDetected: lambda m, e: m.on_fault_detected(e.time, e.reason, e.culprit),
         TaskReassigned: lambda m, e: m.on_reassignment(e.time, e.task_id, e.attempt),
         RoleSwitch: lambda m, e: m.on_role_switch(e.time, e.vp_index, e.to_executor),
@@ -196,7 +247,12 @@ class MetricsHub(Sink):
         return sum(self.task_latencies) / len(self.task_latencies)
 
     def latency_percentile(self, q: float) -> float:
-        """Latency percentile in [0, 100] (0 when no tasks completed)."""
+        """Latency percentile in [0, 100] (0 when no tasks completed).
+
+        Nearest-rank over the exact latency list — the legacy
+        ``p99_latency`` field.  The SLO fields use
+        :meth:`slo_percentile` (linear interpolation, streaming).
+        """
         if not 0 <= q <= 100:
             raise BenchmarkError("percentile must be in [0, 100]")
         if not self.task_latencies:
@@ -204,3 +260,22 @@ class MetricsHub(Sink):
         data = sorted(self.task_latencies)
         idx = min(len(data) - 1, int(round(q / 100 * (len(data) - 1))))
         return data[idx]
+
+    def slo_percentile(self, q: float) -> float:
+        """Streaming latency percentile (numpy-linear semantics)."""
+        return self.slo_latency.percentile(q)
+
+    def per_tenant(self) -> dict[str, dict[str, float]]:
+        """Per-tenant completion count + latency percentiles, sorted
+        by tenant key (empty for untenanted/legacy runs)."""
+        return {
+            tenant: acc.summary()
+            for tenant, acc in sorted(self._tenant_latency.items())
+        }
+
+    def per_shard(self) -> dict[str, int]:
+        """Completed-task count per output process, sorted by pid.
+
+        Only meaningful under sharded routing: with the legacy broadcast
+        layout the first OP to accept claims every completion."""
+        return dict(sorted(self._shard_completions.items()))

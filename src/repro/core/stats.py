@@ -1,0 +1,127 @@
+"""Streaming order statistics for SLO reporting.
+
+:class:`StreamingPercentiles` feeds MetricsHub's p50/p99/p999 latency
+fields.  Small samples (the overwhelmingly common bench case) are kept
+exactly and quantiles match ``numpy.percentile``'s default *linear*
+interpolation bit-for-bit; past ``exact_limit`` observations the
+accumulator folds into a DDSketch-style log-bucket histogram whose
+quantiles carry a bounded *relative* error (``rel_error``), keeping
+memory O(log(max/min)) for million-task open-loop runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StreamingPercentiles"]
+
+
+class StreamingPercentiles:
+    """Mergeable-enough streaming quantile accumulator.
+
+    * below ``exact_limit`` observations: exact, numpy-``linear``
+      interpolation semantics (including the empty → 0.0 and
+      one-sample → that sample edge cases);
+    * above: log buckets of ratio ``gamma = (1+e)/(1-e)`` so any
+      reported quantile ``v̂`` satisfies ``|v̂ - v| <= e·v`` for the true
+      positive quantile ``v`` (zeros and non-positives are counted in a
+      dedicated bucket and reported as 0.0).
+    """
+
+    def __init__(self, exact_limit: int = 4096, rel_error: float = 0.01):
+        if exact_limit < 1:
+            raise ValueError("exact_limit must be >= 1")
+        if not 0.0 < rel_error < 1.0:
+            raise ValueError("rel_error must be in (0, 1)")
+        self.exact_limit = exact_limit
+        self.rel_error = rel_error
+        self._gamma = (1.0 + rel_error) / (1.0 - rel_error)
+        self._log_gamma = math.log(self._gamma)
+        self._samples: list[float] = []
+        self._dirty = False  # samples need re-sorting before a query
+        self._buckets: dict[int, int] | None = None  # None while exact
+        self._zeros = 0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ---------------------------------------------------------------- feed
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._buckets is None:
+            self._samples.append(value)
+            self._dirty = True
+            if len(self._samples) >= self.exact_limit:
+                self._fold()
+        else:
+            self._bucket_add(value)
+
+    def _key(self, value: float) -> int:
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def _bucket_add(self, value: float) -> None:
+        if value <= 0.0:
+            self._zeros += 1
+            return
+        key = self._key(value)
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    def _fold(self) -> None:
+        self._buckets = {}
+        for v in self._samples:
+            self._bucket_add(v)
+        self._samples = []
+        self._dirty = False
+
+    # --------------------------------------------------------------- query
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]); 0.0 on an empty stream."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        if self._buckets is None:
+            if self._dirty:
+                self._samples.sort()
+                self._dirty = False
+            s = self._samples
+            pos = q / 100.0 * (len(s) - 1)
+            lo = math.floor(pos)
+            frac = pos - lo
+            if frac == 0.0:
+                return s[lo]
+            return s[lo] + frac * (s[lo + 1] - s[lo])
+        # sketch mode: nearest-rank walk over the log buckets
+        rank = q / 100.0 * (self.count - 1)
+        if rank < self._zeros:
+            return 0.0
+        seen = self._zeros
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if rank < seen:
+                # bucket (gamma^(k-1), gamma^k]: midpoint bounds the
+                # relative error by rel_error
+                mid = 2.0 * self._gamma ** key / (self._gamma + 1.0)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - rank always < total seen
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is retained exactly."""
+        return self._buckets is None
+
+    def summary(self) -> dict[str, float]:
+        """The standard SLO triple plus extremes, JSON-ready."""
+        if self.count == 0:
+            return {"count": 0, "p50": 0.0, "p99": 0.0, "p999": 0.0}
+        return {
+            "count": self.count,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "p999": self.percentile(99.9),
+        }

@@ -55,6 +55,11 @@ class Task:
     timestamp: int = -1
     submitted_at: float = 0.0
     size_bytes: int = 64
+    #: Owning tenant in multi-tenant deployments; "" means untenanted
+    #: (the single-pipeline legacy shape).  Deliberately excluded from
+    #: ``canonical()`` so tenancy metadata never perturbs digests or
+    #: coordinator signatures.
+    tenant: str = ""
 
     def canonical(self) -> list:
         return [self.task_id, self.opcode.value, self.timestamp]
@@ -69,6 +74,7 @@ class Task:
             timestamp=ts,
             submitted_at=self.submitted_at,
             size_bytes=self.size_bytes,
+            tenant=self.tenant,
         )
 
 

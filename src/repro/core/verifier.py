@@ -98,6 +98,9 @@ class Verifier(WorkerBase):
         self.role_epoch = 0
         self._tasks: dict[tuple[str, int], _VerState] = {}
         self._completed_tasks: set[str] = set()
+        #: task_id -> (tenant, submitted_at) for OP routing/SLO tagging;
+        #: grows with _completed_tasks (same unbounded-set precedent)
+        self._task_meta: dict[str, tuple[str, float]] = {}
         self._retained: OrderedDict[str, list[tuple[Chunk, bytes]]] = OrderedDict()
         self._elect_votes: dict[int, set[str]] = {}
         self._op_reported_leaders: dict[str, set[str]] = {}
@@ -394,6 +397,9 @@ class Verifier(WorkerBase):
         st.finished = True
         task_id = key[0]
         self._completed_tasks.add(task_id)
+        if st.assignment is not None:
+            t = st.assignment.task
+            self._task_meta[task_id] = (t.tenant, t.submitted_at)
         self._retain(task_id, list(st.verified))
         self._forward_output(task_id, st.verified, st.seen_records)
         done = TaskCompleteMsg(
@@ -423,10 +429,12 @@ class Verifier(WorkerBase):
         leader = self.is_leader or force_leader
         if leader and self._faulty("negligent_leader"):
             return
+        tenant, submitted_at = self._task_meta.get(task_id, ("", 0.0))
+        outputs = self.topo.outputs_for(tenant)
         for chunk, sigma in chunks:
             if self._faulty("bogus_digest"):
                 sigma = digest(["bogus", chunk.task_id, chunk.index])
-            for op in self.topo.output_pids:
+            for op in outputs:
                 if leader:
                     self.send(
                         op,
@@ -438,6 +446,8 @@ class Verifier(WorkerBase):
                             chunk=chunk,
                             digest=sigma,
                             total_records=total,
+                            tenant=tenant,
+                            submitted_at=submitted_at,
                         ),
                     )
                 else:
@@ -450,6 +460,8 @@ class Verifier(WorkerBase):
                             final=chunk.final,
                             digest=sigma,
                             total_records=total,
+                            tenant=tenant,
+                            submitted_at=submitted_at,
                         ),
                     )
 
@@ -713,6 +725,7 @@ class Verifier(WorkerBase):
     def _fallback_execute(self, task) -> None:
         if self.crashed:
             return
+        self._task_meta[task.task_id] = (task.tenant, task.submitted_at)
         view = self.store.view(task.timestamp)
         result = self.app.compute(view, task)
         chunks = chunk_records(

@@ -100,6 +100,8 @@ def point_spec(point: Point, sanitize: bool = False) -> api.DeploymentSpec:
         config=point.config,
         faults=faults,
         sanitize=sanitize,
+        shards=point.shards,
+        tenants=point.tenants,
         label=point.label,
     )
 

@@ -83,6 +83,11 @@ class Point:
         tuple[str, str, tuple[tuple[str, Any], ...]], ...
     ] = ()
     campaign: str = ""
+    #: independent IP→OP pipelines over the shared verifier fleet
+    #: (OsirisBFT only; 1 = the classic single-pipeline layout)
+    shards: int = 1
+    #: >1 round-robin-tags tasks with tenant keys for per-tenant SLOs
+    tenants: int = 1
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -92,6 +97,10 @@ class Point:
             )
         if self.n < 1:
             raise BenchmarkError(f"cluster size must be >=1, got {self.n}")
+        if self.shards < 1:
+            raise BenchmarkError(f"shards must be >=1, got {self.shards}")
+        if self.tenants < 1:
+            raise BenchmarkError(f"tenants must be >=1, got {self.tenants}")
 
     # ------------------------------------------------------------- identity
     def descriptor(self) -> dict[str, Any]:
@@ -121,6 +130,8 @@ class Point:
                 for pid, kind, params in self.verifier_faults
             ],
             "campaign": self.campaign,
+            "shards": self.shards,
+            "tenants": self.tenants,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -154,6 +165,8 @@ class Point:
                 for pid, kind, params in d.get("verifier_faults", ())
             ),
             campaign=d.get("campaign", ""),
+            shards=d.get("shards", 1),
+            tenants=d.get("tenants", 1),
             label=d.get("label", ""),
         )
 

@@ -10,12 +10,28 @@ knowledge — matching the paper's static membership assumption.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import NetworkError
 
-__all__ = ["SubCluster", "Topology"]
+__all__ = ["SubCluster", "Topology", "shard_of_tenant"]
+
+
+def shard_of_tenant(tenant: str, shards: int) -> int:
+    """Deterministic tenant → shard routing key.
+
+    sha256-based so the mapping is stable across processes and
+    platforms (never ``hash()``, which is salted per interpreter).  The
+    domain-separation prefix keeps this independent of any other sha256
+    use of the bare tenant key (and happens to spread the conventional
+    small ``t0``/``t1``/... keys across small shard counts).
+    """
+    if shards <= 1:
+        return 0
+    h = hashlib.sha256(("shard:" + tenant).encode("utf-8")).digest()
+    return int.from_bytes(h[:8], "big") % shards
 
 
 @dataclass(frozen=True)
@@ -56,6 +72,11 @@ class Topology:
     executor_pids: tuple[str, ...]
     verifier_clusters: tuple[SubCluster, ...]
     f: int
+    #: Number of tenant-routed IP/OP pipelines sharing the verifier
+    #: fleet.  1 (default) is the legacy single-pipeline layout; when
+    #: > 1, pipeline i is (input_pids[i], output_pids[i]) and completed
+    #: output for a tenant is delivered only to its shard's OP.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.verifier_clusters:
@@ -63,6 +84,17 @@ class Topology:
         all_pids = list(self.all_pids())
         if len(set(all_pids)) != len(all_pids):
             raise NetworkError("process ids overlap across roles")
+        if self.shards < 1:
+            raise NetworkError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and (
+            len(self.input_pids) != self.shards
+            or len(self.output_pids) != self.shards
+        ):
+            raise NetworkError(
+                f"sharded topology needs exactly {self.shards} input and "
+                f"output pids, got {len(self.input_pids)}/"
+                f"{len(self.output_pids)}"
+            )
 
     # ------------------------------------------------------------- accessors
     @property
@@ -99,6 +131,21 @@ class Topology:
             + tuple(self.output_pids)
             + self.worker_pids()
         )
+
+    def outputs_for(self, tenant: str) -> tuple[str, ...]:
+        """Output pids a completion for ``tenant`` must be delivered to.
+
+        Unsharded topologies (and untenanted tasks, which can only come
+        from legacy workloads) broadcast to every OP — the exact legacy
+        path.  Sharded topologies route to the tenant's single OP.
+        """
+        if self.shards <= 1 or not tenant:
+            return tuple(self.output_pids)
+        return (self.output_pids[shard_of_tenant(tenant, self.shards)],)
+
+    def shard_of(self, tenant: str) -> int:
+        """Shard index owning ``tenant`` (0 when unsharded)."""
+        return shard_of_tenant(tenant, self.shards)
 
     def cluster_of(self, pid: str) -> Optional[SubCluster]:
         """The verifier sub-cluster containing ``pid``, if any."""

@@ -9,7 +9,8 @@ cheap :meth:`~repro.obs.bus.EventBus.wants` check that guards hot paths:
 category   events
 ========== ==================================================================
 task       TaskSubmitted, TaskLinearized, TaskAssigned, TaskReassigned,
-           TaskFallback, TaskCompleted, RecordsAccepted
+           TaskFallback, TaskCompleted, TaskOutcome, RecordsAccepted,
+           TaskAdmitted, TaskDeferred, TaskRejected
 chunk      ChunkEmitted, ChunkVerified, ChunkAccepted
 consensus  ConsensusCommit, ViewChange
 fault      FaultDetected, RoleSwitch, LeaderElection, EquivocationReported
@@ -53,6 +54,10 @@ __all__ = [
     "TaskReassigned",
     "TaskFallback",
     "TaskCompleted",
+    "TaskOutcome",
+    "TaskAdmitted",
+    "TaskDeferred",
+    "TaskRejected",
     "RecordsAccepted",
     "ChunkEmitted",
     "ChunkVerified",
@@ -180,6 +185,61 @@ class TaskCompleted(TraceEvent):
     kind: ClassVar[str] = "task-completed"
 
     task_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskOutcome(TraceEvent):
+    """Tenant-tagged completion: OP-side SLO record for one task.
+
+    Emitted *in addition to* :class:`TaskCompleted`, and only for tasks
+    carrying a tenant (i.e. multi-tenant/open-loop runs) — legacy traces
+    never contain it, keeping golden fixtures byte-identical.
+    """
+
+    category: ClassVar[str] = CATEGORY_TASK
+    kind: ClassVar[str] = "task-outcome"
+
+    task_id: str
+    tenant: str
+    submitted_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskAdmitted(TraceEvent):
+    """IP admission control forwarded a task into the pipeline.
+
+    Only emitted when admission control is configured
+    (``OsirisConfig.admission_queue`` / ``admission_rate``).
+    """
+
+    category: ClassVar[str] = CATEGORY_TASK
+    kind: ClassVar[str] = "task-admitted"
+
+    task_id: str
+    tenant: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDeferred(TraceEvent):
+    """IP admission control queued a task behind the drain rate."""
+
+    category: ClassVar[str] = CATEGORY_TASK
+    kind: ClassVar[str] = "task-deferred"
+
+    task_id: str
+    tenant: str
+    queue_depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRejected(TraceEvent):
+    """IP admission control shed a task (ingress queue full)."""
+
+    category: ClassVar[str] = CATEGORY_TASK
+    kind: ClassVar[str] = "task-rejected"
+
+    task_id: str
+    tenant: str
 
 
 @dataclass(frozen=True, slots=True)

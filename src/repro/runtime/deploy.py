@@ -29,7 +29,7 @@ from repro.core.verifier import Verifier
 from repro.crypto.signatures import KeyRegistry
 from repro.net.links import DEFAULT_BANDWIDTH, Network
 from repro.net.partial_synchrony import SynchronyModel
-from repro.net.topology import Topology
+from repro.net.topology import Topology, shard_of_tenant
 from repro.obs.bus import EventBus
 from repro.runtime.des import DesHost
 from repro.runtime.plan import (
@@ -98,6 +98,37 @@ class OsirisCluster:
         return list(self.coordinators) + list(self.verifiers)
 
 
+class _ShardDemux:
+    """Split one lazy (time, Task) stream across per-shard input feeds.
+
+    Each shard's InputProcess pulls from its own view; a pull that finds
+    the shard's buffer empty advances the shared underlying iterator,
+    parking tasks owned by *other* shards in their buffers.  Memory is
+    bounded by the inter-shard skew of the arrival interleaving, not the
+    stream length — the lazy-source contract survives sharding.
+    """
+
+    def __init__(self, source: Iterator[tuple[float, Task]], shards: int):
+        from collections import deque
+
+        self._source = source
+        self._shards = shards
+        self._buffers = [deque() for _ in range(shards)]
+
+    def _pull_into(self, shard: int) -> bool:
+        for when, task in self._source:
+            owner = shard_of_tenant(task.tenant, self._shards)
+            self._buffers[owner].append((when, task))
+            if owner == shard:
+                return True
+        return False
+
+    def stream(self, shard: int) -> Iterator[tuple[float, Task]]:
+        buf = self._buffers[shard]
+        while buf or self._pull_into(shard):
+            yield buf.popleft()
+
+
 def instantiate_plan_des(
     plan: ClusterPlan,
     app: VerifiableApplication,
@@ -128,8 +159,15 @@ def instantiate_plan_des(
         "output": [],
     }
     primary_ip = plan.topo.input_pids[0] if plan.topo.input_pids else None
+    feeds: dict[str, Iterator[tuple[float, Task]]] = {}
+    if plan.topo.shards > 1 and workload is not None:
+        demux = _ShardDemux(iter(workload), plan.topo.shards)
+        for i, pid in enumerate(plan.topo.input_pids):
+            feeds[pid] = demux.stream(i)
+    elif primary_ip is not None and workload is not None:
+        feeds[primary_ip] = workload
     for spec in plan.nodes:
-        wl = workload if (spec.pid == primary_ip and spec.role == "input") else None
+        wl = feeds.get(spec.pid) if spec.role == "input" else None
         core = plan.make_core(spec, app, registry, workload=wl)
         host = DesHost(
             sim, net, core, cores=spec.cores, capture=spec.pid in plan.capture
@@ -184,6 +222,7 @@ def build_osiris_cluster(
     sinks: Iterable = (),
     capture: Iterable[str] = (),
     sanitize: bool = False,
+    shards: int = 1,
 ) -> OsirisCluster:
     """Build and wire an OsirisBFT deployment on the DES backend.
 
@@ -222,6 +261,10 @@ def build_osiris_cluster(
         Purely observational (the trace stays byte-identical); call
         ``cluster.sanitizer.audit(cluster)`` after the run for the
         post-run checks.
+    shards:
+        Tenant-routed IP/OP pipeline count over the shared verifier
+        fleet; ``workload`` is demultiplexed across the per-shard
+        inputs by each task's tenant key.  1 = legacy single pipeline.
     """
     plan = plan_osiris_cluster(
         n_workers=n_workers,
@@ -238,5 +281,6 @@ def build_osiris_cluster(
         output_faults=output_faults,
         capture=capture,
         sanitize=sanitize,
+        shards=shards,
     )
     return instantiate_plan_des(plan, app, workload, sinks=sinks)

@@ -127,6 +127,7 @@ class ClusterPlan:
                 spec.pid,
                 topo,
                 workload if workload is not None else iter(()),
+                config=config,
             )
         if spec.role == "output":
             return OutputProcess(
@@ -158,6 +159,7 @@ def plan_osiris_cluster(
     output_faults: Optional[dict[str, OutputFault]] = None,
     capture: Iterable[str] = (),
     sanitize: bool = False,
+    shards: int = 1,
 ) -> ClusterPlan:
     """Lay out an OsirisBFT deployment (no substrate objects created).
 
@@ -166,8 +168,22 @@ def plan_osiris_cluster(
     being VP_CO) and a pool of executors; ``n_inputs``/``n_outputs``
     dedicated IP/OP nodes.  ``faults`` accepts anything
     :func:`repro.api.normalize_faults` does.
+
+    ``shards`` > 1 expands the layout into that many tenant-routed IP/OP
+    pipelines (pipeline i = ``ip{i}``/``op{i}``) sharing the verifier
+    fleet and executor pool; it subsumes ``n_inputs``/``n_outputs``,
+    which must stay at their defaults.
     """
     config = config or OsirisConfig()
+    if shards < 1:
+        raise ProtocolError(f"shards must be >= 1, got {shards}")
+    if shards > 1:
+        if n_inputs != 1 or n_outputs != 1:
+            raise ProtocolError(
+                "shards expands the pipeline layout itself; do not also "
+                "pass n_inputs/n_outputs"
+            )
+        n_inputs = n_outputs = shards
     size = config.subcluster_size
     if k is None:
         k = default_cluster_count(n_workers, config)
@@ -191,6 +207,7 @@ def plan_osiris_cluster(
         executor_pids=tuple(f"e{i}" for i in range(n_exec)),
         verifier_clusters=tuple(clusters),
         f=config.f,
+        shards=shards,
     )
 
     from repro.api import normalize_faults  # lazy: api sits above runtime

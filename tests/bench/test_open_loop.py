@@ -1,0 +1,186 @@
+"""Open-loop traffic generation: arrival processes, lazy sources,
+tenant tagging, and O(1)-memory streaming for million-task workloads."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.bench.workloads import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstSource,
+    OpenLoopSource,
+    TenantTaggedSource,
+    WORKLOADS,
+    open_loop_bench,
+    synthetic_bench,
+)
+from repro.core.tasks import Opcode, Task
+from repro.errors import BenchmarkError
+
+
+def make_task(i: int, tenant: str = "") -> Task:
+    return Task(task_id=f"t{i}", opcode=Opcode.COMPUTE, tenant=tenant)
+
+
+def take_times(proc: ArrivalProcess, k: int) -> list[float]:
+    return list(itertools.islice(proc.times(), k))
+
+
+class TestArrivalProcess:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_deterministic_per_seed(self, kind):
+        a = ArrivalProcess(kind=kind, rate=100.0, seed=7)
+        b = ArrivalProcess(kind=kind, rate=100.0, seed=7)
+        assert take_times(a, 500) == take_times(b, 500)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_seed_changes_stream(self, kind):
+        a = ArrivalProcess(kind=kind, rate=100.0, seed=1)
+        b = ArrivalProcess(kind=kind, rate=100.0, seed=2)
+        assert take_times(a, 50) != take_times(b, 50)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_times_nondecreasing(self, kind):
+        ts = take_times(ArrivalProcess(kind=kind, rate=50.0, seed=3), 400)
+        assert all(t1 <= t2 for t1, t2 in zip(ts, ts[1:]))
+
+    def test_poisson_long_run_rate(self):
+        ts = take_times(ArrivalProcess(kind="poisson", rate=200.0, seed=0), 4000)
+        rate = len(ts) / ts[-1]
+        assert rate == pytest.approx(200.0, rel=0.1)
+
+    def test_burst_idle_shape(self):
+        proc = ArrivalProcess(kind="burst_idle", rate=100.0, burst_size=5, seed=0)
+        ts = take_times(proc, 25)
+        # arrivals come in runs of burst_size identical instants
+        for i in range(0, 25, 5):
+            assert len(set(ts[i : i + 5])) == 1
+
+    def test_diurnal_long_run_rate(self):
+        proc = ArrivalProcess(
+            kind="diurnal", rate=100.0, period=10.0, amplitude=0.8, seed=1
+        )
+        ts = take_times(proc, 4000)
+        # thinning preserves the mean intensity over whole periods
+        horizon = math.floor(ts[-1] / 10.0) * 10.0
+        n = sum(1 for t in ts if t < horizon)
+        assert n / horizon == pytest.approx(100.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            ArrivalProcess(kind="bogus", rate=10.0)
+        with pytest.raises(BenchmarkError):
+            ArrivalProcess(kind="poisson", rate=0.0)
+        with pytest.raises(BenchmarkError):
+            ArrivalProcess(kind="diurnal", rate=1.0, amplitude=1.5)
+        with pytest.raises(BenchmarkError):
+            ArrivalProcess(kind="burst_idle", rate=1.0, burst_size=0)
+
+
+class CountingSource(BurstSource):
+    """A BurstSource that counts how many tasks were ever materialized."""
+
+    def __init__(self, n: int):
+        self.pulled = 0
+
+        def make():
+            for i in range(n):
+                self.pulled += 1
+                yield (0.0, make_task(i))
+
+        super().__init__(make)
+
+
+class TestSources:
+    def test_open_loop_replaces_submit_times(self):
+        base = CountingSource(10)
+        src = OpenLoopSource(
+            base, ArrivalProcess(kind="poisson", rate=100.0, seed=4)
+        )
+        pairs = list(src)
+        assert len(pairs) == 10
+        times = [t for t, _ in pairs]
+        assert times == sorted(times)
+        assert len(set(times)) > 1  # no longer the burst's constant time
+
+    def test_open_loop_reiteration_is_identical(self):
+        src = OpenLoopSource(
+            CountingSource(8),
+            ArrivalProcess(kind="diurnal", rate=50.0, seed=9),
+        )
+        first = [(t, task.task_id) for t, task in src]
+        second = [(t, task.task_id) for t, task in src]
+        assert first == second
+
+    def test_tenant_tagging_round_robin(self):
+        src = TenantTaggedSource(CountingSource(7), tenants=3)
+        tenants = [task.tenant for _, task in src]
+        assert tenants == ["t0", "t1", "t2", "t0", "t1", "t2", "t0"]
+
+    def test_tenant_tagging_preserves_existing_tags(self):
+        def make():
+            yield (0.0, make_task(0, tenant="gold"))
+            yield (0.0, make_task(1))
+
+        src = TenantTaggedSource(BurstSource(make), tenants=2)
+        tagged = [task.tenant for _, task in src]
+        assert tagged[0] == "gold"  # pre-tagged tasks keep their tenant
+        assert tagged[1] == "t1"
+
+    def test_million_task_source_is_lazy(self):
+        """Satellite regression: a 1M-task synthetic source must be
+        consumable in O(1) memory — nothing may materialize the list."""
+        wl = synthetic_bench(1_000_000, records_per_task=1)
+        stream = wl.stream
+        head = list(itertools.islice(stream, 1000))
+        assert len(head) == 1000
+        # the materialization cache must not have been populated by
+        # streaming access
+        assert wl._tasks is None
+        counting = CountingSource(1_000_000)
+        src = OpenLoopSource(
+            counting, ArrivalProcess(kind="poisson", rate=1e6, seed=0)
+        )
+        consumed = 0
+        for _ in itertools.islice(iter(src), 5000):
+            consumed += 1
+        assert consumed == 5000
+        # laziness bound: the wrapper pulls exactly one task ahead
+        assert counting.pulled <= 5001
+
+
+class TestOpenLoopBench:
+    def test_factory_registered(self):
+        assert "open_loop" in WORKLOADS
+
+    def test_same_seed_same_stream(self):
+        a = open_loop_bench(20, rate=100.0, seed=5)
+        b = open_loop_bench(20, rate=100.0, seed=5)
+        assert [(t, x.task_id) for t, x in a.stream] == [
+            (t, x.task_id) for t, x in b.stream
+        ]
+
+    @pytest.mark.parametrize(
+        "base,extra",
+        [
+            ("synthetic", {}),
+            ("anomaly", {"profile": "MM"}),
+            ("planning", {}),
+        ],
+    )
+    def test_wraps_named_bases(self, base, extra):
+        wl = open_loop_bench(6, rate=50.0, base=base, **extra)
+        pairs = list(wl.stream)
+        assert len(pairs) >= 6
+        assert wl.n_compute_tasks == 6
+
+    def test_rejects_recursive_base(self):
+        with pytest.raises(BenchmarkError):
+            open_loop_bench(4, base="open_loop")
+
+    def test_tasks_property_caches(self):
+        wl = open_loop_bench(12, rate=100.0)
+        assert wl.tasks is wl.tasks
+        assert len(wl.tasks) == 12
