@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.failure_model import OutputFailure, classify_output
+from repro.check.invariants import audit_safety
 from repro.obs.bus import Sink
 from repro.obs.events import (
     CATEGORY_CHUNK,
@@ -94,14 +94,13 @@ class ConservationSink(Sink):
 
         ``cluster`` is an :class:`~repro.runtime.deploy.OsirisCluster`;
         baseline clusters (no verifier quorum machinery) get only the
-        live checks.
+        live checks.  The counter-vs-trace cross-checks below need the
+        event streams only this sink sees; the trace-free safety
+        invariants (quorum endorsement, cross-OP agreement, output
+        classification) are shared with the :mod:`repro.mc` explorer
+        via :func:`repro.check.invariants.audit_safety`.
         """
         report = self.report
-        expected_cache: dict[str, tuple] = {}
-        coordinator = cluster.coordinators[0]
-        # (task_id, index) -> committed digest, for cross-OP agreement
-        committed: dict[tuple[str, int], bytes] = {}
-
         for op in cluster.outputs:
             if op.records_accepted != self._accept_records.get(op.pid, 0):
                 report.add(
@@ -133,90 +132,4 @@ class ConservationSink(Sink):
                     f"{self._accept_records.get(op.pid, 0)}",
                 )
 
-            for task_id, ot in op._tasks.items():
-                if ot.vp_index < 0:
-                    continue
-                quorum = cluster.topo.cluster(ot.vp_index).quorum
-                winners_by_index: dict[int, bytes] = {}
-                for index, slot in ot.slots.items():
-                    winners = [
-                        sigma
-                        for sigma, endorsers in slot.endorsements.items()
-                        if len(endorsers) >= quorum and sigma in slot.data
-                    ]
-                    if len(winners) > 1:
-                        report.add(
-                            "committed-equivocation",
-                            op.pid,
-                            -1.0,
-                            f"task {task_id}#{index}: {len(winners)} "
-                            f"distinct digests each hold a quorum — "
-                            f"sub-cluster VP{ot.vp_index} committed to "
-                            f"conflicting chunks",
-                        )
-                        continue
-                    if index in ot.accepted:
-                        if not winners:
-                            report.add(
-                                "accept-without-quorum",
-                                op.pid,
-                                -1.0,
-                                f"task {task_id}#{index} accepted but no "
-                                f"digest holds a quorum of {quorum} with "
-                                f"data present",
-                            )
-                            continue
-                        sigma = winners[0]
-                        winners_by_index[index] = sigma
-                        prev = committed.get((task_id, index))
-                        if prev is not None and prev != sigma:
-                            report.add(
-                                "committed-equivocation",
-                                op.pid,
-                                -1.0,
-                                f"task {task_id}#{index}: this OP "
-                                f"committed a different digest than "
-                                f"another OP",
-                            )
-                        committed[(task_id, index)] = sigma
-
-                self._audit_output(
-                    cluster, coordinator, op, task_id, ot, winners_by_index,
-                    expected_cache,
-                )
-
-    def _audit_output(
-        self, cluster, coordinator, op, task_id, ot, winners_by_index,
-        expected_cache,
-    ) -> None:
-        """Recompute A(s, t) and classify the committed record sequence."""
-        if not ot.completed:
-            return
-        entry = coordinator.outstanding.get(task_id)
-        if entry is None:
-            return
-        task = entry.task
-        if not task.opcode.has_compute or task.timestamp < 0:
-            return
-        observed: list = []
-        for index in sorted(ot.accepted):
-            sigma = winners_by_index.get(index)
-            if sigma is None:
-                return  # already reported above; classification would lie
-            observed.extend(ot.slots[index].data[sigma].records)
-        if task_id not in expected_cache:
-            view = coordinator.store.view(task.timestamp)
-            expected_cache[task_id] = cluster.app.compute(view, task).records
-        expected = expected_cache[task_id]
-        self.report.outputs_recomputed += 1
-        failure = classify_output(observed, expected)
-        if failure != OutputFailure.NONE:
-            self.report.add(
-                "output-failure",
-                op.pid,
-                -1.0,
-                f"task {task_id} committed output classifies as "
-                f"{failure!r} against A(s, t) recomputed at ts="
-                f"{task.timestamp} ({len(observed)} observed vs "
-                f"{len(expected)} expected records)",
-            )
+        audit_safety(cluster, report)

@@ -1,0 +1,250 @@
+"""CLI: ``python -m repro.mc explore --n 3 --tasks 2``.
+
+Subcommands
+-----------
+``explore``
+    Build the model, run the bounded DFS, audit every terminal state.
+    On violations, shrinks each to a minimal schedule and prints (or
+    writes, with ``--out``) a JSON reproducer.  Exits 1 on violations,
+    2 on a bad model.
+``replay``
+    Replay a reproducer (inline JSON or ``@file``).  Exits 0 when the
+    expected invariant re-fires, 1 when it does not, 2 on bad input.
+``stats``
+    Explore and print the reduction accounting (states, transitions,
+    tree size of the unreduced enumeration, reduction ratio).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ProtocolError
+from repro.mc.explore import explore
+from repro.mc.model import McModel
+from repro.mc.shrink import McReproducer, reproduce, shrink_trace
+
+
+def _model_from_args(args: argparse.Namespace) -> McModel:
+    fault_role, fault_kind = "", ""
+    if args.fault:
+        if ":" not in args.fault:
+            raise ProtocolError(
+                f"--fault wants role:kind (e.g. executor:corrupt-record), "
+                f"got {args.fault!r}"
+            )
+        fault_role, fault_kind = args.fault.split(":", 1)
+    return McModel(
+        n=args.n,
+        tasks=args.tasks,
+        executors=args.executors,
+        records=args.records,
+        fault_role=fault_role,
+        fault_kind=fault_kind,
+        timer_budget=args.timer_budget,
+        eager_local=not args.no_eager_local,
+        stutter=not args.no_stutter,
+        delays=args.delays,
+    )
+
+
+def _run(args: argparse.Namespace):
+    model = _model_from_args(args)
+    return model, explore(
+        model,
+        max_transitions=args.max_transitions,
+        max_violations=args.max_violations,
+    )
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    try:
+        model, result = _run(args)
+    except ProtocolError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(
+        f"mc explore: {stats.states} states, {stats.transitions} "
+        f"transitions, {stats.terminals} terminals, "
+        f"{stats.violations} violation(s)"
+        f"{'' if stats.complete else ' [stopped early]'}"
+    )
+    for i, violation in enumerate(result.violations):
+        trace = violation.trace
+        if not args.no_shrink:
+            trace = shrink_trace(
+                model, list(trace), set(violation.invariants)
+            )
+        rep = McReproducer(
+            model=model,
+            invariants=list(violation.invariants),
+            trace=list(trace),
+            details=list(violation.details),
+        )
+        print(f"\nviolation {i + 1}: {violation.invariants}")
+        for detail in violation.details:
+            print(f"  {detail}")
+        if args.out:
+            path = args.out if len(result.violations) == 1 else (
+                f"{args.out}.{i + 1}"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(rep.to_json())
+            print(f"reproducer written to {path}")
+        else:
+            print("reproducer (run with `python -m repro.mc replay`):")
+            print(json.dumps(rep.to_dict()))
+    if args.json:
+        json.dump(
+            {
+                "model": model.to_dict(),
+                "stats": stats.to_dict(),
+                "violations": [
+                    {
+                        "invariants": v.invariants,
+                        "details": v.details,
+                        "trace": [list(k) for k in v.trace],
+                    }
+                    for v in result.violations
+                ],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    return 0 if result.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        text = args.reproducer
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as fh:
+                text = fh.read()
+        rep = McReproducer.from_dict(json.loads(text))
+        rep.model.validate()
+    except (OSError, ValueError, ProtocolError) as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+    hit, report = reproduce(rep)
+    print(report.summary())
+    if hit:
+        print(f"reproduced: {sorted(set(report.invariants_hit()) & set(rep.invariants))}")
+        return 0
+    print(f"NOT reproduced: expected {rep.invariants}")
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        model, result = _run(args)
+    except ProtocolError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    if args.json:
+        json.dump(
+            {"model": model.to_dict(), "stats": stats.to_dict()},
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        for name, value in stats.to_dict().items():
+            print(f"{name:>18}: {value}")
+    return 0 if result.ok else 1
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=3, help="verifiers (3..4)")
+    parser.add_argument("--tasks", type=int, default=2, help="tasks (1..3)")
+    parser.add_argument(
+        "--executors", type=int, default=1, help="executors (1..2)"
+    )
+    parser.add_argument(
+        "--records", type=int, default=2, help="records per task"
+    )
+    parser.add_argument(
+        "--fault",
+        default="",
+        help="single Byzantine fault as role:kind "
+        "(e.g. executor:corrupt-record, verifier:bogus-digest)",
+    )
+    parser.add_argument(
+        "--timer-budget",
+        type=int,
+        default=1,
+        help="fires allowed per (core, timer) pair",
+    )
+    parser.add_argument(
+        "--delays",
+        type=int,
+        default=1,
+        help="CHESS delay budget; -1 removes the bound",
+    )
+    parser.add_argument(
+        "--no-stutter",
+        action="store_true",
+        help="branch on no-op deliveries too",
+    )
+    parser.add_argument(
+        "--no-eager-local",
+        action="store_true",
+        help="treat queued local jobs as separate choice points",
+    )
+    parser.add_argument(
+        "--max-transitions",
+        type=int,
+        default=200_000,
+        help="hard stop on executed transitions",
+    )
+    parser.add_argument(
+        "--max-violations",
+        type=int,
+        default=1,
+        help="stop after this many violations",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable outcome"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mc",
+        description="Bounded interleaving exploration of the pure cores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("explore", help="enumerate schedules and audit")
+    _add_model_args(exp)
+    exp.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violating schedules as found, without minimizing",
+    )
+    exp.add_argument(
+        "--out", default="", help="write reproducer JSON to this path"
+    )
+    exp.set_defaults(fn=_cmd_explore)
+
+    rep = sub.add_parser("replay", help="replay a JSON reproducer")
+    rep.add_argument(
+        "reproducer",
+        help="reproducer JSON, or @path to read it from a file",
+    )
+    rep.set_defaults(fn=_cmd_replay)
+
+    st = sub.add_parser("stats", help="explore and print reduction stats")
+    _add_model_args(st)
+    st.set_defaults(fn=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

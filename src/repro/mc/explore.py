@@ -1,0 +1,295 @@
+"""Bounded DFS over delivery orders, with partial-order reduction.
+
+The explorer enumerates schedules of a :class:`~repro.mc.model.McModel`
+world and audits the shared safety invariants in every reachable
+terminal state.  Full enumeration of even a 3-verifier/2-task model is
+astronomically large (every permutation of every frontier), so three
+reductions keep it within CI seconds — each one classical, each
+documented in DESIGN.md §16:
+
+* **sleep sets** (DPOR): after branching on action *a* from a state,
+  sibling branches carry *a* in their sleep set filtered by the
+  independence relation "different target core" — delivering to v0 and
+  delivering to v1 commute, so only one order of the pair is explored;
+* **state-fingerprint coverage**: a state reached again with a weaker
+  exploration obligation (superset sleep, no more remaining delay
+  budget) is merged, not re-expanded;
+* **delay bounding** (CHESS): the canonical schedule always takes the
+  sorted-first enabled action; each deviation costs one unit of the
+  model's ``delays`` budget.  Every schedule that deviates at most
+  ``delays`` times is covered — violations found under any bound are
+  real, and empirically small bounds find real concurrency bugs.
+
+A **stutter** delivery (target core structurally unchanged, nothing
+enqueued) is committed without branching on its alternatives; this is
+a heuristic (sound when no-op-ness is history-monotone, which holds
+for the accumulate-until-threshold handlers of these cores) and can
+be disabled per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mc.model import McModel, build_world
+from repro.mc.world import McWorld, audit_world
+
+__all__ = ["ExploreStats", "McViolation", "ExploreResult", "explore"]
+
+
+@dataclass
+class ExploreStats:
+    """Counters of one exploration, all deterministic across runs."""
+
+    states: int = 0           # unique fingerprints visited
+    transitions: int = 0      # actions actually executed and kept
+    terminals: int = 0        # quiescent states audited
+    cache_hits: int = 0       # pushes merged into a covered state
+    sleep_skips: int = 0      # enabled actions skipped via sleep sets
+    stutter_commits: int = 0  # deliveries committed without branching
+    delay_prunes: int = 0     # branches cut by the delay budget
+    violations: int = 0
+    #: path count root→terminal through the explored DAG (back edges
+    #: dropped) — the number of interleavings the reduced search covers
+    #: via merging, ignoring the sleep/delay multiplier.
+    interleavings: int = 0
+    #: transition count of the unshared tree unrolling of the explored
+    #: DAG (back edges dropped) — what plain stateless enumeration of
+    #: the same schedules would have executed.
+    tree_size: int = 0
+    reduction_ratio: float = 0.0
+    complete: bool = True     # False when a guard stopped the search
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class McViolation:
+    """One invariant violation at a terminal state, with its schedule."""
+
+    trace: tuple            # tuple of action keys from the initial state
+    invariants: list[str]
+    details: list[str]
+    fingerprint: str
+
+
+@dataclass
+class ExploreResult:
+    model: McModel
+    stats: ExploreStats
+    violations: list[McViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class _Node:
+    __slots__ = ("world", "trace", "sleep", "spent", "fp")
+
+    def __init__(self, world, trace, sleep, spent, fp):
+        self.world = world
+        self.trace = trace
+        self.sleep = sleep
+        self.spent = spent
+        self.fp = fp
+
+
+def explore(
+    model: McModel,
+    max_transitions: int = 200_000,
+    max_violations: int = 1,
+    root: Optional[McWorld] = None,
+) -> ExploreResult:
+    """Run the bounded DFS; see module docstring for the reductions.
+
+    ``root`` overrides the initial world (tests use it to explore
+    monkeypatched deployments); by default :func:`build_world` builds
+    it from ``model``.
+    """
+    stats = ExploreStats()
+    violations: list[McViolation] = []
+    # fingerprint -> list of (sleep, spent) obligations already explored
+    covered: dict[str, list[tuple[frozenset, int]]] = {}
+    # explored DAG for the stats DPs: fingerprint -> child fingerprints
+    edges: dict[str, list[str]] = {}
+    terminal_fps: set[str] = set()
+    stack: list[_Node] = []
+
+    def visit(world, trace, sleep, spent) -> str:
+        """Coverage check at push time; returns the state fingerprint."""
+        fp = world.fingerprint()
+        entries = covered.get(fp)
+        if entries is None:
+            entries = covered[fp] = []
+            stats.states += 1
+        else:
+            for s, sp in entries:
+                if s <= sleep and sp <= spent:
+                    stats.cache_hits += 1
+                    return fp
+        entries[:] = [
+            (s, sp)
+            for s, sp in entries
+            if not (sleep <= s and spent <= sp)
+        ]
+        entries.append((sleep, spent))
+        stack.append(_Node(world, trace, sleep, spent, fp))
+        return fp
+
+    start = root if root is not None else build_world(model)
+    root_fp = visit(start, (), frozenset(), 0)
+
+    while stack:
+        if stats.transitions >= max_transitions:
+            stats.complete = False
+            break
+        node = stack.pop()
+        enabled = node.world.enabled()
+        if not enabled:
+            stats.terminals += 1
+            terminal_fps.add(node.fp)
+            report = audit_world(node.world)
+            if not report.ok:
+                violations.append(
+                    McViolation(
+                        trace=node.trace,
+                        invariants=sorted(report.invariants_hit()),
+                        details=[str(v) for v in report.violations[:8]],
+                        fingerprint=node.fp,
+                    )
+                )
+                if len(violations) >= max_violations:
+                    stats.complete = False
+                    break
+            continue
+
+        canonical = enabled[0].key
+        candidates = [a for a in enabled if a.key not in node.sleep]
+        stats.sleep_skips += len(enabled) - len(candidates)
+        if not candidates:
+            # everything enabled here was already branched on from an
+            # equivalent earlier state — nothing left to do
+            continue
+
+        built: list[tuple] = []  # (action, child world, delay cost)
+        stutter_hit = None
+        for idx, action in enumerate(candidates):
+            cost = 0 if action.key == canonical else 1
+            if model.delays >= 0 and node.spent + cost > model.delays:
+                stats.delay_prunes += 1
+                continue
+            # the node's own world backs the last branch; earlier
+            # branches run on clones
+            child = (
+                node.world
+                if idx == len(candidates) - 1
+                else node.world.clone()
+            )
+            if child.execute(action):
+                stutter_hit = (action, child)
+                break
+            built.append((action, child, cost))
+
+        if stutter_hit is not None:
+            # no-op delivery: commit it alone; sibling schedules are
+            # equivalent to this one with the no-op absorbed
+            action, child = stutter_hit
+            stats.stutter_commits += 1
+            stats.transitions += 1
+            child_fp = visit(
+                child, node.trace + (action.key,), node.sleep, node.spent
+            )
+            edges.setdefault(node.fp, []).append(child_fp)
+            continue
+
+        done: list = []
+        pushes: list[tuple] = []
+        for action, child, cost in built:
+            child_sleep = frozenset(
+                k
+                for k in (node.sleep | set(done))
+                if k[1] != action.key[1]
+            )
+            pushes.append(
+                (action, child, child_sleep, node.spent + cost)
+            )
+            if action.key[0] != "t":
+                # timers are never independent of later timers (both
+                # gate on quiescence), so they never enter sleep sets
+                done.append(action.key)
+        # push in reverse so the canonical branch is explored first
+        for action, child, child_sleep, spent in reversed(pushes):
+            stats.transitions += 1
+            child_fp = visit(
+                child, node.trace + (action.key,), child_sleep, spent
+            )
+            edges.setdefault(node.fp, []).append(child_fp)
+
+    stats.violations = len(violations)
+    if stats.complete:
+        stats.tree_size = _tree_size(edges, root_fp)
+        stats.interleavings = _path_count(edges, root_fp, terminal_fps)
+        stats.reduction_ratio = stats.tree_size / max(1, stats.transitions)
+    return ExploreResult(model=model, stats=stats, violations=violations)
+
+
+def _tree_size(edges: dict, root: str) -> int:
+    """Transition count of the unshared tree unrolling of the DAG.
+
+    Iterative post-order; a back edge to a state still on the DFS path
+    contributes 0 (sound lower bound — cycles would be infinite).
+    """
+    sizes: dict[str, int] = {}
+    onpath: set[str] = set()
+    # (fp, child cursor) frames
+    stack: list[list] = [[root, 0]]
+    onpath.add(root)
+    while stack:
+        frame = stack[-1]
+        fp, cursor = frame
+        children = edges.get(fp, ())
+        if cursor < len(children):
+            frame[1] += 1
+            child = children[cursor]
+            if child in sizes or child in onpath:
+                continue
+            onpath.add(child)
+            stack.append([child, 0])
+        else:
+            stack.pop()
+            onpath.discard(fp)
+            total = 0
+            for child in children:
+                total += sizes.get(child, 0)  # back edges count 0
+            sizes[fp] = total + len(children)
+    return sizes.get(root, 0)
+
+
+def _path_count(edges: dict, root: str, terminals: set) -> int:
+    """Distinct root→terminal paths in the DAG (back edges dropped)."""
+    counts: dict[str, int] = {}
+    onpath: set[str] = set()
+    stack: list[list] = [[root, 0]]
+    onpath.add(root)
+    while stack:
+        frame = stack[-1]
+        fp, cursor = frame
+        children = edges.get(fp, ())
+        if cursor < len(children):
+            frame[1] += 1
+            child = children[cursor]
+            if child in counts or child in onpath:
+                continue
+            onpath.add(child)
+            stack.append([child, 0])
+        else:
+            stack.pop()
+            onpath.discard(fp)
+            total = 1 if fp in terminals else 0
+            for child in children:
+                total += counts.get(child, 0)
+            counts[fp] = total
+    return counts.get(root, 0)

@@ -30,7 +30,36 @@ from repro.runtime.effects import (
     SetTimer,
 )
 
-__all__ = ["TestRuntime", "sent_messages"]
+__all__ = ["TestRuntime", "McRuntime", "describe_effect", "sent_messages"]
+
+
+def describe_effect(effect: Effect) -> str:
+    """One-line human description of a pending effect, for diagnostics.
+
+    Names the effect type and whatever identifies its payload: message
+    type and destination(s) for sends, continuation qualname and id for
+    jobs/scheds, timer name for timers.
+    """
+    t = type(effect)
+    if t is Send:
+        return f"Send->{effect.dst}:{type(effect.msg).__name__}"
+    if t in (Multicast, NeqMulticast):
+        return (
+            f"{t.__name__}->{','.join(effect.dsts)}"
+            f":{type(effect.msg).__name__}"
+        )
+    if t is Job:
+        fn = getattr(effect.fn, "__qualname__", repr(effect.fn))
+        return f"Job#{effect.job_id}:{fn}(+{len(effect.milestones)}ms)"
+    if t is CtrlJob:
+        fn = getattr(effect.fn, "__qualname__", repr(effect.fn))
+        return f"CtrlJob#{effect.job_id}:{fn}"
+    if t is Schedule:
+        fn = getattr(effect.fn, "__qualname__", repr(effect.fn))
+        return f"Schedule#{effect.sched_id}:{fn}"
+    if t is SetTimer:
+        return f"SetTimer:{effect.name}"
+    return t.__name__
 
 
 class TestRuntime(Runtime):
@@ -107,7 +136,17 @@ class TestRuntime(Runtime):
         while self.pending:
             rounds += 1
             if rounds > max_rounds:
-                raise RuntimeError("TestRuntime.drain did not quiesce")
+                undelivered = ", ".join(
+                    describe_effect(e) for e in self.pending[:16]
+                )
+                if len(self.pending) > 16:
+                    undelivered += f", ... and {len(self.pending) - 16} more"
+                raise RuntimeError(
+                    f"TestRuntime.drain did not quiesce after {max_rounds} "
+                    f"rounds; core {self.core.pid!r} still has "
+                    f"{len(self.pending)} undelivered effect(s): "
+                    f"[{undelivered}]"
+                )
             effect = self.pending.pop(0)
             if type(effect) is Job:
                 for _, fn, args in effect.milestones:
@@ -137,6 +176,102 @@ class TestRuntime(Runtime):
             for e in self.effects
             if type(e) is Emit and type(e.event) is event_type
         ]
+
+
+class McRuntime(Runtime):
+    """Model-checking sibling of :class:`TestRuntime`.
+
+    Where ``TestRuntime`` keeps a private FIFO of pending effects for a
+    single core, an ``McRuntime`` routes every send and every queued
+    job/sched of its core into an explorer-owned *world* (duck-typed:
+    ``enqueue_send(src, dst, msg, neq)`` and ``enqueue_local(src,
+    effect)``) — the world treats that shared pending frontier as a
+    choice point and decides which action happens next.  Execution
+    semantics (milestones first, crash-guarding, timer crash-guard)
+    match ``TestRuntime.drain`` and the DES exactly; only the *order*
+    is external.
+
+    ``wants`` is always False: trace events never feed back into core
+    state, and dropping them keeps snapshots small and states
+    comparable across schedules.
+    """
+
+    def __init__(self, core: ProtocolCore, world, cores: int = 7) -> None:
+        self.core = core
+        self.world = world
+        self._cpu = StubCpu(cores)
+        self.timers: dict[str, SetTimer] = {}
+        core.bind(self)
+
+    # --------------------------------------------------- runtime interface
+    @property
+    def now(self) -> float:
+        return self.world.clock
+
+    def wants(self, category: str) -> bool:
+        return False
+
+    def timer_armed(self, name: str) -> bool:
+        return name in self.timers
+
+    @property
+    def app_cpu(self):
+        return self._cpu
+
+    def perform(self, effect) -> None:
+        t = type(effect)
+        pid = self.core.pid
+        if t is Send:
+            self.world.enqueue_send(pid, effect.dst, effect.msg, False)
+        elif t is Multicast:
+            for dst in effect.dsts:
+                self.world.enqueue_send(pid, dst, effect.msg, False)
+        elif t is NeqMulticast:
+            for dst in effect.dsts:
+                self.world.enqueue_send(pid, dst, effect.msg, True)
+        elif t is SetTimer:
+            self.timers[effect.name] = effect
+        elif t is CancelTimer:
+            self.timers.pop(effect.name, None)
+        elif t in (Job, CtrlJob, Schedule):
+            if t is Job:
+                self._cpu.busy_seconds += effect.cost
+            self.world.enqueue_local(pid, effect)
+        elif t is ApplyUpdate:
+            self._cpu.busy_seconds += effect.cost
+        elif t is Halt:
+            self.timers.clear()
+        # Emit is dropped: wants() is False and events have no feedback
+
+    # ------------------------------------------------- execution (by world)
+    def deliver(self, msg: Any, sender: str, neq: bool = False) -> None:
+        """Deliver one message, stamping sender/neq like the transport."""
+        msg.sender = sender
+        if neq:
+            msg._neq = True
+        elif getattr(msg, "_neq", False):
+            msg._neq = False
+        self.core.handle(msg)
+
+    def run_local(self, effect) -> None:
+        """Run one queued job/ctrl-job/sched, TestRuntime.drain-style."""
+        if type(effect) is Job:
+            for _, fn, args in effect.milestones:
+                fn(*args)
+            if effect.guarded and self.core.crashed:
+                return
+            effect.fn(*effect.args)
+        elif type(effect) is CtrlJob:
+            if self.core.crashed:
+                return
+            effect.fn(*effect.args)
+        else:  # Schedule — never guarded
+            effect.fn(*effect.args)
+
+    def fire_timer(self, name: str) -> None:
+        effect = self.timers.pop(name)
+        if not self.core.crashed:
+            effect.fn(*effect.args)
 
 
 def sent_messages(rt: TestRuntime, msg_type: Optional[type] = None) -> list:

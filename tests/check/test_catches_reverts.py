@@ -152,3 +152,36 @@ class TestDeltaValidationRevert:
         sim.run()
         sink.audit()
         assert report.ok, report.summary()
+
+
+class TestMcCleanSmallModel:
+    """The bounded explorer (``repro.mc``) found *no* safety violation
+    in the shipped cores at n≤4 — every executor/verifier registry
+    fault explored clean under the delay budget.  Pin that: if a future
+    change re-introduces an ordering bug (equivocation commit, early
+    accept, lost chunk), this exhaustive-at-small-scale sweep turns it
+    into a red check with a shrinkable schedule, instead of relying on
+    fuzz luck.  (The seeded-bug cross-checks in
+    ``tests/mc/test_seeded_bugs.py`` prove the explorer *would* catch
+    such a revert.)"""
+
+    def test_mc_clean_smallmodel(self):
+        from repro.mc import McModel, explore
+
+        result = explore(McModel(n=3, tasks=1))
+        assert result.stats.complete
+        assert result.ok, [v.invariants for v in result.violations]
+
+    def test_mc_clean_under_equivocating_executor(self):
+        from repro.mc import McModel, explore
+
+        result = explore(
+            McModel(
+                n=3,
+                tasks=1,
+                fault_role="executor",
+                fault_kind="equivocate-chunks",
+            )
+        )
+        assert result.stats.complete
+        assert result.ok, [v.invariants for v in result.violations]

@@ -26,6 +26,9 @@ SAMPLE_TASK = Task(
     timestamp=12,
     submitted_at=0.25,
     size_bytes=96,
+    # non-default: a nested task whose tenant stayed "" would compare
+    # default-to-default and hide a codec drop of the field
+    tenant="acme",
 )
 SAMPLE_RECORDS = (
     Record(key=(1, 2), data=("m", 5), size_bytes=32),
@@ -143,6 +146,61 @@ class TestContainers:
     def test_tuple_keys_in_dicts(self):
         value = {(1, "a"): [b"\x00", (2,)]}
         assert codec.decode_json(codec.encode_json(value)) == value
+
+
+class TestTenancyFields:
+    """PR 8 fields riding outside ``payload_bytes`` survive the wire.
+
+    ``Task.tenant`` and the ``tenant``/``submitted_at`` stamps on
+    VerifiedChunkMsg/VerifiedDigestMsg are metadata the OP's SLO
+    accounting depends on; they cross process boundaries both in the
+    live backend and in replay capture logs, so they must round-trip
+    through the exact capture encoding (``encode_message``), not just
+    the bare codec.
+    """
+
+    def test_task_tenant_nested_in_assignment_msg(self):
+        from repro.core.messages import AssignmentMsg
+        from repro.runtime.replay import decode_message, encode_message
+
+        msg = build_sample(AssignmentMsg)
+        assert msg.assignment.task.tenant == "acme"  # sample non-vacuous
+        assert msg.assignment.task.submitted_at == 0.25
+        back = decode_message(encode_message(msg))
+        assert back.assignment.task.tenant == "acme"
+        assert back.assignment.task.submitted_at == 0.25
+
+    @pytest.mark.parametrize("cls_name", ["VerifiedChunkMsg", "VerifiedDigestMsg"])
+    def test_verified_messages_keep_slo_stamps(self, cls_name):
+        import repro.core.messages as core_messages
+        from repro.runtime.replay import decode_message, encode_message
+
+        cls = getattr(core_messages, cls_name)
+        msg = build_sample(cls)
+        msg.tenant = "tenant-b"
+        msg.submitted_at = 3.5
+        msg.sender = "v1"
+        back = decode_message(encode_message(msg))
+        assert back.tenant == "tenant-b"
+        assert back.submitted_at == 3.5
+        assert back.sender == "v1"
+
+    def test_task_tenant_excluded_from_canonical_but_not_wire(self):
+        stamped = SAMPLE_TASK
+        bare = Task(
+            task_id=stamped.task_id,
+            opcode=stamped.opcode,
+            update_payload=stamped.update_payload,
+            compute_payload=stamped.compute_payload,
+            timestamp=stamped.timestamp,
+            submitted_at=stamped.submitted_at,
+            size_bytes=stamped.size_bytes,
+        )
+        # tenancy must not perturb signatures/digests ...
+        assert stamped.canonical() == bare.canonical()
+        # ... but must not be collapsed by the codec either
+        assert codec.encode_json(stamped) != codec.encode_json(bare)
+        assert codec.decode_json(codec.encode_json(stamped)).tenant == "acme"
 
 
 class TestRegistration:

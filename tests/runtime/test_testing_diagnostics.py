@@ -1,0 +1,74 @@
+"""TestRuntime.drain failure diagnostics name the stuck effects."""
+
+import pytest
+
+from repro.runtime import testing
+from repro.runtime.core import ProtocolCore
+from repro.runtime.effects import CtrlJob, Job, Multicast, Schedule, Send, SetTimer
+from repro.runtime.testing import describe_effect
+
+
+class Looper(ProtocolCore):
+    """Re-queues itself on every drain round: never quiesces."""
+
+    def spin(self) -> None:
+        self.run_ctrl_job(0.0, self.spin)
+
+
+class Sleeper(ProtocolCore):
+    def nap(self) -> None:  # pragma: no cover - never run
+        pass
+
+
+class TestDrainDiagnostics:
+    def test_non_quiescent_drain_names_the_pending_queue(self):
+        core = Looper("w1")
+        rt = testing.TestRuntime(core)
+        core.spin()
+        with pytest.raises(RuntimeError) as err:
+            rt.drain(max_rounds=5)
+        message = str(err.value)
+        assert "did not quiesce after 5 rounds" in message
+        assert "'w1'" in message
+        assert "1 undelivered effect(s)" in message
+        # the queue payload: effect type, id, and continuation qualname
+        assert "CtrlJob#" in message
+        assert "Looper.spin" in message
+
+    def test_long_queues_are_truncated_with_a_count(self):
+        core = Sleeper("w2")
+        rt = testing.TestRuntime(core)
+        for _ in range(20):
+            core.schedule(0.0, core.nap)
+        # one round runs one effect; 3 rounds leave 17 queued
+        with pytest.raises(RuntimeError) as err:
+            rt.drain(max_rounds=3)
+        message = str(err.value)
+        assert "17 undelivered effect(s)" in message
+        assert "Schedule#" in message
+        assert "Sleeper.nap" in message
+        assert "... and 1 more" in message
+
+
+class TestDescribeEffect:
+    def test_send_and_multicast_name_destination_and_type(self):
+        class Ping:
+            pass
+
+        assert describe_effect(Send("v1", Ping())) == "Send->v1:Ping"
+        assert (
+            describe_effect(Multicast(("v1", "v2"), Ping()))
+            == "Multicast->v1,v2:Ping"
+        )
+
+    def test_jobs_and_timers_name_their_continuation(self):
+        core = Sleeper("w3")
+        testing.TestRuntime(core)
+        job = Job(0.0, core.nap, (), job_id=4)
+        assert describe_effect(job) == "Job#4:Sleeper.nap(+0ms)"
+        timer = SetTimer("op-wait", 0.5, core.nap, ())
+        assert describe_effect(timer) == "SetTimer:op-wait"
+        sched = Schedule(0.0, core.nap, (), sched_id=9)
+        assert describe_effect(sched) == "Schedule#9:Sleeper.nap"
+        ctrl = CtrlJob(0.0, core.nap, (), job_id=2)
+        assert describe_effect(ctrl) == "CtrlJob#2:Sleeper.nap"
