@@ -97,7 +97,7 @@ class TestAttackMatrix:
         for name, r in results.items():
             report = r.extra["recovery_report"]
             # the safety claim, campaign by campaign
-            assert r.extra["sanitizer_violations"] == 0, name
+            assert r.sanitizer_violations == 0, name
             assert report.safe is True, name
             # the deployment kept accepting output under attack
             assert report.records_accepted > 0, name

@@ -22,7 +22,7 @@ SEED = 2
 
 def _baseline(system: str, n: int, f: int = 1):
     """One fig2b point through the declarative spec path (the seed goes
-    to the workload, matching the legacy ``run_zft``/``run_rcp`` calls)."""
+    to the workload, where the per-run task stream is derived)."""
     return run(
         DeploymentSpec(
             workload="anomaly",

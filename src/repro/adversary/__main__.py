@@ -118,7 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = result.extra.get("recovery_report")
     if report is not None:
         print(report.summary())
-    return 1 if result.extra.get("sanitizer_violations", 0) else 0
+    return 1 if (result.sanitizer_violations or 0) else 0
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:

@@ -14,15 +14,18 @@ all of that with a single value type:
 * :func:`run` — spec → measured
   :class:`~repro.bench.scenarios.ScenarioResult`, for OsirisBFT and both
   baselines.
+* :func:`serve` — spec (``backend="live"``) → started
+  :class:`~repro.serve.Gateway`: the deployment runs as real OS
+  processes behind a TCP socket accepting client-submitted tasks, with
+  admission control enforced at the gateway edge.
 * :func:`normalize_faults` — the one helper that turns *any* accepted
   fault argument (legacy pid→strategy mapping, per-role dicts, a
   :class:`~repro.adversary.campaign.Campaign`, campaign JSON) into a
   :class:`FaultPlan`.
 
-The legacy entry points (``run_osiris``/``run_zft``/``run_rcp`` and the
-builder's per-role fault dicts) remain as thin deprecation shims that
-construct a spec and call into here; behaviour is bit-identical (the
-golden-trace tests pin this).
+The legacy per-system entry points (``run_osiris``/``run_zft``/
+``run_rcp``) are gone; every caller builds a spec.  Results are
+bit-identical to the shim era (the golden-trace tests pin this).
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ __all__ = [
     "normalize_faults",
     "build",
     "run",
+    "serve",
 ]
 
 _SCALARS = (str, int, float, bool, type(None))
@@ -232,17 +236,12 @@ class DeploymentSpec:
             raise BenchmarkError(f"tenants must be >=1, got {self.tenants}")
         if self.shards > 1 or self.tenants > 1:
             # sharded routing and tenant SLO accounting ride OsirisBFT's
-            # verified-output metadata; baselines and the live backend
-            # would silently drop both, so they fail loudly instead
+            # verified-output metadata; baselines would silently drop
+            # both, so they fail loudly instead
             if self.system != "osiris":
                 raise BenchmarkError(
                     f"shards/tenants are OsirisBFT-only "
                     f"(spec targets {self.system!r})"
-                )
-            if self.backend != "des":
-                raise BenchmarkError(
-                    "shards/tenants need the DES backend; "
-                    "use backend='des'"
                 )
         object.__setattr__(self, "workload_params", _kv(self.workload_params))
         object.__setattr__(self, "config", _kv(self.config))
@@ -446,6 +445,7 @@ def _build_live(spec: DeploymentSpec, time_scale: float = 0.25, **extra):
         faults=spec.faults,
         capture=spec.capture,
         sanitize=spec.sanitize,
+        shards=spec.shards,
     )
     return LiveRuntime(
         plan,
@@ -489,6 +489,7 @@ def _run_to_completion(sim, metrics, workload: BenchWorkload, deadline: float):
 def _finish(
     system, n, f, metrics, net, busy_fn, cores, extra=None,
     horizon=0.0, output_pids=(),
+    sanitizer_violations=None, recovery=None,
 ):
     sharded = len(output_pids) > 1
     if metrics.completion_times:
@@ -537,6 +538,8 @@ def _finish(
         ),
         per_tenant=metrics.per_tenant(),
         per_shard=metrics.per_shard() if sharded else {},
+        sanitizer_violations=sanitizer_violations,
+        recovery=recovery,
         extra=extra or {},
     )
 
@@ -553,34 +556,43 @@ def _attach_sanitizer(cluster):
     return sanitizer
 
 
-def _audit_sanitizer(sanitizer, extra: dict, cluster=None) -> None:
-    """Run the post-run sanitizer audit and fold it into ``extra``.
-
-    ``sanitizer_violations`` is a JSON scalar (survives ``to_dict``);
-    the live report rides along for in-process consumers."""
+def _audit_sanitizer(sanitizer, extra: dict, cluster=None) -> Optional[int]:
+    """Run the post-run sanitizer audit.  Returns the violation count
+    (``None`` when the run was unsanitized) for the result's typed
+    ``sanitizer_violations`` field; the live report rides in ``extra``
+    for in-process consumers."""
     if sanitizer is None:
-        return
+        return None
     report = sanitizer.audit(cluster)
-    extra["sanitizer_violations"] = len(report.violations)
     extra["sanitizer_report"] = report
+    return len(report.violations)
 
 
-def _fold_recovery(cluster, extra: dict) -> None:
-    """Campaign runs: distil the RecoverySink into the result.  The live
+def _recovery_scalars(report) -> dict:
+    """The recovery report's JSON-scalar fields, for the result's typed
+    ``recovery`` field (survives serialization: sweep cache, pools)."""
+    return {
+        key: value
+        for key, value in report.to_dict().items()
+        if isinstance(value, _SCALARS) or isinstance(value, numbers.Real)
+    }
+
+
+def _fold_recovery(cluster, extra: dict, sanitizer_violations) -> Optional[dict]:
+    """Campaign runs: distil the RecoverySink into the result.  Returns
+    the scalar summary for the typed ``recovery`` field (``None`` when
+    no campaign ran); the live
     :class:`~repro.adversary.recovery.RecoveryReport` rides in
-    ``extra["recovery_report"]``; its scalar fields are flattened under
-    ``recovery_*`` so they survive serialization (sweep cache, pools)."""
+    ``extra["recovery_report"]``."""
     if cluster.recovery is None:
-        return
+        return None
     report = cluster.recovery.report(
         campaign=cluster.campaign.campaign.name if cluster.campaign else "",
         until=cluster.sim.now,
-        sanitizer_violations=extra.get("sanitizer_violations"),
+        sanitizer_violations=sanitizer_violations,
     )
     extra["recovery_report"] = report
-    for key, value in report.to_dict().items():
-        if isinstance(value, _SCALARS) or isinstance(value, numbers.Real):
-            extra[f"recovery_{key}"] = value
+    return _recovery_scalars(report)
 
 
 def _run_osiris(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
@@ -604,13 +616,15 @@ def _run_osiris(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
         "faults_detected": len(cluster.metrics.faults_detected),
         "cluster": cluster,
     }
-    _audit_sanitizer(cluster.sanitizer, extra, cluster)
-    _fold_recovery(cluster, extra)
+    violations = _audit_sanitizer(cluster.sanitizer, extra, cluster)
+    recovery = _fold_recovery(cluster, extra, violations)
     return _finish(
         "OsirisBFT", spec.n, spec.f, cluster.metrics, cluster.net, busy,
         cluster.config.cores_per_node, extra,
         horizon=cluster.sim.now,
         output_pids=tuple(cluster.topo.output_pids),
+        sanitizer_violations=violations,
+        recovery=recovery,
     )
 
 
@@ -622,6 +636,12 @@ def _run_live(spec: DeploymentSpec, time_scale: float = 0.25) -> ScenarioResult:
     in shape, not in value, to DES results.  ``op_bandwidth`` is zero:
     there is no modelled NIC on real queues.
     """
+    if spec.shards > 1:
+        raise BenchmarkError(
+            "a pre-planned workload stream feeds only the primary input "
+            "pipeline; sharded live deployments serve client traffic — "
+            "use repro.api.serve()"
+        )
     workload = spec.resolve_workload()
     rt = _build_live(spec, time_scale=time_scale)
     report = rt.run(
@@ -629,6 +649,13 @@ def _run_live(spec: DeploymentSpec, time_scale: float = 0.25) -> ScenarioResult:
         duration=spec.duration,
         target_tasks=workload.n_compute_tasks,
     )
+    return _fold_live_result(spec, rt, report)
+
+
+def _fold_live_result(spec: DeploymentSpec, rt, report) -> ScenarioResult:
+    """Fold a finished live runtime + its report into a
+    :class:`ScenarioResult` — shared by :func:`_run_live` and
+    :meth:`repro.serve.Gateway.result`."""
     plan = rt.plan
     executor_pids = set(plan.topo.executor_pids)
 
@@ -655,23 +682,26 @@ def _run_live(spec: DeploymentSpec, time_scale: float = 0.25) -> ScenarioResult:
         "role_switches": len(rt.metrics.role_switches),
         "faults_detected": len(rt.metrics.faults_detected),
     }
+    violations = None
     if rt.sanitizer_report is not None:
-        extra["sanitizer_violations"] = len(rt.sanitizer_report.violations)
+        violations = len(rt.sanitizer_report.violations)
         extra["sanitizer_report"] = rt.sanitizer_report
+    recovery_scalars = None
     if rt.recovery is not None:
         recovery = rt.recovery.report(
             campaign=plan.campaign.name if plan.campaign else "",
             until=report.sim_seconds,
-            sanitizer_violations=extra.get("sanitizer_violations"),
+            sanitizer_violations=violations,
         )
         extra["recovery_report"] = recovery
-        for key, value in recovery.to_dict().items():
-            if isinstance(value, _SCALARS) or isinstance(value, numbers.Real):
-                extra[f"recovery_{key}"] = value
+        recovery_scalars = _recovery_scalars(recovery)
     return _finish(
         "OsirisBFT", spec.n, spec.f, rt.metrics, None, busy,
         plan.config.cores_per_node, extra,
         horizon=report.sim_seconds,
+        output_pids=tuple(plan.topo.output_pids),
+        sanitizer_violations=violations,
+        recovery=recovery_scalars,
     )
 
 
@@ -730,21 +760,22 @@ def _run_baseline(spec: DeploymentSpec) -> ScenarioResult:
         )
 
     extra = {"cluster": cluster}
-    _audit_sanitizer(sanitizer, extra)
+    violations = _audit_sanitizer(sanitizer, extra)
     return _finish(
         system, spec.n, f, cluster.metrics, cluster.net, busy, cores, extra,
         horizon=cluster.sim.now,
+        sanitizer_violations=violations,
     )
 
 
 def run(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
     """Run the deployment a spec describes; returns the measured result.
 
-    This is the single execution path behind ``run_osiris``/``run_zft``/
-    ``run_rcp``, ``repro.exp.run_point``, the fuzz driver and the
-    adversary CLI.  Campaign runs additionally report recovery metrics
-    in ``result.extra`` (``recovery_*`` scalars plus the live
-    ``recovery_report``).
+    This is the single execution path behind ``repro.exp.run_point``,
+    the bench CLI, the fuzz driver and the adversary CLI.  Campaign
+    runs additionally report recovery metrics in the result's typed
+    ``recovery`` field (the live ``recovery_report`` rides in
+    ``result.extra``).
     """
     if spec.backend == "live":
         return _run_live(spec, **build_extra)
@@ -757,9 +788,45 @@ def run(spec: DeploymentSpec, **build_extra) -> ScenarioResult:
     return _run_baseline(spec)
 
 
+def serve(
+    spec: DeploymentSpec,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    time_scale: float = 0.25,
+):
+    """Serve a live deployment to real clients over a TCP socket.
+
+    Builds and **starts** a :class:`~repro.serve.Gateway` over the
+    deployment ``spec`` describes (``backend="live"`` required; the
+    spec's workload supplies the application — client connections
+    supply the traffic).  The spec's ``admission_queue`` /
+    ``admission_rate`` config knobs are enforced once, at the gateway
+    edge, with explicit backpressure replies to clients; ``shards > 1``
+    fans client tasks out tenant-keyed across independent input→output
+    pipelines.  The caller owns the lifecycle::
+
+        with api.serve(spec, port=0) as gw:
+            client = repro.serve.Client(*gw.address)
+            ...
+        result = gw.result()   # same shape as api.run(spec)
+
+    ``port=0`` binds an ephemeral port; the bound address is
+    ``gateway.address``.
+    """
+    from repro.serve.gateway import Gateway
+
+    if spec.backend != "live":
+        raise BenchmarkError(
+            "serve() fronts real OS processes; build the spec with "
+            "backend='live' (the DES backend has no sockets to serve)"
+        )
+    return Gateway(spec, host=host, port=port, time_scale=time_scale).start()
+
+
 def config_overrides(config: Optional[OsirisConfig]) -> tuple:
-    """Express a full config object as a spec ``config`` kv-tuple (the
-    deprecation shims use this to map legacy ``config=`` arguments)."""
+    """Express a full :class:`~repro.core.config.OsirisConfig` object as
+    a spec ``config`` kv-tuple (the bench CLI uses this to map
+    file-loaded config objects onto specs)."""
     if config is None:
         return ()
     return _kv(asdict(config))

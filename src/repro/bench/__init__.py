@@ -15,13 +15,7 @@ from repro.bench.analytic import (
     table1,
 )
 from repro.bench.reporting import print_figure, print_series, print_table, ratio
-from repro.bench.scenarios import (
-    BENCH_BANDWIDTH,
-    ScenarioResult,
-    run_osiris,
-    run_rcp,
-    run_zft,
-)
+from repro.bench.scenarios import BENCH_BANDWIDTH, ScenarioResult
 from repro.bench.workloads import (
     ANOMALY_PROFILES,
     ArrivalProcess,
@@ -60,9 +54,6 @@ __all__ = [
     "print_table",
     "ratio",
     "rsm_parallel_tasks",
-    "run_osiris",
-    "run_rcp",
-    "run_zft",
     "synthetic_bench",
     "table1",
     "update_only_bench",

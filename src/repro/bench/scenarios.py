@@ -1,11 +1,10 @@
-"""Scenario result type plus deprecated per-system runner shims.
+"""Scenario result type and the shared bandwidth operating point.
 
-The measurement engine lives in :mod:`repro.api` now: build a
-:class:`repro.api.DeploymentSpec` and call :func:`repro.api.run`.  The
-``run_osiris`` / ``run_zft`` / ``run_rcp`` entry points remain for one
-release as thin deprecation shims that translate their legacy kwargs
-into a spec — results are bit-identical (the golden-trace tests pin
-this).  :class:`ScenarioResult` and :data:`BENCH_BANDWIDTH` stay here.
+The measurement engine lives in :mod:`repro.api`: build a
+:class:`repro.api.DeploymentSpec` and call :func:`repro.api.run` (or
+:func:`repro.api.serve` to front a live deployment with the socket
+gateway).  :class:`ScenarioResult` and :data:`BENCH_BANDWIDTH` live
+here.
 
 The harness scales the paper's testbed down uniformly: each worker has
 one aggregate app core, tasks cost ~0.1-1.0 simulated seconds, and the
@@ -17,15 +16,10 @@ nodes on a 100 Gbps fabric with its ~3.4 GB/s app-level ceiling
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
-from repro.bench.workloads import BenchWorkload
-from repro.core.config import OsirisConfig
-from repro.obs.bus import Sink
-
-__all__ = ["ScenarioResult", "run_osiris", "run_zft", "run_rcp", "BENCH_BANDWIDTH"]
+__all__ = ["ScenarioResult", "BENCH_BANDWIDTH"]
 
 #: Application-level OP link ceiling (bytes/sec).  Scaled with the rest
 #: of the cost model: one aggregate app core per node and ~0.1-1.0 s
@@ -65,6 +59,18 @@ class ScenarioResult:
     per_tenant: dict = field(default_factory=dict)
     #: output pid -> completed-task count (sharded runs)
     per_shard: dict = field(default_factory=dict)
+    #: substrate/conservation audit: violation count when the run was
+    #: sanitized, ``None`` when it was not (the live report object stays
+    #: in ``extra["sanitizer_report"]`` for in-process consumers)
+    sanitizer_violations: Optional[int] = None
+    #: campaign runs: the recovery report's scalar fields, keyed by the
+    #: report's own field names; ``None`` when no campaign ran (the live
+    #: report object stays in ``extra["recovery_report"]``)
+    recovery: Optional[dict] = None
+    #: client-observed SLO summary (serve-gateway runs): what the
+    #: submitting clients measured on their own wall clocks —
+    #: ``p50``/``p99`` latency, ``goodput``, admission verdict counts
+    client_slo: dict = field(default_factory=dict)
 
     def row(self) -> str:
         """One printable table row (formatting lives in reporting)."""
@@ -96,6 +102,9 @@ class ScenarioResult:
                 t: dict(summary) for t, summary in self.per_tenant.items()
             },
             "per_shard": dict(self.per_shard),
+            "sanitizer_violations": self.sanitizer_violations,
+            "recovery": dict(self.recovery) if self.recovery is not None else None,
+            "client_slo": dict(self.client_slo),
             "extra": {
                 k: v
                 for k, v in self.extra.items()
@@ -106,6 +115,7 @@ class ScenarioResult:
 
     @classmethod
     def from_dict(cls, d: dict) -> "ScenarioResult":
+        recovery = d.get("recovery")
         return cls(
             system=d["system"],
             n=d["n"],
@@ -124,138 +134,8 @@ class ScenarioResult:
             goodput=d.get("goodput", 0.0),
             per_tenant=dict(d.get("per_tenant", {})),
             per_shard=dict(d.get("per_shard", {})),
+            sanitizer_violations=d.get("sanitizer_violations"),
+            recovery=dict(recovery) if recovery is not None else None,
+            client_slo=dict(d.get("client_slo", {})),
             extra=dict(d.get("extra", {})),
         )
-
-
-def _spec_kwargs(
-    n, f, k, seed, deadline, config, bandwidth, sinks, sanitize,
-    faults=None, build_kwargs=None,
-):
-    """Translate legacy runner kwargs into DeploymentSpec fields; returns
-    (spec_kwargs, leftover builder overrides)."""
-    from repro import api
-
-    build_kwargs = dict(build_kwargs or {})
-    faults = api.normalize_faults(
-        faults,
-        executors=build_kwargs.pop("executor_faults", None),
-        verifiers=build_kwargs.pop("verifier_faults", None),
-        outputs=build_kwargs.pop("output_faults", None),
-    )
-    spec = dict(
-        n=n,
-        f=f,
-        k=k,
-        seed=seed,
-        deadline=deadline,
-        bandwidth=bandwidth,
-        config=api.config_overrides(config),
-        faults=faults,
-        sinks=tuple(sinks),
-        capture=tuple(build_kwargs.pop("capture", ())),
-        sanitize=sanitize,
-    )
-    return spec, build_kwargs
-
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"{name}() is deprecated; build a repro.api.DeploymentSpec and "
-        f"call repro.api.run()",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def run_osiris(
-    workload: BenchWorkload,
-    n: int,
-    f: int = 1,
-    k: Optional[int] = None,
-    seed: int = 0,
-    deadline: float = 600.0,
-    config: Optional[OsirisConfig] = None,
-    bandwidth: float = BENCH_BANDWIDTH,
-    sinks: Iterable[Sink] = (),
-    sanitize: bool = False,
-    faults=None,
-    **build_kwargs,
-) -> ScenarioResult:
-    """Deprecated shim: run OsirisBFT on ``n`` workers via
-    :func:`repro.api.run`.  ``faults`` accepts anything
-    :func:`repro.api.normalize_faults` does (legacy pid→strategy
-    mapping, a Campaign, campaign JSON); the per-role fault dicts keep
-    working through the same normalization."""
-    from repro import api
-
-    _deprecated("run_osiris")
-    spec_kwargs, build_extra = _spec_kwargs(
-        n, f, k, seed, deadline, config, bandwidth, sinks, sanitize,
-        faults, build_kwargs,
-    )
-    # config=None historically meant "scenario defaults" — which is what
-    # an empty override tuple means to the spec, so both paths agree
-    return api.run(
-        api.DeploymentSpec(workload=workload, **spec_kwargs), **build_extra
-    )
-
-
-def run_zft(
-    workload: BenchWorkload,
-    n: int,
-    seed: int = 0,
-    deadline: float = 600.0,
-    bandwidth: float = BENCH_BANDWIDTH,
-    cores_per_node: int = 1,
-    sinks: Iterable[Sink] = (),
-    sanitize: bool = False,
-) -> ScenarioResult:
-    """Deprecated shim: run the ZFT baseline via :func:`repro.api.run`."""
-    from repro import api
-
-    _deprecated("run_zft")
-    return api.run(
-        api.DeploymentSpec(
-            workload=workload,
-            n=n,
-            system="zft",
-            seed=seed,
-            deadline=deadline,
-            bandwidth=bandwidth,
-            config=(("cores_per_node", cores_per_node),),
-            sinks=tuple(sinks),
-            sanitize=sanitize,
-        )
-    )
-
-
-def run_rcp(
-    workload: BenchWorkload,
-    n: int,
-    f: int = 1,
-    seed: int = 0,
-    deadline: float = 600.0,
-    bandwidth: float = BENCH_BANDWIDTH,
-    cores_per_node: int = 1,
-    sinks: Iterable[Sink] = (),
-    sanitize: bool = False,
-) -> ScenarioResult:
-    """Deprecated shim: run the RCP baseline via :func:`repro.api.run`."""
-    from repro import api
-
-    _deprecated("run_rcp")
-    return api.run(
-        api.DeploymentSpec(
-            workload=workload,
-            n=n,
-            system="rcp",
-            f=f,
-            seed=seed,
-            deadline=deadline,
-            bandwidth=bandwidth,
-            config=(("cores_per_node", cores_per_node),),
-            sinks=tuple(sinks),
-            sanitize=sanitize,
-        )
-    )

@@ -120,39 +120,57 @@ class InputProcess(ProtocolCore):
             self._forward(task)
         self._schedule_next()
 
+    def inject(self, task: Task) -> None:
+        """Externally-submitted arrival (the live gateway path).
+
+        Same treatment as a workload arrival — through admission control
+        when configured, straight to consensus otherwise — but without
+        touching the workload iterator, so serving deployments need no
+        pre-planned stream at all.
+        """
+        if self.crashed:
+            return
+        if self._admission:
+            self._admit(task)
+        else:
+            self._forward(task)
+
     # ----------------------------------------------------------- admission
     def _arrive(self, task: Task) -> None:
         if not self.crashed:
-            bound = self.config.admission_queue
-            if bound is not None and len(self._queue) >= bound:
-                self.tasks_rejected += 1
+            self._admit(task)
+        self._schedule_next()
+
+    def _admit(self, task: Task) -> None:
+        bound = self.config.admission_queue
+        if bound is not None and len(self._queue) >= bound:
+            self.tasks_rejected += 1
+            if self.wants(CATEGORY_TASK):
+                self.emit(
+                    TaskRejected(
+                        time=self.now,
+                        pid=self.pid,
+                        task_id=task.task_id,
+                        tenant=task.tenant,
+                    )
+                )
+        else:
+            if self._draining or self._queue:
+                self.tasks_deferred += 1
                 if self.wants(CATEGORY_TASK):
                     self.emit(
-                        TaskRejected(
+                        TaskDeferred(
                             time=self.now,
                             pid=self.pid,
                             task_id=task.task_id,
                             tenant=task.tenant,
+                            queue_depth=len(self._queue) + 1,
                         )
                     )
-            else:
-                if self._draining or self._queue:
-                    self.tasks_deferred += 1
-                    if self.wants(CATEGORY_TASK):
-                        self.emit(
-                            TaskDeferred(
-                                time=self.now,
-                                pid=self.pid,
-                                task_id=task.task_id,
-                                tenant=task.tenant,
-                                queue_depth=len(self._queue) + 1,
-                            )
-                        )
-                self._queue.append(task)
-                if not self._draining:
-                    self._draining = True
-                    self._drain()
-        self._schedule_next()
+            self._queue.append(task)
+            if not self._draining:
+                self._draining = True
+                self._drain()
 
     def _drain(self) -> None:
         if self.crashed or not self._queue:

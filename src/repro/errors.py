@@ -73,3 +73,10 @@ class LiveError(ReproError):
     ready/start handshake, a queue hop carried an undecodable payload,
     or the deployment requests a feature the live backend cannot host
     (trigger campaigns, replay capture)."""
+
+
+class ServeError(ReproError):
+    """Serving-gateway failure: a malformed, truncated or oversized
+    client frame, a protocol violation on a client connection (submit
+    before hello, unexpected frame type), or invalid use of the gateway
+    lifecycle."""

@@ -153,14 +153,14 @@ def cross_validate(spec, time_scale: float = 0.25) -> CrossValReport:
     des_commits = {
         op.pid: commit_outcomes(op) for op in des_cluster.outputs
     }
-    des_violations = des_result.extra.get("sanitizer_violations", 0)
+    des_violations = (des_result.sanitizer_violations or 0)
 
     live_result = run(
         spec.with_(backend="live", sanitize=True, sinks=()),
         time_scale=time_scale,
     )
     live_commits = live_result.extra["commits"]
-    live_violations = live_result.extra.get("sanitizer_violations", 0)
+    live_violations = (live_result.sanitizer_violations or 0)
 
     label = spec.label or (
         f"{spec.workload if isinstance(spec.workload, str) else 'workload'}"

@@ -49,6 +49,7 @@ from repro.live.wire import (
     CtrlAction,
     CtrlShutdown,
     CtrlStart,
+    CtrlSubmit,
     NetEnvelope,
     register_wire,
 )
@@ -275,6 +276,13 @@ class LiveHost(EffectInterpreter):
             self._scale = item.time_scale
             if isinstance(self.core, InputProcess):
                 self.core.start()
+        elif isinstance(item, CtrlSubmit):
+            if not isinstance(self.core, InputProcess):
+                raise LiveError(
+                    f"{self.pid}: CtrlSubmit routed to a "
+                    f"{type(self.core).__name__}"
+                )
+            self.core.inject(item.task)
         elif isinstance(item, CtrlAction):
             apply_action_to_core(
                 self.core,
@@ -293,7 +301,7 @@ class LiveHost(EffectInterpreter):
                     except queue.Empty:
                         break
                     tail = decode_json(raw)
-                    if isinstance(tail, NetEnvelope):
+                    if isinstance(tail, (NetEnvelope, CtrlSubmit)):
                         self._handle(tail)
                 self._fire_due()
             self._up.put(encode_json(self._exit_report()))

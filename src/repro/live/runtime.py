@@ -45,8 +45,10 @@ from repro.live.wire import (
     CtrlAction,
     CtrlShutdown,
     CtrlStart,
+    CtrlSubmit,
     register_wire,
 )
+from repro.net.topology import shard_of_tenant
 from repro.obs import events as _events
 from repro.obs.bus import EventBus
 from repro.obs.events import (
@@ -172,7 +174,35 @@ class LiveRuntime:
         DES driver: with ``duration`` the run streams for that long;
         otherwise it drains until ``target_tasks`` tasks completed (and
         every campaign phase fired), failing loudly at ``deadline``.
+
+        Composition of the serving lifecycle: :meth:`start`, the pump
+        loop, :meth:`stop` — the gateway (:mod:`repro.serve`) drives the
+        same three phases itself, with :meth:`submit`/:meth:`poll`
+        between them instead of a pre-planned workload.
         """
+        self.start()
+        try:
+            self._pump(deadline, duration, target_tasks, self._report)
+            report = self._stop_inner()
+            if (
+                duration is None
+                and target_tasks > 0
+                and report.tasks_completed < target_tasks
+            ):
+                raise BenchmarkError(
+                    f"scenario missed deadline: "
+                    f"{report.tasks_completed}/{target_tasks} tasks "
+                    f"by t={deadline}"
+                )
+            return report
+        finally:
+            self._cleanup(self._procs)
+
+    def start(self) -> None:
+        """Fork the children, complete the ready handshake, broadcast
+        :class:`~repro.live.wire.CtrlStart`.  After this returns the
+        deployment is live: :meth:`submit` injects tasks, :meth:`poll`
+        services the event pump, :meth:`stop` tears everything down."""
         if self._ran:
             raise LiveError("a LiveRuntime instance runs once; build a new one")
         self._ran = True
@@ -184,7 +214,8 @@ class LiveRuntime:
             self.plan.topo.input_pids[0] if self.plan.topo.input_pids else None
         )
         procs: dict[str, mp.Process] = {}
-        t_wall0 = time.monotonic()
+        self._procs = procs
+        self._t_wall0 = time.monotonic()
         try:
             for spec in self.plan.nodes:
                 stream = (
@@ -208,32 +239,80 @@ class LiveRuntime:
                 )
                 p.start()
                 procs[spec.pid] = p
-            self._procs = procs
             self._await_ready(procs)
-            t0 = time.monotonic() + _START_LEAD_S
+            self._t0 = time.monotonic() + _START_LEAD_S
             self._broadcast(
-                encode_json(CtrlStart(t0=t0, time_scale=self.time_scale))
+                encode_json(CtrlStart(t0=self._t0, time_scale=self.time_scale))
             )
-            report = LiveReport()
+            campaign = self.plan.campaign
+            self._pending = (
+                sorted(campaign.phases, key=lambda ph: ph.at)
+                if campaign
+                else []
+            )
+            self._last_reap = time.monotonic()
+            self._report = LiveReport()
             self._exited = set()
-            self._pump(t0, deadline, duration, target_tasks, report)
-            self._shutdown(t0, procs, report)
-            report.wall_seconds = time.monotonic() - t_wall0
-            if self.sanitizer_report is not None:
-                report.violations = len(self.sanitizer_report.violations)
-            if (
-                duration is None
-                and target_tasks > 0
-                and report.tasks_completed < target_tasks
-            ):
-                raise BenchmarkError(
-                    f"scenario missed deadline: "
-                    f"{report.tasks_completed}/{target_tasks} tasks "
-                    f"by t={deadline}"
-                )
-            return report
-        finally:
+        except BaseException:
             self._cleanup(procs)
+            raise
+
+    @property
+    def now_sim(self) -> float:
+        """Current simulated time of the running deployment."""
+        return max(0.0, (time.monotonic() - self._t0) / self.time_scale)
+
+    def submit(self, task) -> str:
+        """Inject one externally-submitted task; returns the input pid
+        it routed to.  Tenant-keyed over the plan's input pipelines
+        (single-pipeline plans always route to ``ip0``).  Thread-safe:
+        ``multiprocessing`` queue puts may race the pump thread."""
+        ips = self.plan.topo.input_pids
+        if not ips:
+            raise LiveError("plan has no input process to submit to")
+        pid = ips[shard_of_tenant(task.tenant, len(ips))]
+        self._inboxes[pid].put(encode_json(CtrlSubmit(pid=pid, task=task)))
+        return pid
+
+    def poll(self, timeout: float = 0.05) -> None:
+        """Service the deployment once: fire due campaign phases, reap
+        dead children, pump available child events onto the bus.  Blocks
+        at most ``timeout`` wall seconds.  External drivers (the serve
+        gateway) call this in a loop between :meth:`start`/:meth:`stop`."""
+        now_sim = self.now_sim
+        while self._pending and self._pending[0].at <= now_sim:
+            self._apply_phase(self._pending.pop(0), now_sim, self._report)
+        if time.monotonic() - self._last_reap > 1.0:
+            self._reap(self._procs, set())
+            self._last_reap = time.monotonic()
+        try:
+            item = decode_json(self._up.get(timeout=timeout))
+        except queue.Empty:
+            return
+        self._dispatch_up(item, self._report)
+        while True:  # drain whatever else arrived, without blocking
+            try:
+                item = decode_json(self._up.get_nowait())
+            except queue.Empty:
+                break
+            self._dispatch_up(item, self._report)
+        self._report.tasks_completed = self.metrics.tasks_completed
+
+    def stop(self) -> LiveReport:
+        """Gracefully shut the deployment down and return its report
+        (broadcast shutdown, collect exit summaries, join, clean up)."""
+        try:
+            return self._stop_inner()
+        finally:
+            self._cleanup(self._procs)
+
+    def _stop_inner(self) -> LiveReport:
+        report = self._report
+        self._shutdown(self._t0, self._procs, report)
+        report.wall_seconds = time.monotonic() - self._t_wall0
+        if self.sanitizer_report is not None:
+            report.violations = len(self.sanitizer_report.violations)
+        return report
 
     def _await_ready(self, procs: dict) -> None:
         ready: set[str] = set()
@@ -265,17 +344,13 @@ class LiveRuntime:
 
     def _pump(
         self,
-        t0: float,
         deadline: float,
         duration: Optional[float],
         target_tasks: int,
         report: LiveReport,
     ) -> None:
-        campaign = self.plan.campaign
-        pending: list[Phase] = (
-            sorted(campaign.phases, key=lambda ph: ph.at) if campaign else []
-        )
-        last_reap = time.monotonic()
+        t0 = self._t0
+        pending: list[Phase] = self._pending
         while True:
             now_sim = max(0.0, (time.monotonic() - t0) / self.time_scale)
             while pending and pending[0].at <= now_sim:
@@ -292,9 +367,9 @@ class LiveRuntime:
                 return
             if now_sim >= deadline:
                 return  # the caller turns a missed target into an error
-            if time.monotonic() - last_reap > 1.0:
+            if time.monotonic() - self._last_reap > 1.0:
                 self._reap(self._procs, set())
-                last_reap = time.monotonic()
+                self._last_reap = time.monotonic()
             next_phase_wall = (
                 t0 + pending[0].at * self.time_scale if pending else None
             )

@@ -25,6 +25,7 @@ __all__ = [
     "NetEnvelope",
     "CtrlStart",
     "CtrlAction",
+    "CtrlSubmit",
     "CtrlShutdown",
     "ChildReady",
     "ChildEvent",
@@ -71,6 +72,21 @@ class CtrlAction:
 
 
 @dataclass(slots=True)
+class CtrlSubmit:
+    """Parent → one input process: inject one externally-submitted task.
+
+    This is the serving path (:mod:`repro.serve`): tasks arrive over a
+    client socket instead of the pre-planned workload iterator, the
+    gateway picks the shard's input pid, and the child's
+    :meth:`~repro.core.input_output.InputProcess.inject` forwards the
+    task into consensus exactly as a workload arrival would be.
+    """
+
+    pid: str
+    task: Any = None
+
+
+@dataclass(slots=True)
 class CtrlShutdown:
     """Parent → every child: stop the loop, report, and exit."""
 
@@ -113,6 +129,7 @@ _WIRE = (
     NetEnvelope,
     CtrlStart,
     CtrlAction,
+    CtrlSubmit,
     CtrlShutdown,
     ChildReady,
     ChildEvent,

@@ -19,6 +19,7 @@ net        LinkTransfer
 kernel     KernelEventFired
 replay     ReplayInput, ReplayEffect
 adversary  AdversaryPhase, AdversaryAction, AdversaryTrigger
+gateway    GatewayConnected, GatewayClosed, GatewayAdmission
 ========== ==================================================================
 
 Events are plain frozen dataclasses of JSON-serializable primitives, so
@@ -46,6 +47,7 @@ __all__ = [
     "CATEGORY_KERNEL",
     "CATEGORY_REPLAY",
     "CATEGORY_ADVERSARY",
+    "CATEGORY_GATEWAY",
     "ALL_CATEGORIES",
     "TraceEvent",
     "TaskSubmitted",
@@ -77,6 +79,9 @@ __all__ = [
     "AdversaryPhase",
     "AdversaryAction",
     "AdversaryTrigger",
+    "GatewayConnected",
+    "GatewayClosed",
+    "GatewayAdmission",
 ]
 
 CATEGORY_TASK = "task"
@@ -88,6 +93,7 @@ CATEGORY_NET = "net"
 CATEGORY_KERNEL = "kernel"
 CATEGORY_REPLAY = "replay"
 CATEGORY_ADVERSARY = "adversary"
+CATEGORY_GATEWAY = "gateway"
 
 ALL_CATEGORIES = frozenset(
     {
@@ -100,6 +106,7 @@ ALL_CATEGORIES = frozenset(
         CATEGORY_KERNEL,
         CATEGORY_REPLAY,
         CATEGORY_ADVERSARY,
+        CATEGORY_GATEWAY,
     }
 )
 
@@ -448,6 +455,51 @@ class AdversaryTrigger(TraceEvent):
     campaign: str
     trigger: str
     on: str
+
+
+# --------------------------------------------------------------- gateway
+@dataclass(frozen=True, slots=True)
+class GatewayConnected(TraceEvent):
+    """A client connection was accepted by the serve gateway.
+
+    ``pid`` is the gateway's own id; ``conn`` is the gateway-assigned
+    connection id the client's tasks are tracked under.
+    """
+
+    category: ClassVar[str] = CATEGORY_GATEWAY
+    kind: ClassVar[str] = "gateway-connected"
+
+    conn: str
+    peer: str
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayClosed(TraceEvent):
+    """A client connection ended; ``submitted`` tasks were sent on it."""
+
+    category: ClassVar[str] = CATEGORY_GATEWAY
+    kind: ClassVar[str] = "gateway-closed"
+
+    conn: str
+    submitted: int
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayAdmission(TraceEvent):
+    """The gateway's admission control decided one submitted task.
+
+    ``status`` is the backpressure reply sent to the client —
+    ``admitted``, ``deferred`` (queued behind the drain rate) or
+    ``rejected`` (ingress queue full, task shed).
+    """
+
+    category: ClassVar[str] = CATEGORY_GATEWAY
+    kind: ClassVar[str] = "gateway-admission"
+
+    task_id: str
+    tenant: str
+    status: str
+    queue_depth: int
 
 
 # ---------------------------------------------------------------- replay

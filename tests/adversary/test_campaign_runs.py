@@ -77,7 +77,7 @@ class TestAnomalyMismatchDetection:
 
     def test_corrupt_record_is_detected_and_never_committed(self):
         result = self.run_mm(campaign_of("corrupt-record", select="e0"))
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
         assert result.extra["faults_detected"] > 0
         report = result.extra["recovery_report"]
         assert report.safe is True
@@ -85,7 +85,7 @@ class TestAnomalyMismatchDetection:
 
     def test_fabricated_record_is_detected(self):
         result = self.run_mm(campaign_of("fabricate-record", select="e0"))
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
         assert result.extra["faults_detected"] > 0
 
 
@@ -98,21 +98,21 @@ class TestReassignmentRaceExactlyOnce:
         campaign = campaign_of("slow", select="e0", delay=5.0)
         result = run_synthetic(campaign)
         assert result.records == 12 * 5  # exactly once, no duplicates
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
         assert result.extra["reassignments"] > 0  # the race actually ran
 
     def test_silent_executor_race(self):
         campaign = campaign_of("silent", select="e0", at=1.0)
         result = run_synthetic(campaign)
         assert result.records == 12 * 5
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
         assert result.extra["reassignments"] > 0
 
     def test_slow_then_recover_clears_mid_race(self):
         campaign = slow_then_recover(at=0.0, until=3.0, count=1, delay=4.0)
         result = run_synthetic(campaign)
         assert result.records == 12 * 5
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
 
 
 class TestRecoveryFoldedIntoResult:
@@ -122,15 +122,17 @@ class TestRecoveryFoldedIntoResult:
         assert report.campaign == "silent-minority"
         assert report.injected_at == 1.0
         assert report.safe is True
-        assert result.extra["recovery_injected_at"] == 1.0
-        assert result.extra["recovery_records_accepted"] == result.records
-        assert result.extra["recovery_safe"] is True
+        assert result.recovery["injected_at"] == 1.0
+        assert result.recovery["records_accepted"] == result.records
+        assert result.recovery["safe"] is True
 
     def test_scalars_survive_serialization(self):
         result = run_synthetic(silent_minority(at=1.0, count=1))
         d = result.to_dict()
-        assert d["extra"]["recovery_injected_at"] == 1.0
+        assert d["recovery"]["injected_at"] == 1.0
         assert "recovery_report" not in d["extra"]  # live handle dropped
+        again = type(result).from_dict(d)
+        assert again.recovery == result.recovery
 
     def test_no_campaign_no_recovery_keys(self):
         result = run_synthetic(None)

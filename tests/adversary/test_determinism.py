@@ -90,4 +90,4 @@ class TestGoldenCampaignTrace:
         # the golden run is also a safety regression: the betrayal is
         # detected and nothing invalid is ever committed
         assert result.extra["recovery_report"].detections > 0
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0

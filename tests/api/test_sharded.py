@@ -30,7 +30,7 @@ class TestShardedRun:
     def test_zero_violations_and_deterministic(self):
         r1 = api.run(sharded_spec())
         r2 = api.run(sharded_spec())
-        assert r1.extra["sanitizer_violations"] == 0
+        assert r1.sanitizer_violations == 0
         assert r1.to_dict() == r2.to_dict()
 
     def test_routing_uses_both_pipelines(self):
@@ -73,11 +73,14 @@ class TestValidation:
         with pytest.raises(BenchmarkError):
             api.DeploymentSpec(workload="synthetic", n=4, system="rcp", tenants=2)
 
-    def test_shards_require_des_backend(self):
-        with pytest.raises(BenchmarkError):
-            api.DeploymentSpec(
-                workload="synthetic", n=4, backend="live", shards=2
-            )
+    def test_sharded_live_runs_point_at_serve(self):
+        # constructible (the serve gateway hosts it), but a pre-planned
+        # run() cannot feed more than the primary input pipeline
+        spec = api.DeploymentSpec(
+            workload="synthetic", n=4, backend="live", shards=2
+        )
+        with pytest.raises(BenchmarkError, match="serve"):
+            api.run(spec)
 
     def test_bounds(self):
         with pytest.raises(BenchmarkError):
@@ -127,7 +130,7 @@ class TestAdmissionControl:
         assert metrics.tasks_admitted + metrics.tasks_rejected == 60
         # every admitted task still completes, shed ones never do
         assert res.tasks_completed == metrics.tasks_admitted
-        assert res.extra["sanitizer_violations"] == 0
+        assert res.sanitizer_violations == 0
 
     def test_admission_off_by_default(self):
         res = api.run(sharded_spec())
@@ -137,16 +140,41 @@ class TestAdmissionControl:
         assert res.tasks_completed == 30
 
 
-class TestShimRoundTrip:
+class TestResultRoundTrip:
     def test_result_dict_round_trips(self):
-        from repro.bench.scenarios import run_osiris
         from repro.bench.workloads import synthetic_bench
 
-        with pytest.warns(DeprecationWarning):
-            res = run_osiris(synthetic_bench(6), n=8, seed=2)
+        res = api.run(
+            api.DeploymentSpec(workload=synthetic_bench(6), n=8, seed=2)
+        )
         d = res.to_dict()
         again = type(res).from_dict(d)
         assert again.to_dict() == d
         # new SLO fields survive the round trip with their values
         assert again.p50_latency == res.p50_latency
         assert again.goodput == res.goodput
+
+    def test_typed_fields_round_trip(self):
+        from repro.bench.workloads import synthetic_bench
+
+        res = api.run(
+            api.DeploymentSpec(
+                workload=synthetic_bench(4), n=5, seed=1, sanitize=True
+            )
+        )
+        assert res.sanitizer_violations == 0
+        assert res.recovery is None  # no campaign ran
+        d = res.to_dict()
+        assert d["sanitizer_violations"] == 0
+        assert d["recovery"] is None
+        assert d["client_slo"] == {}
+        again = type(res).from_dict(d)
+        assert again.sanitizer_violations == 0
+        assert again.recovery is None
+        # legacy dicts without the typed keys still load
+        for key in ("sanitizer_violations", "recovery", "client_slo"):
+            d.pop(key)
+        legacy = type(res).from_dict(d)
+        assert legacy.sanitizer_violations is None
+        assert legacy.recovery is None
+        assert legacy.client_slo == {}

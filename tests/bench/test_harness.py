@@ -2,15 +2,13 @@
 
 import pytest
 
+from repro import api
 from repro.bench import (
     BenchWorkload,
     anomaly_bench,
     osiris_parallel_tasks,
     planning_bench,
     rsm_parallel_tasks,
-    run_osiris,
-    run_rcp,
-    run_zft,
     synthetic_bench,
     table1,
     update_only_bench,
@@ -90,7 +88,7 @@ class TestScenarioRunners:
         )
 
     def test_run_zft(self):
-        res = run_zft(self._wl(), n=6)
+        res = api.run(api.DeploymentSpec(workload=self._wl(), n=6, system="zft"))
         assert res.system == "ZFT"
         assert res.tasks_completed == 20
         assert res.records == 80
@@ -98,29 +96,33 @@ class TestScenarioRunners:
         assert res.makespan > 0
 
     def test_run_osiris(self):
-        res = run_osiris(self._wl(), n=8, seed=1)
+        res = api.run(api.DeploymentSpec(workload=self._wl(), n=8, seed=1))
         assert res.system == "OsirisBFT"
         assert res.tasks_completed == 20
         assert res.records == 80
         assert "cluster" in res.extra
 
     def test_run_rcp(self):
-        res = run_rcp(self._wl(), n=9)
+        res = api.run(api.DeploymentSpec(workload=self._wl(), n=9, system="rcp"))
         assert res.system == "RCP"
         assert res.tasks_completed == 20
 
     def test_deadline_miss_raises(self):
         wl = synthetic_bench(10, compute_cost=50.0, rate=1000)
         with pytest.raises(BenchmarkError):
-            run_zft(wl, n=2, deadline=1.0)
+            api.run(
+                api.DeploymentSpec(
+                    workload=wl, n=2, system="zft", deadline=1.0
+                )
+            )
 
     def test_result_row_renders(self):
-        res = run_zft(self._wl(), n=4)
+        res = api.run(api.DeploymentSpec(workload=self._wl(), n=4, system="zft"))
         row = res.row()
         assert "ZFT" in row and "rec/s" in row
 
     def test_runs_are_deterministic(self):
-        a = run_osiris(self._wl(), n=8, seed=5)
-        b = run_osiris(self._wl(), n=8, seed=5)
+        a = api.run(api.DeploymentSpec(workload=self._wl(), n=8, seed=5))
+        b = api.run(api.DeploymentSpec(workload=self._wl(), n=8, seed=5))
         assert a.throughput == b.throughput
         assert a.mean_latency == b.mean_latency

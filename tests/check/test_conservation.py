@@ -4,7 +4,7 @@ drift)."""
 
 from dataclasses import replace
 
-from repro.bench.scenarios import run_osiris
+from repro import api
 from repro.bench.workloads import synthetic_bench
 from repro.check.conservation import ConservationSink
 from repro.check.report import SanitizerReport
@@ -45,11 +45,15 @@ def committed_slot(cluster):
 
 class TestHonestRuns:
     def test_zero_violations_and_every_output_recomputed(self):
-        result = run_osiris(synthetic_bench(8), n=5, seed=4, sanitize=True)
+        result = api.run(
+            api.DeploymentSpec(
+                workload=synthetic_bench(8), n=5, seed=4, sanitize=True
+            )
+        )
         report = result.extra["sanitizer_report"]
         assert report.ok, report.summary()
         assert report.outputs_recomputed == 8
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
 
 
 class TestLiveChecks:

@@ -6,7 +6,8 @@ import io
 import json
 import pathlib
 
-from repro.bench import anomaly_bench, run_osiris
+from repro import api
+from repro.bench import anomaly_bench
 from repro.obs import JsonlTraceSink
 
 FIXTURE = (
@@ -21,14 +22,16 @@ class TestGoldenSanitize:
     def test_sanitized_run_is_byte_identical_and_clean(self):
         expected = json.loads(FIXTURE.read_text())
         buf = io.StringIO()
-        result = run_osiris(
-            anomaly_bench(
-                "MM", n_tasks=expected["n_tasks"], seed=expected["seed"]
-            ),
-            n=8,
-            seed=expected["seed"],
-            sinks=[JsonlTraceSink(buf)],
-            sanitize=True,
+        result = api.run(
+            api.DeploymentSpec(
+                workload=anomaly_bench(
+                    "MM", n_tasks=expected["n_tasks"], seed=expected["seed"]
+                ),
+                n=8,
+                seed=expected["seed"],
+                sinks=[JsonlTraceSink(buf)],
+                sanitize=True,
+            )
         )
         text = buf.getvalue()
         assert len(text.splitlines()) == expected["lines"]
@@ -39,7 +42,7 @@ class TestGoldenSanitize:
             "purely observational"
         )
         report = result.extra["sanitizer_report"]
-        assert result.extra["sanitizer_violations"] == 0
+        assert result.sanitizer_violations == 0
         assert report.ok, report.summary()
         # and it actually looked at the run, not just waved it through
         assert report.transfers_checked > 0

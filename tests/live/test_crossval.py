@@ -57,7 +57,7 @@ class TestLiveRun:
         result = run(_mm_spec(4).with_(backend="live"), time_scale=_TIME_SCALE)
         assert result.extra["backend"] == "live"
         assert result.tasks_completed == 12
-        assert result.extra.get("sanitizer_violations", 0) == 0
+        assert (result.sanitizer_violations or 0) == 0
         live = result.extra["live_report"]
         assert live.wall_seconds > 0
         assert live.sim_seconds > 0
@@ -76,7 +76,7 @@ class TestLiveRun:
         assert sorted(a[2] for a in corrupted) == [f"e{i}" for i in range(5)]
         assert all(role == "executor" for _, _, _, role, _ in corrupted)
         assert result.extra["faults_detected"] > 0
-        assert result.extra["recovery_campaign"] == "fig7a"
+        assert result.recovery["campaign"] == "fig7a"
 
     def test_missed_deadline_raises_instead_of_hanging(self):
         from repro.errors import BenchmarkError

@@ -60,16 +60,19 @@ class TestGoldenTrace:
     FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "fig5_mm_n8.json"
 
     def test_fig5_mm_n8_trace_matches_committed_fingerprint(self):
-        from repro.bench import anomaly_bench, run_osiris
+        from repro import api
+        from repro.bench import anomaly_bench
 
         expected = json.loads(self.FIXTURE.read_text())
         buf = io.StringIO()
-        run_osiris(
-            anomaly_bench("MM", n_tasks=expected["n_tasks"],
-                          seed=expected["seed"]),
-            n=8,
-            seed=expected["seed"],
-            sinks=[JsonlTraceSink(buf)],
+        api.run(
+            api.DeploymentSpec(
+                workload=anomaly_bench("MM", n_tasks=expected["n_tasks"],
+                                       seed=expected["seed"]),
+                n=8,
+                seed=expected["seed"],
+                sinks=[JsonlTraceSink(buf)],
+            )
         )
         text = buf.getvalue()
         assert len(text.splitlines()) == expected["lines"]

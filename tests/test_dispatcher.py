@@ -1,0 +1,31 @@
+"""The unified ``python -m repro <subcommand>`` dispatcher forwards to
+the per-package CLIs and fails loudly on anything else."""
+
+import pytest
+
+from repro.__main__ import _COMMANDS, main
+
+
+class TestDispatch:
+    def test_no_args_prints_usage_and_fails(self, capsys):
+        assert main([]) == 2
+        assert "usage: python -m repro" in capsys.readouterr().out
+
+    def test_explicit_help_succeeds(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in _COMMANDS:
+            assert name in out
+
+    def test_unknown_command_fails(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("name", sorted(_COMMANDS))
+    def test_each_subcommand_forwards_to_a_real_cli(self, name, capsys):
+        # --help is handled by each sub-CLI's argparse: SystemExit(0)
+        # proves the forward resolved an actual parser, not a stub
+        with pytest.raises(SystemExit) as exc:
+            main([name, "--help"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out  # the sub-CLI printed its help
